@@ -1,0 +1,520 @@
+// Package videodb_bench holds the testing.B counterparts of the
+// reproduction experiments E1–E10 (see DESIGN.md for the experiment
+// index and cmd/bench for the table-printing harness). One benchmark
+// family per figure/claim of the paper.
+package videodb_bench
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"videodb/internal/constraint"
+	"videodb/internal/core"
+	"videodb/internal/datalog"
+	"videodb/internal/interval"
+	"videodb/internal/object"
+	"videodb/internal/store"
+	"videodb/internal/temporal"
+	"videodb/internal/video"
+)
+
+// --- E1–E3: the indexing schemes of Figures 1–3 --------------------------------
+
+func figureSequence() *video.Sequence {
+	return video.Generate(video.GenConfig{
+		Seed: 42, DurationSec: 1800, NumObjects: 20, AvgShotSec: 6, Presence: 0.2,
+	})
+}
+
+func BenchmarkE1SegmentationBuild(b *testing.B) {
+	seq := figureSequence()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		video.NewSegmentation(seq, 10)
+	}
+}
+
+func BenchmarkE1SegmentationQuery(b *testing.B) {
+	seq := figureSequence()
+	idx := video.NewSegmentation(seq, 10)
+	objs := seq.Objects()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx.Occurrences(objs[i%len(objs)])
+	}
+}
+
+func BenchmarkE2StratificationBuild(b *testing.B) {
+	seq := figureSequence()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		video.NewStratification(seq)
+	}
+}
+
+func BenchmarkE2StratificationQuery(b *testing.B) {
+	seq := figureSequence()
+	idx := video.NewStratification(seq)
+	objs := seq.Objects()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx.Occurrences(objs[i%len(objs)])
+	}
+}
+
+func BenchmarkE3GeneralizedIntervalBuild(b *testing.B) {
+	seq := figureSequence()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		video.NewGeneralizedIndexing(seq)
+	}
+}
+
+func BenchmarkE3GeneralizedIntervalQuery(b *testing.B) {
+	seq := figureSequence()
+	idx := video.NewGeneralizedIndexing(seq)
+	objs := seq.Objects()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx.Occurrences(objs[i%len(objs)])
+	}
+}
+
+// --- E4: the Rope example queries ------------------------------------------------
+
+func ropeDB(b *testing.B) *core.DB {
+	b.Helper()
+	db := core.New()
+	_, err := db.LoadScript(`
+interval gi1 { duration: (t > 0 and t < 30), entities: {o1, o2, o3, o4},
+               subject: "murder", victim: o1, murderer: {o2, o3} }.
+interval gi2 { duration: (t > 40 and t < 80),
+               entities: {o1, o2, o3, o4, o5, o6, o7, o8, o9},
+               subject: "Giving a party", host: {o2, o3}, guest: {o5, o6, o7, o8, o9} }.
+object o1 { name: "David", role: "Victim" }.
+object o2 { name: "Philip", role: "Murderer" }.
+object o3 { name: "Brandon", role: "Murderer" }.
+object o4 { identification: "Chest" }.
+object o5 { name: "Janet" }.
+object o6 { name: "Kenneth" }.
+object o7 { name: "Mr Kentley" }.
+object o8 { name: "Mrs Atwater" }.
+object o9 { name: "Rupert Cadell" }.
+in(o1, o4, gi1).
+in(o1, o4, gi2).
+contains(G1, G2) :- Interval(G1), Interval(G2), G2.duration => G1.duration.
+`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return db
+}
+
+func BenchmarkE4RopeQueries(b *testing.B) {
+	queries := []struct {
+		name  string
+		query string
+	}{
+		{"q1_objects_in_gi1", "?- Object(O), O in gi1.entities."},
+		{"q2_intervals_with_o1", "?- Interval(G), o1 in G.entities."},
+		{"q3_temporal_frame", "?- Interval(G), o1 in G.entities, G.duration => (t > 0 and t < 35)."},
+		{"q4_together", "?- Interval(G), {o1, o5} subset G.entities."},
+		{"q5_relation_pairs", "?- Interval(G), in(O1, O2, G)."},
+		{"q6_attr_value", `?- Interval(G), Object(O), O in G.entities, O.name = "David".`},
+		{"r1_contains", "?- contains(G1, G2)."},
+	}
+	db := ropeDB(b)
+	for _, q := range queries {
+		b.Run(q.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := db.Query(q.query); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- E5: PTIME scaling with dense-order constraints --------------------------------
+
+func arithStore(n int) *store.Store {
+	r := rand.New(rand.NewSource(7))
+	st := store.New()
+	for i := 0; i < n; i++ {
+		lo := r.Float64() * float64(n)
+		st.Put(object.NewInterval(object.OID(fmt.Sprintf("g%06d", i)),
+			interval.FromPairs(lo, lo+1+r.Float64()*10)))
+	}
+	return st
+}
+
+func BenchmarkE5ArithScaling(b *testing.B) {
+	frame := object.Temporal(interval.FromPairs(0, 500))
+	prog := datalog.NewProgram(datalog.NewRule(
+		datalog.Rel("within", datalog.Var("G")),
+		datalog.Interval(datalog.Var("G")),
+		datalog.Entails(datalog.AttrOp(datalog.Var("G"), "duration"),
+			datalog.TermOp(datalog.Const(frame))),
+	))
+	for _, n := range []int{100, 300, 1000, 3000} {
+		st := arithStore(n)
+		b.Run(fmt.Sprintf("within/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				e, err := datalog.NewEngine(st, prog)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := e.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	contains := datalog.NewProgram(datalog.NewRule(
+		datalog.Rel("contains", datalog.Var("G1"), datalog.Var("G2")),
+		datalog.Interval(datalog.Var("G1")),
+		datalog.Interval(datalog.Var("G2")),
+		datalog.Entails(datalog.AttrOp(datalog.Var("G2"), "duration"),
+			datalog.AttrOp(datalog.Var("G1"), "duration")),
+	))
+	for _, n := range []int{100, 300, 1000} {
+		st := arithStore(n)
+		b.Run(fmt.Sprintf("contains/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				e, err := datalog.NewEngine(st, contains)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := e.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- E6: set-order constraint solving -------------------------------------------------
+
+func setConj(n int) constraint.SetConj {
+	r := rand.New(rand.NewSource(11))
+	univ := make([]string, 50)
+	for i := range univ {
+		univ[i] = fmt.Sprintf("c%02d", i)
+	}
+	vars := []string{"A", "B", "C", "D", "E", "F", "G", "H"}
+	var conj constraint.SetConj
+	for i := 0; i < n; i++ {
+		switch r.Intn(4) {
+		case 0:
+			conj = append(conj, constraint.Member(univ[r.Intn(len(univ))], vars[r.Intn(len(vars))]))
+		case 1:
+			conj = append(conj, constraint.Subset(
+				constraint.SetVar(vars[r.Intn(len(vars))]),
+				constraint.SetLit(univ[:10+r.Intn(40)]...)))
+		case 2:
+			conj = append(conj, constraint.Subset(
+				constraint.SetLit(univ[r.Intn(len(univ))]),
+				constraint.SetVar(vars[r.Intn(len(vars))])))
+		default:
+			conj = append(conj, constraint.Subset(
+				constraint.SetVar(vars[r.Intn(len(vars))]),
+				constraint.SetVar(vars[r.Intn(len(vars))])))
+		}
+	}
+	return conj
+}
+
+func BenchmarkE6SetOrderScaling(b *testing.B) {
+	for _, n := range []int{10, 100, 1000, 10000} {
+		conj := setConj(n)
+		goal := constraint.SetConj{constraint.Member("c00", "A")}
+		b.Run(fmt.Sprintf("satisfiable/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				conj.Satisfiable()
+			}
+		})
+		b.Run(fmt.Sprintf("entails/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				conj.Entails(goal)
+			}
+		})
+	}
+}
+
+// --- E7: constructive rules / extended active domain -----------------------------------
+
+func BenchmarkE7Constructive(b *testing.B) {
+	prog := datalog.NewProgram(datalog.NewRule(
+		datalog.Rel("all", datalog.Concat(datalog.Var("G1"), datalog.Var("G2"))),
+		datalog.Interval(datalog.Var("G1")),
+		datalog.Interval(datalog.Var("G2")),
+	))
+	for _, k := range []int{3, 5, 7, 9} {
+		st := store.New()
+		for i := 0; i < k; i++ {
+			st.Put(object.NewInterval(object.OID(fmt.Sprintf("b%02d", i)),
+				interval.FromPairs(float64(10*i), float64(10*i+5))))
+		}
+		b.Run(fmt.Sprintf("base=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				e, err := datalog.NewEngine(st, prog, datalog.MaxCreated(1<<22))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := e.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- E8: point-based vs interval-based temporal queries ----------------------------------
+
+func BenchmarkE8PointVsInterval(b *testing.B) {
+	r := rand.New(rand.NewSource(5))
+	const pairs = 512
+	gs := make([]interval.Generalized, pairs)
+	hs := make([]interval.Generalized, pairs)
+	for i := range gs {
+		n := 1 + r.Intn(3)
+		spans := make([]interval.Span, n)
+		for j := range spans {
+			lo := r.Float64() * 100
+			spans[j] = interval.Closed(lo, lo+r.Float64()*20)
+		}
+		gs[i] = interval.New(spans...)
+		lo := r.Float64() * 100
+		hs[i] = interval.New(interval.Closed(lo, lo+r.Float64()*30))
+	}
+	alg, con := temporal.Algebraic{}, temporal.Constraint{}
+	cases := []struct {
+		name string
+		fn   func(g, h interval.Generalized) bool
+	}{
+		{"interval/before", alg.Before},
+		{"point/before", con.Before},
+		{"interval/contains", alg.Contains},
+		{"point/contains", con.Contains},
+		{"interval/overlaps", alg.Overlaps},
+		{"point/overlaps", con.Overlaps},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				c.fn(gs[i%pairs], hs[i%pairs])
+			}
+		})
+	}
+}
+
+// --- E9: naive vs semi-naive ablation -----------------------------------------------------
+
+func BenchmarkE9NaiveVsSeminaive(b *testing.B) {
+	const n = 60
+	st := store.New()
+	for i := 0; i < n; i++ {
+		st.AddFact(store.NewFact("next",
+			object.Str(fmt.Sprintf("n%04d", i)), object.Str(fmt.Sprintf("n%04d", i+1))))
+	}
+	prog := datalog.NewProgram(
+		datalog.NewRule(datalog.Rel("reach", datalog.Var("X"), datalog.Var("Y")),
+			datalog.Rel("next", datalog.Var("X"), datalog.Var("Y"))),
+		datalog.NewRule(datalog.Rel("reach", datalog.Var("X"), datalog.Var("Z")),
+			datalog.Rel("reach", datalog.Var("X"), datalog.Var("Y")),
+			datalog.Rel("next", datalog.Var("Y"), datalog.Var("Z"))),
+	)
+	b.Run("seminaive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			e, err := datalog.NewEngine(st, prog)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := e.Run(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("naive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			e, err := datalog.NewEngine(st, prog, datalog.Naive())
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := e.Run(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// --- E10: index ablation --------------------------------------------------------------------
+
+func BenchmarkE10IndexAblation(b *testing.B) {
+	seq := video.Generate(video.GenConfig{
+		Seed: 9, DurationSec: 20000, NumObjects: 100, AvgShotSec: 5, Presence: 0.03,
+	})
+	build := func(opts ...store.Option) *core.DB {
+		db := core.New(core.WithStore(store.NewWith(opts...)))
+		if err := video.Populate(db, seq); err != nil {
+			b.Fatal(err)
+		}
+		return db
+	}
+	full := build()
+	noEnt := build(store.WithoutEntityIndex())
+	noTree := build(store.WithoutTemporalIndex())
+	scanPlan := core.New(core.WithStore(full.Store()),
+		core.WithEngineOptions(datalog.WithoutMemberIndex()))
+
+	const memberQuery = "?- Interval(G), obj007 in G.entities."
+	b.Run("member/indexed", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := full.Query(memberQuery); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("member/no-entity-index", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := noEnt.Query(memberQuery); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("member/scan-plan", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := scanPlan.Query(memberQuery); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("overlap/interval-tree", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			full.Store().IntervalsOverlapping(interval.Closed(100, 130))
+		}
+	})
+	b.Run("overlap/linear-scan", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			noTree.Store().IntervalsOverlapping(interval.Closed(100, 130))
+		}
+	})
+}
+
+// --- E11: query-reachability pruning (design decision) -------------------------------
+
+func BenchmarkE11QueryPruning(b *testing.B) {
+	// A database with one relevant rule and many irrelevant ones: pruning
+	// should make query latency independent of the unrelated program.
+	build := func(opts ...core.Option) *core.DB {
+		db := core.New(opts...)
+		if _, err := db.LoadScript(`
+interval gi1 { duration: [0, 30], entities: {o1, o2} }.
+interval gi2 { duration: [40, 80], entities: {o1} }.
+object o1 { name: "David" }.
+object o2 { name: "Philip" }.
+`); err != nil {
+			b.Fatal(err)
+		}
+		if err := db.DefineRule("appears(O, G) :- Interval(G), Object(O), O in G.entities"); err != nil {
+			b.Fatal(err)
+		}
+		// Sixty unrelated derived relations.
+		for i := 0; i < 60; i++ {
+			rule := fmt.Sprintf("junk%d(G1, G2) :- Interval(G1), Interval(G2), "+
+				"G2.duration => G1.duration", i)
+			if err := db.DefineRule(rule); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return db
+	}
+	pruned := build()
+	full := build(core.WithoutQueryPruning())
+	const q = "?- appears(o1, G)."
+	b.Run("pruned", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := pruned.Query(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("full-program", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := full.Query(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// --- E12: parallel rule evaluation (design decision) -----------------------------------
+
+func BenchmarkE12ParallelEvaluation(b *testing.B) {
+	st := store.New()
+	for i := 0; i < 300; i++ {
+		st.AddFact(store.NewFact("edge",
+			object.Str(fmt.Sprintf("n%03d", i)), object.Str(fmt.Sprintf("n%03d", (i+7)%300))))
+	}
+	var rules []datalog.Rule
+	for k := 0; k < 12; k++ {
+		rules = append(rules, datalog.NewRule(
+			datalog.Rel(fmt.Sprintf("tri%d", k), datalog.Var("X"), datalog.Var("W")),
+			datalog.Rel("edge", datalog.Var("X"), datalog.Var("Y")),
+			datalog.Rel("edge", datalog.Var("Y"), datalog.Var("Z")),
+			datalog.Rel("edge", datalog.Var("Z"), datalog.Var("W")),
+		))
+	}
+	prog := datalog.NewProgram(rules...)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				e, err := datalog.NewEngine(st, prog, datalog.Parallel(workers))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := e.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- E13: join index ablation (design decision) ------------------------------------------
+
+func BenchmarkE13JoinIndex(b *testing.B) {
+	st := store.New()
+	for i := 0; i < 500; i++ {
+		st.AddFact(store.NewFact("edge",
+			object.Str(fmt.Sprintf("n%03d", i)), object.Str(fmt.Sprintf("n%03d", (i+13)%500))))
+	}
+	prog := datalog.NewProgram(datalog.NewRule(
+		datalog.Rel("hop2", datalog.Var("X"), datalog.Var("Z")),
+		datalog.Rel("edge", datalog.Var("X"), datalog.Var("Y")),
+		datalog.Rel("edge", datalog.Var("Y"), datalog.Var("Z")),
+	))
+	b.Run("indexed", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			e, err := datalog.NewEngine(st, prog)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := e.Run(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("scan", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			e, err := datalog.NewEngine(st, prog, datalog.WithoutJoinIndex())
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := e.Run(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,439 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"videodb/internal/constraint"
+	"videodb/internal/core"
+	"videodb/internal/datalog"
+	"videodb/internal/interval"
+	"videodb/internal/object"
+	"videodb/internal/store"
+	"videodb/internal/temporal"
+	"videodb/internal/video"
+)
+
+// --- E1–E3: Figures 1–3 -------------------------------------------------------
+
+func runFigures() {
+	durations := []float64{600, 1800, 3600}
+	if *quick {
+		durations = []float64{300}
+	}
+	fmt.Printf("%-8s %-22s %12s %10s %12s %12s %10s %8s\n",
+		"length", "scheme", "annotations", "KiB", "build", "query", "precision", "recall")
+	for _, dur := range durations {
+		seq := video.Generate(video.GenConfig{
+			Seed: 42, DurationSec: dur, NumObjects: 20, AvgShotSec: 6, Presence: 0.2,
+		})
+		type build struct {
+			name string
+			mk   func() video.Indexer
+		}
+		builds := []build{
+			{"segmentation (10s)", func() video.Indexer { return video.NewSegmentation(seq, 10) }},
+			{"stratification", func() video.Indexer { return video.NewStratification(seq) }},
+			{"generalized-interval", func() video.Indexer { return video.NewGeneralizedIndexing(seq) }},
+		}
+		for _, b := range builds {
+			buildTime := timeIt(func() { b.mk() })
+			idx := b.mk()
+			objs := seq.Objects()
+			queryTime := timeIt(func() {
+				for _, o := range objs {
+					idx.Occurrences(o)
+				}
+			}) / time.Duration(len(objs))
+			var p, r float64
+			for _, o := range objs {
+				pp, rr := video.AnswerQuality(idx.Occurrences(o), seq.Occurrences[o])
+				p += pp
+				r += rr
+			}
+			n := float64(len(objs))
+			fmt.Printf("%-8.0f %-22s %12d %10.1f %12s %12s %10.3f %8.3f\n",
+				dur, idx.Name(), idx.Annotations(), float64(idx.StorageBytes())/1024,
+				buildTime.Round(time.Microsecond), queryTime.Round(time.Nanosecond),
+				p/n, r/n)
+		}
+	}
+}
+
+// --- E4: the Rope example -------------------------------------------------------
+
+func ropeDB() *core.DB {
+	db := core.New()
+	script := `
+interval gi1 { duration: (t > 0 and t < 30), entities: {o1, o2, o3, o4},
+               subject: "murder", victim: o1, murderer: {o2, o3} }.
+interval gi2 { duration: (t > 40 and t < 80),
+               entities: {o1, o2, o3, o4, o5, o6, o7, o8, o9},
+               subject: "Giving a party", host: {o2, o3}, guest: {o5, o6, o7, o8, o9} }.
+object o1 { name: "David", role: "Victim" }.
+object o2 { name: "Philip", realname: "Farley Granger", role: "Murderer" }.
+object o3 { name: "Brandon", realname: "John Dall", role: "Murderer" }.
+object o4 { identification: "Chest" }.
+object o5 { name: "Janet", realname: "Joan Chandler" }.
+object o6 { name: "Kenneth", realname: "Douglas Dick" }.
+object o7 { name: "Mr Kentley", realname: "Cedric Hardwicke" }.
+object o8 { name: "Mrs Atwater", realname: "Constance Collier" }.
+object o9 { name: "Rupert Cadell", realname: "James Stewart" }.
+in(o1, o4, gi1).
+in(o1, o4, gi2).
+contains(G1, G2) :- Interval(G1), Interval(G2), G2.duration => G1.duration.
+same_object_in(G1, G2, O) :- Interval(G1), Interval(G2), Object(O),
+                             O in G1.entities, O in G2.entities.
+`
+	if _, err := db.LoadScript(script); err != nil {
+		panic(err)
+	}
+	return db
+}
+
+func runRope() {
+	db := ropeDB()
+	queries := []struct {
+		label   string
+		query   string
+		answers int
+	}{
+		{"q1 objects in gi1", "?- Object(O), O in gi1.entities.", 4},
+		{"q2 intervals with o1", "?- Interval(G), o1 in G.entities.", 2},
+		{"q3 o1 within (0,35)", "?- Interval(G), o1 in G.entities, G.duration => (t > 0 and t < 35).", 1},
+		{"q4 o1,o5 together", "?- Interval(G), {o1, o5} subset G.entities.", 1},
+		{"q5 pairs in 'in'", "?- Interval(G), in(O1, O2, G).", 2},
+		{"q6 G with name David", `?- Interval(G), Object(O), O in G.entities, O.name = "David".`, 2},
+		{"r1 contains", "?- contains(G1, G2).", 2},
+		{"r2 same_object_in", "?- same_object_in(gi1, gi2, O).", 4},
+	}
+	fmt.Printf("%-22s %8s %8s %12s\n", "query", "answers", "expect", "latency")
+	for _, q := range queries {
+		rs, err := db.Query(q.query)
+		if err != nil {
+			panic(err)
+		}
+		lat := timeIt(func() {
+			if _, err := db.Query(q.query); err != nil {
+				panic(err)
+			}
+		})
+		ok := " "
+		if len(rs.Rows) != q.answers {
+			ok = "!"
+		}
+		fmt.Printf("%-22s %8d %7d%s %12s\n", q.label, len(rs.Rows), q.answers, ok,
+			lat.Round(time.Microsecond))
+	}
+}
+
+// --- E5: PTIME scaling with dense-order constraints -------------------------------
+
+// arithStore builds n generalized intervals with random durations and one
+// entity each.
+func arithStore(n int, seed int64) *store.Store {
+	r := rand.New(rand.NewSource(seed))
+	st := store.New()
+	for i := 0; i < n; i++ {
+		lo := r.Float64() * float64(n)
+		oid := object.OID(fmt.Sprintf("g%06d", i))
+		ent := object.OID(fmt.Sprintf("e%03d", i%97))
+		st.Put(object.NewInterval(oid, interval.FromPairs(lo, lo+1+r.Float64()*10)).
+			Set(object.AttrEntities, object.RefSet(ent)))
+	}
+	for i := 0; i < 97; i++ {
+		st.Put(object.NewEntity(object.OID(fmt.Sprintf("e%03d", i))))
+	}
+	return st
+}
+
+func runArith() {
+	sizes := []int{100, 300, 1000, 3000}
+	if *quick {
+		sizes = []int{100, 300}
+	}
+	// Linear-shaped program: select intervals inside a frame (one pass
+	// over Interval with a constraint filter).
+	frame := object.Temporal(interval.FromPairs(0, 500))
+	within := datalog.NewProgram(datalog.NewRule(
+		datalog.Rel("within", datalog.Var("G")),
+		datalog.Interval(datalog.Var("G")),
+		datalog.Entails(datalog.AttrOp(datalog.Var("G"), "duration"),
+			datalog.TermOp(datalog.Const(frame))),
+	))
+	// Quadratic-shaped program: the paper's contains rule (all pairs).
+	contains := datalog.NewProgram(datalog.NewRule(
+		datalog.Rel("contains", datalog.Var("G1"), datalog.Var("G2")),
+		datalog.Interval(datalog.Var("G1")),
+		datalog.Interval(datalog.Var("G2")),
+		datalog.Entails(datalog.AttrOp(datalog.Var("G2"), "duration"),
+			datalog.AttrOp(datalog.Var("G1"), "duration")),
+	))
+	fmt.Printf("%-8s %14s %16s %14s\n", "n", "within (lin)", "contains (quad)", "tuples")
+	for _, n := range sizes {
+		st := arithStore(n, 7)
+		tw := timeIt(func() {
+			e, _ := datalog.NewEngine(st, within)
+			if err := e.Run(); err != nil {
+				panic(err)
+			}
+		})
+		var tuples int
+		tc := timeIt(func() {
+			e, _ := datalog.NewEngine(st, contains)
+			if err := e.Run(); err != nil {
+				panic(err)
+			}
+			rows, _ := e.Rows("contains")
+			tuples = len(rows)
+		})
+		fmt.Printf("%-8d %14s %16s %14d\n", n,
+			tw.Round(time.Microsecond), tc.Round(time.Microsecond), tuples)
+	}
+	fmt.Println("shape check: within grows ~linearly, contains ~quadratically in n (PTIME, per Srivastava et al.)")
+}
+
+// --- E6: set-order constraints ------------------------------------------------------
+
+func runSetOrder() {
+	sizes := []int{10, 100, 1000, 10000}
+	if *quick {
+		sizes = []int{10, 100}
+	}
+	fmt.Printf("%-8s %14s %14s\n", "atoms", "satisfiable", "entails")
+	for _, n := range sizes {
+		r := rand.New(rand.NewSource(11))
+		univ := make([]string, 50)
+		for i := range univ {
+			univ[i] = fmt.Sprintf("c%02d", i)
+		}
+		vars := []string{"A", "B", "C", "D", "E", "F", "G", "H"}
+		var conj constraint.SetConj
+		for i := 0; i < n; i++ {
+			switch r.Intn(4) {
+			case 0:
+				conj = append(conj, constraint.Member(univ[r.Intn(len(univ))], vars[r.Intn(len(vars))]))
+			case 1:
+				conj = append(conj, constraint.Subset(
+					constraint.SetVar(vars[r.Intn(len(vars))]),
+					constraint.SetLit(univ[:10+r.Intn(40)]...)))
+			case 2:
+				conj = append(conj, constraint.Subset(
+					constraint.SetLit(univ[r.Intn(len(univ))]),
+					constraint.SetVar(vars[r.Intn(len(vars))])))
+			default:
+				conj = append(conj, constraint.Subset(
+					constraint.SetVar(vars[r.Intn(len(vars))]),
+					constraint.SetVar(vars[r.Intn(len(vars))])))
+			}
+		}
+		goal := constraint.SetConj{constraint.Member(univ[0], "A")}
+		ts := timeIt(func() { conj.Satisfiable() })
+		te := timeIt(func() { conj.Entails(goal) })
+		fmt.Printf("%-8d %14s %14s\n", n, ts.Round(time.Microsecond), te.Round(time.Microsecond))
+	}
+	fmt.Println("shape check: closure is polynomial per conjunction (the DEXPTIME bound is in the")
+	fmt.Println("program, not the solver — see E7's exponential object creation)")
+}
+
+// --- E7: constructive rules ----------------------------------------------------------
+
+func runConstructive() {
+	maxBase := 10
+	if *quick {
+		maxBase = 7
+	}
+	prog := datalog.NewProgram(datalog.NewRule(
+		datalog.Rel("all", datalog.Concat(datalog.Var("G1"), datalog.Var("G2"))),
+		datalog.Interval(datalog.Var("G1")),
+		datalog.Interval(datalog.Var("G2")),
+	))
+	fmt.Printf("%-8s %10s %10s %10s %12s\n", "base", "created", "expect", "rounds", "time")
+	for k := 2; k <= maxBase; k++ {
+		st := store.New()
+		for i := 0; i < k; i++ {
+			st.Put(object.NewInterval(object.OID(fmt.Sprintf("b%02d", i)),
+				interval.FromPairs(float64(10*i), float64(10*i+5))))
+		}
+		var created, rounds int
+		elapsed := timeIt(func() {
+			e, _ := datalog.NewEngine(st, prog, datalog.MaxCreated(1<<22))
+			if err := e.Run(); err != nil {
+				panic(err)
+			}
+			created = e.Stats().Created
+			rounds = e.Stats().Rounds
+		})
+		expect := 1<<k - 1 - k
+		fmt.Printf("%-8d %10d %10d %10d %12s\n", k, created, expect, rounds,
+			elapsed.Round(time.Microsecond))
+	}
+	fmt.Println("shape check: the extended active domain closes at the union-closure (2^k - 1 objects),")
+	fmt.Println("doubling per base interval — the exponential behind DEXPTIME — yet always terminates")
+}
+
+// --- E8: point-based vs interval-based -------------------------------------------------
+
+func runPointInterval() {
+	pairs := 2000
+	if *quick {
+		pairs = 200
+	}
+	r := rand.New(rand.NewSource(5))
+	gs := make([]interval.Generalized, pairs)
+	hs := make([]interval.Generalized, pairs)
+	for i := range gs {
+		gs[i] = randGen(r)
+		hs[i] = randGen(r)
+	}
+	alg, con := temporal.Algebraic{}, temporal.Constraint{}
+	type rel struct {
+		name string
+		a, c func(g, h interval.Generalized) bool
+	}
+	rels := []rel{
+		{"before", alg.Before, con.Before},
+		{"overlaps", alg.Overlaps, con.Overlaps},
+		{"contains", alg.Contains, con.Contains},
+		{"equals", alg.Equals, con.Equals},
+	}
+	fmt.Printf("%-10s %16s %16s %8s\n", "relation", "interval-based", "point-based", "agree")
+	for _, rl := range rels {
+		agree := true
+		for i := range gs {
+			if rl.a(gs[i], hs[i]) != rl.c(gs[i], hs[i]) {
+				agree = false
+			}
+		}
+		ta := timeIt(func() {
+			for i := range gs {
+				rl.a(gs[i], hs[i])
+			}
+		}) / time.Duration(pairs)
+		tc := timeIt(func() {
+			for i := range gs {
+				rl.c(gs[i], hs[i])
+			}
+		}) / time.Duration(pairs)
+		fmt.Printf("%-10s %16s %16s %8v\n", rl.name, ta, tc, agree)
+	}
+	fmt.Println("shape check: answers agree; the point-based route costs more per check but expresses")
+	fmt.Println("every relation in one first-order language (the paper's declarativity argument)")
+}
+
+func randGen(r *rand.Rand) interval.Generalized {
+	n := 1 + r.Intn(3)
+	spans := make([]interval.Span, n)
+	for i := range spans {
+		lo := r.Float64() * 100
+		spans[i] = interval.Closed(lo, lo+r.Float64()*20)
+	}
+	return interval.New(spans...)
+}
+
+// --- E9: naive vs semi-naive -----------------------------------------------------------
+
+func runSeminaive() {
+	sizes := []int{20, 50, 100}
+	if *quick {
+		sizes = []int{20, 50}
+	}
+	fmt.Printf("%-8s %14s %14s %12s %12s\n", "chain", "semi-naive", "naive", "firings(s)", "firings(n)")
+	for _, n := range sizes {
+		st := store.New()
+		for i := 0; i < n; i++ {
+			st.AddFact(store.NewFact("next",
+				object.Str(fmt.Sprintf("n%04d", i)), object.Str(fmt.Sprintf("n%04d", i+1))))
+		}
+		prog := datalog.NewProgram(
+			datalog.NewRule(datalog.Rel("reach", datalog.Var("X"), datalog.Var("Y")),
+				datalog.Rel("next", datalog.Var("X"), datalog.Var("Y"))),
+			datalog.NewRule(datalog.Rel("reach", datalog.Var("X"), datalog.Var("Z")),
+				datalog.Rel("reach", datalog.Var("X"), datalog.Var("Y")),
+				datalog.Rel("next", datalog.Var("Y"), datalog.Var("Z"))),
+		)
+		var fs, fn int
+		ts := timeIt(func() {
+			e, _ := datalog.NewEngine(st, prog)
+			if err := e.Run(); err != nil {
+				panic(err)
+			}
+			fs = e.Stats().Firings
+		})
+		tn := timeIt(func() {
+			e, _ := datalog.NewEngine(st, prog, datalog.Naive())
+			if err := e.Run(); err != nil {
+				panic(err)
+			}
+			fn = e.Stats().Firings
+		})
+		fmt.Printf("%-8d %14s %14s %12d %12d\n", n,
+			ts.Round(time.Microsecond), tn.Round(time.Microsecond), fs, fn)
+	}
+	fmt.Println("shape check: naive re-derives the whole extent every round (cubic-ish); semi-naive")
+	fmt.Println("touches each derivation once (quadratic for transitive closure of a chain)")
+}
+
+// --- E10: index ablation -----------------------------------------------------------------
+
+func runIndexes() {
+	n := 20000
+	if *quick {
+		n = 2000
+	}
+	seq := video.Generate(video.GenConfig{
+		Seed: 9, DurationSec: float64(n), NumObjects: 100, AvgShotSec: 5, Presence: 0.03,
+	})
+	build := func(opts ...store.Option) *core.DB {
+		db := core.New(core.WithStore(store.NewWith(opts...)))
+		if err := video.Populate(db, seq); err != nil {
+			panic(err)
+		}
+		return db
+	}
+	full := build()
+	noEnt := build(store.WithoutEntityIndex())
+	noTree := build(store.WithoutTemporalIndex())
+
+	memberQuery := "?- Interval(G), obj007 in G.entities."
+	fmt.Printf("%-34s %14s\n", "configuration", "latency")
+	cases := []struct {
+		name string
+		run  func()
+	}{
+		{"member query, all indexes", func() { mustQuery(full, memberQuery) }},
+		{"member query, no entity index", func() { mustQuery(noEnt, memberQuery) }},
+		{"member query, engine scan plan", func() {
+			rs, err := fullQueryNoMemberIndex(full, memberQuery)
+			if err != nil || rs == nil {
+				panic(err)
+			}
+		}},
+		{"overlap window, interval tree", func() {
+			full.Store().IntervalsOverlapping(interval.Closed(100, 130))
+		}},
+		{"overlap window, linear scan", func() {
+			noTree.Store().IntervalsOverlapping(interval.Closed(100, 130))
+		}},
+	}
+	for _, c := range cases {
+		fmt.Printf("%-34s %14s\n", c.name, timeIt(c.run).Round(time.Microsecond))
+	}
+	fmt.Println("shape check: the entity inverted index and the interval tree cut the membership and")
+	fmt.Println("temporal workloads from linear scans to lookups (design decision 4 of DESIGN.md)")
+}
+
+func mustQuery(db *core.DB, q string) *core.ResultSet {
+	rs, err := db.Query(q)
+	if err != nil {
+		panic(err)
+	}
+	return rs
+}
+
+func fullQueryNoMemberIndex(db *core.DB, q string) (*core.ResultSet, error) {
+	scanDB := core.New(core.WithStore(db.Store()),
+		core.WithEngineOptions(datalog.WithoutMemberIndex()))
+	return scanDB.Query(q)
+}

@@ -1,0 +1,72 @@
+// Command bench runs the reproduction experiments E1–E10 of DESIGN.md and
+// prints one table per experiment. Each experiment maps to a figure or a
+// complexity claim of the paper; EXPERIMENTS.md records a reference run
+// and compares it with the paper's statements.
+//
+// Usage:
+//
+//	bench [-experiment all|figures|rope|arith|setorder|constructive|pointinterval|seminaive|indexes]
+//	      [-quick]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+)
+
+var quick = flag.Bool("quick", false, "smaller sizes for a fast smoke run")
+
+func main() {
+	exp := flag.String("experiment", "all", "which experiment to run")
+	flag.Parse()
+
+	experiments := []struct {
+		name string
+		desc string
+		run  func()
+	}{
+		{"figures", "E1–E3: indexing schemes of Figures 1–3", runFigures},
+		{"rope", "E4: the Rope example queries (§5.2, §6.1, §6.2)", runRope},
+		{"arith", "E5: PTIME data complexity with dense-order constraints", runArith},
+		{"setorder", "E6: set-order constraint solving", runSetOrder},
+		{"constructive", "E7: constructive rules and the extended active domain", runConstructive},
+		{"pointinterval", "E8: point-based vs interval-based temporal queries", runPointInterval},
+		{"seminaive", "E9: naive vs semi-naive fixpoint evaluation", runSeminaive},
+		{"indexes", "E10: index ablation", runIndexes},
+		{"pruning", "E11: query-reachability pruning", runPruning},
+		{"parallel", "E12: parallel rule evaluation", runParallel},
+		{"joinindex", "E13: join index ablation", runJoinIndex},
+	}
+
+	ran := false
+	for _, e := range experiments {
+		if *exp != "all" && *exp != e.name {
+			continue
+		}
+		ran = true
+		fmt.Printf("=== %s — %s ===\n", e.name, e.desc)
+		start := time.Now()
+		e.run()
+		fmt.Printf("(%s)\n\n", time.Since(start).Round(time.Millisecond))
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "bench: unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}
+
+// timeIt runs fn repeatedly until it has consumed ~minDuration and
+// returns the mean duration per run.
+func timeIt(fn func()) time.Duration {
+	const minDuration = 20 * time.Millisecond
+	fn() // warm up
+	var n int
+	start := time.Now()
+	for time.Since(start) < minDuration {
+		fn()
+		n++
+	}
+	return time.Since(start) / time.Duration(n)
+}

@@ -1,0 +1,70 @@
+// Command videogen generates a synthetic annotated video sequence (the
+// substitute for the paper's proprietary TV-news archives) and emits it
+// as a VideoQL script or a database snapshot.
+//
+// Usage:
+//
+//	videogen [-seed N] [-duration SECONDS] [-objects N] [-shot SECONDS]
+//	         [-presence P] [-format vql|snapshot] [-o FILE]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"videodb/internal/core"
+	"videodb/internal/video"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "random seed")
+	duration := flag.Float64("duration", 600, "sequence length in seconds")
+	objects := flag.Int("objects", 10, "number of semantic objects")
+	shot := flag.Float64("shot", 6, "mean shot length in seconds")
+	presence := flag.Float64("presence", 0.25, "per-shot object presence probability")
+	format := flag.String("format", "vql", "output format: vql or snapshot")
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	seq := video.Generate(video.GenConfig{
+		Seed:        *seed,
+		DurationSec: *duration,
+		NumObjects:  *objects,
+		AvgShotSec:  *shot,
+		Presence:    *presence,
+	})
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	switch *format {
+	case "vql":
+		if err := video.WriteVQL(w, seq); err != nil {
+			fatal(err)
+		}
+	case "snapshot":
+		db := core.New()
+		if err := video.Populate(db, seq); err != nil {
+			fatal(err)
+		}
+		if err := db.Store().Save(w); err != nil {
+			fatal(err)
+		}
+	default:
+		fatal(fmt.Errorf("unknown format %q", *format))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "videogen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,147 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"videodb/internal/core"
+)
+
+func replSession(t *testing.T, input string) string {
+	t.Helper()
+	db := core.New()
+	var out bytes.Buffer
+	replOn(db, strings.NewReader(input), &out)
+	return out.String()
+}
+
+func TestReplStatementsAndQueries(t *testing.T) {
+	out := replSession(t, `
+interval g1 { duration: [0, 10], entities: {a} }.
+object a { name: "Reporter" }.
+?- Interval(G), a in G.entities.
+?- Interval(G), zzz in G.entities.
+`)
+	if !strings.Contains(out, "G = g1") {
+		t.Errorf("missing answer:\n%s", out)
+	}
+	if !strings.Contains(out, "no") {
+		t.Errorf("missing negative answer:\n%s", out)
+	}
+}
+
+func TestReplMultilineStatement(t *testing.T) {
+	out := replSession(t, "interval g1 {\nduration: [0, 10]\n}.\n?- Interval(G).\n")
+	if !strings.Contains(out, "...") {
+		t.Errorf("expected continuation prompt:\n%s", out)
+	}
+	if !strings.Contains(out, "G = g1") {
+		t.Errorf("statement split over lines failed:\n%s", out)
+	}
+}
+
+func TestReplErrorsKeepSessionAlive(t *testing.T) {
+	out := replSession(t, "broken(.\n?- Interval(G).\n")
+	if !strings.Contains(out, "error:") {
+		t.Errorf("parse error not reported:\n%s", out)
+	}
+	if !strings.Contains(out, "no") { // empty db, query still runs
+		t.Errorf("session did not continue after error:\n%s", out)
+	}
+}
+
+func TestReplCommands(t *testing.T) {
+	db := core.New()
+	if _, err := db.LoadScript(`
+interval g1 { duration: [0, 10], entities: {a} }.
+object a { name: "Reporter" }.
+appears(O, G) :- Interval(G), Object(O), O in G.entities.
+`); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	run := func(line string) string {
+		out.Reset()
+		if !command(&out, db, line) {
+			t.Fatalf("command %q ended the session", line)
+		}
+		return out.String()
+	}
+
+	if got := run(`\rules`); !strings.Contains(got, "appears(O, G)") {
+		t.Errorf("\\rules = %q", got)
+	}
+	if got := run(`\objects`); !strings.Contains(got, "g1") || !strings.Contains(got, "entity") {
+		t.Errorf("\\objects = %q", got)
+	}
+	if got := run(`\show g1`); !strings.Contains(got, "duration") {
+		t.Errorf("\\show = %q", got)
+	}
+	if got := run(`\show nope`); !strings.Contains(got, "no object") {
+		t.Errorf("\\show missing = %q", got)
+	}
+	if got := run(`\stats`); !strings.Contains(got, "objects 2") {
+		t.Errorf("\\stats = %q", got)
+	}
+	if got := run(`\explain ?- appears(a, G).`); !strings.Contains(got, "stratum") {
+		t.Errorf("\\explain = %q", got)
+	}
+	if got := run(`\why appears(a, g1).`); !strings.Contains(got, "[by") {
+		t.Errorf("\\why = %q", got)
+	}
+	if got := run(`\bogus`); !strings.Contains(got, "unknown command") {
+		t.Errorf("\\bogus = %q", got)
+	}
+	// Save and load.
+	path := filepath.Join(t.TempDir(), "db.json")
+	if got := run(`\save ` + path); !strings.Contains(got, "saved") {
+		t.Errorf("\\save = %q", got)
+	}
+	if got := run(`\load ` + path); !strings.Contains(got, "loaded") {
+		t.Errorf("\\load = %q", got)
+	}
+	// Quit ends the session.
+	out.Reset()
+	if command(&out, db, `\quit`) {
+		t.Error("\\quit should end the session")
+	}
+}
+
+func TestPrintResultShapes(t *testing.T) {
+	db := core.New()
+	if _, err := db.LoadScript(`object a { n: 1 }. object b { n: 2 }.`); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+
+	rs, err := db.Query("?- Object(X), X.n = N.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	printResult(&out, rs)
+	if !strings.Contains(out.String(), "X = a, N = 1") || !strings.Contains(out.String(), "(2 answers") {
+		t.Errorf("printResult = %q", out.String())
+	}
+
+	// Ground query prints yes/no.
+	out.Reset()
+	rs, err = db.Query("?- Object(a).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	printResult(&out, rs)
+	if strings.TrimSpace(out.String()) != "yes" {
+		t.Errorf("ground true = %q", out.String())
+	}
+	out.Reset()
+	rs, err = db.Query("?- Object(zzz).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	printResult(&out, rs)
+	if strings.TrimSpace(out.String()) != "no" {
+		t.Errorf("ground false = %q", out.String())
+	}
+}

@@ -1,0 +1,72 @@
+// Command videoserver serves a video database over HTTP (see
+// internal/server for the API).
+//
+// Usage:
+//
+//	videoserver [-addr :8080] [-data DIR | -db snapshot.json] [script.vql ...]
+//
+// With -data the database is durable (write-ahead log + checkpoints in
+// DIR); with -db a snapshot is loaded into memory. Scripts run before
+// serving (their query output goes to stdout).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"videodb/internal/core"
+	"videodb/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	dataDir := flag.String("data", "", "durable database directory")
+	snapshot := flag.String("db", "", "snapshot to load (in-memory mode)")
+	flag.Parse()
+
+	var (
+		db  *core.DB
+		err error
+	)
+	switch {
+	case *dataDir != "" && *snapshot != "":
+		log.Fatal("videoserver: -data and -db are mutually exclusive")
+	case *dataDir != "":
+		db, err = core.Open(*dataDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer db.Close()
+	default:
+		db = core.New()
+		if *snapshot != "" {
+			if err := db.LoadFile(*snapshot); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+
+	for _, path := range flag.Args() {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		results, err := db.LoadScript(string(src))
+		if err != nil {
+			log.Fatalf("%s: %v", path, err)
+		}
+		fmt.Printf("loaded %s (%d queries)\n", path, len(results))
+	}
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           server.New(db),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	log.Printf("videoserver listening on %s", *addr)
+	log.Fatal(srv.ListenAndServe())
+}

@@ -1,0 +1,102 @@
+// Command quickstart walks through the paper's worked example (Section
+// 5.2, Alfred Hitchcock's "The Rope"): build the database through the
+// VideoQL data format, then ask the six example queries of Section 6.1
+// and the derived relations of Section 6.2.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"videodb/internal/core"
+)
+
+const ropeDB = `
+// Two generalized intervals: the murder and the party.
+interval gi1 {
+    duration: (t > 0 and t < 30),
+    entities: {o1, o2, o3, o4},
+    subject: "murder",
+    victim: o1,
+    murderer: {o2, o3}
+}.
+interval gi2 {
+    duration: (t > 40 and t < 80),
+    entities: {o1, o2, o3, o4, o5, o6, o7, o8, o9},
+    subject: "Giving a party",
+    host: {o2, o3},
+    guest: {o5, o6, o7, o8, o9}
+}.
+
+// The semantic objects.
+object o1 { name: "David",         role: "Victim" }.
+object o2 { name: "Philip",        realname: "Farley Granger",    role: "Murderer" }.
+object o3 { name: "Brandon",       realname: "John Dall",         role: "Murderer" }.
+object o4 { identification: "Chest" }.
+object o5 { name: "Janet",         realname: "Joan Chandler" }.
+object o6 { name: "Kenneth",       realname: "Douglas Dick" }.
+object o7 { name: "Mr Kentley",    realname: "Cedric Hardwicke" }.
+object o8 { name: "Mrs Atwater",   realname: "Constance Collier" }.
+object o9 { name: "Rupert Cadell", realname: "James Stewart" }.
+
+// David's body is in the chest during both intervals.
+in(o1, o4, gi1).
+in(o1, o4, gi2).
+
+// Derived relations of Section 6.2.
+contains(G1, G2) :- Interval(G1), Interval(G2), G2.duration => G1.duration.
+same_object_in(G1, G2, O) :- Interval(G1), Interval(G2), Object(O),
+                             O in G1.entities, O in G2.entities.
+`
+
+func main() {
+	db := core.New()
+	if _, err := db.LoadScript(ropeDB); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("database: %d intervals, %d semantic objects\n\n",
+		len(db.Intervals()), len(db.Entities()))
+
+	queries := []struct {
+		title string
+		query string
+	}{
+		{"objects appearing in gi1",
+			"?- Object(O), O in gi1.entities."},
+		{"intervals where David (o1) appears",
+			"?- Interval(G), o1 in G.entities."},
+		{"does David appear within the frame (0,35)?",
+			"?- Interval(G), o1 in G.entities, G.duration => (t > 0 and t < 35)."},
+		{"intervals where David and Janet appear together",
+			"?- Interval(G), {o1, o5} subset G.entities."},
+		{"object pairs related by 'in' within an interval",
+			"?- Interval(G), in(O1, O2, G)."},
+		{"intervals containing an object named David",
+			`?- Interval(G), Object(O), O in G.entities, O.name = "David".`},
+		{"interval containment (derived)",
+			"?- contains(G1, G2), G1 != G2."},
+		{"objects shared by gi1 and gi2 (derived)",
+			"?- same_object_in(gi1, gi2, O)."},
+	}
+	for _, q := range queries {
+		rs, err := db.Query(q.query)
+		if err != nil {
+			log.Fatalf("%s: %v", q.title, err)
+		}
+		fmt.Printf("%s\n  %s\n", q.title, q.query)
+		if len(rs.Rows) == 0 {
+			fmt.Println("  (no answers)")
+		}
+		for _, row := range rs.Rows {
+			fmt.Print("  ")
+			for i, v := range row {
+				if i > 0 {
+					fmt.Print(", ")
+				}
+				fmt.Printf("%s = %s", rs.Columns[i], v)
+			}
+			fmt.Println()
+		}
+		fmt.Println()
+	}
+}

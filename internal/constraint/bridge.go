@@ -1,0 +1,39 @@
+package constraint
+
+import "videodb/internal/interval"
+
+// The temporal value domain of single-variable constraints is the
+// generalized-interval algebra; these aliases keep the two packages'
+// vocabularies aligned without re-exporting the whole interval API.
+
+// Span is a single time interval (re-exported from internal/interval).
+type Span = interval.Span
+
+// Generalized is a generalized time interval (re-exported from
+// internal/interval).
+type Generalized = interval.Generalized
+
+func full() Span            { return interval.Full() }
+func below(c float64) Span  { return interval.Below(c) }
+func atMost(c float64) Span { return interval.AtMost(c) }
+func point(c float64) Span  { return interval.Point(c) }
+func atLeast(c float64) Span {
+	return interval.AtLeast(c)
+}
+func above(c float64) Span             { return interval.Above(c) }
+func newGen(spans ...Span) Generalized { return interval.New(spans...) }
+func emptyGen() Generalized            { return interval.Empty() }
+
+// Between returns the formula lo < v ∧ v < hi, the duration shape used
+// throughout the paper's examples (e.g. duration: (t > a1 ∧ t < b1)).
+func Between(v string, lo, hi float64) Formula {
+	return Formula{Conj{VarCmp(v, Gt, lo), VarCmp(v, Lt, hi)}}
+}
+
+// IntervalOf is a convenience wrapper: the solutions of a duration formula
+// over the canonical time variable "t".
+func IntervalOf(f Formula) (Generalized, error) { return f.ToInterval("t") }
+
+// DurationFormula builds the canonical duration constraint over the time
+// variable "t" from a generalized interval.
+func DurationFormula(g Generalized) Formula { return FromInterval("t", g) }

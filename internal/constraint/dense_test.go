@@ -1,0 +1,298 @@
+package constraint
+
+import (
+	"testing"
+
+	"videodb/internal/interval"
+)
+
+func TestOpBasics(t *testing.T) {
+	cases := []struct {
+		op       Op
+		str      string
+		a, b     float64
+		holds    bool
+		negHolds bool
+	}{
+		{Lt, "<", 1, 2, true, false},
+		{Le, "<=", 2, 2, true, false},
+		{Eq, "=", 2, 2, true, false},
+		{Ne, "!=", 1, 2, true, false},
+		{Ge, ">=", 2, 2, true, false},
+		{Gt, ">", 3, 2, true, false},
+	}
+	for _, tc := range cases {
+		if got := tc.op.String(); got != tc.str {
+			t.Errorf("%v.String() = %q, want %q", tc.op, got, tc.str)
+		}
+		if got := tc.op.Holds(tc.a, tc.b); got != tc.holds {
+			t.Errorf("%v.Holds(%v,%v) = %v", tc.op, tc.a, tc.b, got)
+		}
+		if got := tc.op.Negate().Holds(tc.a, tc.b); got != tc.negHolds {
+			t.Errorf("negation of %v on (%v,%v) = %v", tc.op, tc.a, tc.b, got)
+		}
+		if tc.op.Negate().Negate() != tc.op {
+			t.Errorf("%v: double negation not identity", tc.op)
+		}
+		if tc.op.Flip().Flip() != tc.op {
+			t.Errorf("%v: double flip not identity", tc.op)
+		}
+		// Flip semantics: a op b == b flip(op) a.
+		for _, x := range []float64{1, 2, 3} {
+			for _, y := range []float64{1, 2, 3} {
+				if tc.op.Holds(x, y) != tc.op.Flip().Holds(y, x) {
+					t.Errorf("%v: flip semantics broken at (%v,%v)", tc.op, x, y)
+				}
+			}
+		}
+	}
+}
+
+func TestParseOp(t *testing.T) {
+	good := map[string]Op{
+		"<": Lt, "<=": Le, "=<": Le, "≤": Le, "=": Eq, "==": Eq,
+		"!=": Ne, "<>": Ne, "≠": Ne, ">=": Ge, "=>": Ge, "≥": Ge, ">": Gt,
+	}
+	for s, want := range good {
+		got, err := ParseOp(s)
+		if err != nil || got != want {
+			t.Errorf("ParseOp(%q) = %v, %v; want %v", s, got, err, want)
+		}
+	}
+	for _, bad := range []string{"", "<<", "~", "in"} {
+		if _, err := ParseOp(bad); err == nil {
+			t.Errorf("ParseOp(%q): expected error", bad)
+		}
+	}
+}
+
+func TestAtomEval(t *testing.T) {
+	a := NewAtom(V("x"), Lt, V("y"))
+	val := map[string]float64{"x": 1, "y": 2}
+	ok, err := a.Eval(val)
+	if err != nil || !ok {
+		t.Errorf("x < y under {x:1,y:2} = %v, %v", ok, err)
+	}
+	if _, err := a.Eval(map[string]float64{"x": 1}); err == nil {
+		t.Error("expected unbound-variable error")
+	}
+	g := VarCmp("t", Gt, 10)
+	if got := g.String(); got != "t > 10" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestFormulaEvalAndString(t *testing.T) {
+	// (t > 0 and t < 10) or t = 42
+	f := Between("t", 0, 10).Or(FromAtom(VarCmp("t", Eq, 42)))
+	for _, tc := range []struct {
+		t    float64
+		want bool
+	}{{5, true}, {0, false}, {10, false}, {42, true}, {41, false}} {
+		got, err := f.Eval(map[string]float64{"t": tc.t})
+		if err != nil || got != tc.want {
+			t.Errorf("Eval(t=%v) = %v, %v; want %v", tc.t, got, err, tc.want)
+		}
+	}
+	if got := f.String(); got != "(t > 0 and t < 10) or t = 42" {
+		t.Errorf("String = %q", got)
+	}
+	if False().String() != "false" {
+		t.Error("False should render as false")
+	}
+	if True().String() != "true" {
+		t.Error("True should render as true")
+	}
+	if got, err := True().Eval(nil); err != nil || !got {
+		t.Errorf("True eval = %v, %v", got, err)
+	}
+	if got, err := False().Eval(nil); err != nil || got {
+		t.Errorf("False eval = %v, %v", got, err)
+	}
+}
+
+func TestFormulaAndOr(t *testing.T) {
+	a := FromAtom(VarCmp("t", Gt, 0))
+	b := FromAtom(VarCmp("t", Lt, 10))
+	ab := a.And(b)
+	if len(ab) != 1 || len(ab[0]) != 2 {
+		t.Fatalf("And structure: %v", ab)
+	}
+	// And distributes over disjuncts.
+	c := a.Or(b).And(FromAtom(VarCmp("t", Ne, 5)))
+	if len(c) != 2 {
+		t.Fatalf("And over Or structure: %v", c)
+	}
+	// x.And(False) is false.
+	if !a.And(False()).IsFalse() {
+		t.Error("And with False should be False")
+	}
+}
+
+func TestToInterval(t *testing.T) {
+	cases := []struct {
+		name string
+		f    Formula
+		want interval.Generalized
+	}{
+		{"between", Between("t", 0, 10), interval.New(interval.Open(0, 10))},
+		{"le-ge", Formula{Conj{VarCmp("t", Ge, 0), VarCmp("t", Le, 10)}},
+			interval.FromPairs(0, 10)},
+		{"eq", FromAtom(VarCmp("t", Eq, 5)), interval.New(interval.Point(5))},
+		{"ne", FromAtom(VarCmp("t", Ne, 5)),
+			interval.New(interval.Below(5), interval.Above(5))},
+		{"disjunction", Between("t", 0, 10).Or(Between("t", 20, 30)),
+			interval.New(interval.Open(0, 10), interval.Open(20, 30))},
+		{"contradiction", Formula{Conj{VarCmp("t", Lt, 0), VarCmp("t", Gt, 10)}},
+			interval.Empty()},
+		{"false", False(), interval.Empty()},
+		{"true", True(), interval.New(interval.Full())},
+		{"flipped const side", FromAtom(NewAtom(C(3), Lt, V("t"))),
+			interval.New(interval.Above(3))},
+		{"ground true atom", FromAtom(NewAtom(C(1), Lt, C(2))),
+			interval.New(interval.Full())},
+		{"ground false atom", FromAtom(NewAtom(C(2), Lt, C(1))),
+			interval.Empty()},
+		{"reflexive var", FromAtom(NewAtom(V("t"), Le, V("t"))),
+			interval.New(interval.Full())},
+		{"irreflexive var", FromAtom(NewAtom(V("t"), Lt, V("t"))),
+			interval.Empty()},
+	}
+	for _, tc := range cases {
+		got, err := tc.f.ToInterval("t")
+		if err != nil {
+			t.Errorf("%s: %v", tc.name, err)
+			continue
+		}
+		if !got.Equal(tc.want) {
+			t.Errorf("%s: ToInterval = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+	if _, err := FromAtom(VarCmp("u", Lt, 3)).ToInterval("t"); err == nil {
+		t.Error("expected error for foreign variable")
+	}
+}
+
+func TestFromIntervalRoundTrip(t *testing.T) {
+	cases := []interval.Generalized{
+		interval.Empty(),
+		interval.FromPairs(0, 10),
+		interval.New(interval.Open(0, 10), interval.Point(15), interval.OpenClosed(20, 30)),
+		interval.New(interval.Below(0), interval.Above(100)),
+		interval.New(interval.Full()),
+	}
+	for _, g := range cases {
+		f := FromInterval("t", g)
+		back, err := f.ToInterval("t")
+		if err != nil {
+			t.Fatalf("%v: %v", g, err)
+		}
+		if !back.Equal(g) {
+			t.Errorf("round trip %v -> %q -> %v", g, f, back)
+		}
+	}
+}
+
+func TestSatisfiableSingleVar(t *testing.T) {
+	cases := []struct {
+		f    Formula
+		want bool
+	}{
+		{Between("t", 0, 10), true},
+		{Formula{Conj{VarCmp("t", Lt, 0), VarCmp("t", Gt, 10)}}, false},
+		{Formula{Conj{VarCmp("t", Lt, 0), VarCmp("t", Gt, 10)}}.Or(Between("t", 1, 2)), true},
+		{False(), false},
+		{True(), true},
+		{FromAtom(VarCmp("t", Eq, 5)).And(FromAtom(VarCmp("t", Ne, 5))), false},
+		{Formula{Conj{VarCmp("t", Le, 5), VarCmp("t", Ge, 5)}}, true}, // t = 5
+		{Formula{Conj{VarCmp("t", Lt, 5), VarCmp("t", Ge, 5)}}, false},
+	}
+	for _, tc := range cases {
+		if got := tc.f.Satisfiable(); got != tc.want {
+			t.Errorf("Satisfiable(%v) = %v, want %v", tc.f, got, tc.want)
+		}
+	}
+}
+
+func TestEntailsSingleVar(t *testing.T) {
+	// The paper's query pattern: G.duration ⇒ (t > a ∧ t < b).
+	dur := Between("t", 2, 8)
+	cases := []struct {
+		f, g Formula
+		want bool
+	}{
+		{dur, Between("t", 0, 10), true},
+		{dur, Between("t", 3, 10), false},
+		{dur, dur, true},
+		{Between("t", 0, 10).Or(Between("t", 20, 30)), Between("t", 0, 30), true},
+		{Between("t", 0, 30), Between("t", 0, 10).Or(Between("t", 20, 30)), false},
+		{False(), dur, true},  // false entails everything
+		{dur, False(), false}, // nothing but false entails false
+		{dur, True(), true},
+		{True(), dur, false},
+		{FromAtom(VarCmp("t", Eq, 5)), Between("t", 0, 10), true},
+		{FromAtom(VarCmp("t", Ne, 5)), Between("t", 0, 10), false},
+		// Point vs open bound subtleties.
+		{Formula{Conj{VarCmp("t", Ge, 0), VarCmp("t", Le, 10)}}, Between("t", 0, 10), false},
+		{Between("t", 0, 10), Formula{Conj{VarCmp("t", Ge, 0), VarCmp("t", Le, 10)}}, true},
+	}
+	for _, tc := range cases {
+		if got := tc.f.Entails(tc.g); got != tc.want {
+			t.Errorf("(%v) ⇒ (%v) = %v, want %v", tc.f, tc.g, got, tc.want)
+		}
+	}
+}
+
+func TestSimplify(t *testing.T) {
+	// Overlapping disjuncts collapse via the interval canonical form.
+	f := Between("t", 0, 10).Or(Between("t", 5, 15)).Or(Between("t", -3, 1))
+	s := f.Simplify()
+	if len(s) != 1 {
+		t.Errorf("Simplify structure = %v", s)
+	}
+	if !s.Equivalent(Between("t", -3, 15)) {
+		t.Errorf("Simplify = %v, want equivalent of (-3,15)", s)
+	}
+	// Unsatisfiable disjuncts drop in the multi-variable path too.
+	mv := Formula{
+		Conj{NewAtom(V("x"), Lt, V("y")), NewAtom(V("y"), Lt, V("x"))}, // unsat
+		Conj{NewAtom(V("x"), Lt, V("y"))},
+	}
+	if got := mv.Simplify(); len(got) != 1 {
+		t.Errorf("multi-var Simplify = %v", got)
+	}
+	if got := False().Simplify(); !got.IsFalse() {
+		t.Errorf("Simplify(false) = %v", got)
+	}
+}
+
+func TestVars(t *testing.T) {
+	f := Formula{
+		Conj{NewAtom(V("x"), Lt, V("y")), VarCmp("t", Gt, 0)},
+		Conj{NewAtom(V("y"), Le, C(3))},
+	}
+	got := f.Vars()
+	want := []string{"t", "x", "y"}
+	if len(got) != len(want) {
+		t.Fatalf("Vars = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Vars = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestBetweenAndDurationHelpers(t *testing.T) {
+	g, err := IntervalOf(Between("t", 1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Equal(interval.New(interval.Open(1, 2))) {
+		t.Errorf("IntervalOf = %v", g)
+	}
+	f := DurationFormula(interval.FromPairs(0, 5))
+	if !f.Equivalent(Formula{Conj{VarCmp("t", Ge, 0), VarCmp("t", Le, 5)}}) {
+		t.Errorf("DurationFormula = %v", f)
+	}
+}

@@ -1,0 +1,200 @@
+package constraint
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// genFormula draws a random single-variable DNF over "t" with small
+// integer bounds, so equalities and adjacencies occur often.
+func genFormula(r *rand.Rand) Formula {
+	nDisj := 1 + r.Intn(3)
+	f := make(Formula, 0, nDisj)
+	ops := []Op{Lt, Le, Eq, Ne, Ge, Gt}
+	for i := 0; i < nDisj; i++ {
+		nAtoms := r.Intn(3) + 1
+		c := make(Conj, 0, nAtoms)
+		for j := 0; j < nAtoms; j++ {
+			c = append(c, VarCmp("t", ops[r.Intn(len(ops))], float64(r.Intn(11)-5)))
+		}
+		f = append(f, c)
+	}
+	return f
+}
+
+type quickFormula struct{ F Formula }
+
+func (quickFormula) Generate(r *rand.Rand, _ int) reflect.Value {
+	return reflect.ValueOf(quickFormula{F: genFormula(r)})
+}
+
+var cfg = &quick.Config{MaxCount: 300}
+
+func TestPropEntailmentReflexiveTransitive(t *testing.T) {
+	f := func(a, b, c quickFormula) bool {
+		if !a.F.Entails(a.F) {
+			return false
+		}
+		if a.F.Entails(b.F) && b.F.Entails(c.F) && !a.F.Entails(c.F) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropSimplifyPreservesSemantics(t *testing.T) {
+	f := func(a quickFormula) bool {
+		s := a.F.Simplify()
+		return s.Equivalent(a.F)
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropIntervalConversionMatchesEval(t *testing.T) {
+	// The interval of solutions and direct evaluation must agree on a
+	// sampling grid (half-integers catch open/closed boundary bugs).
+	f := func(a quickFormula) bool {
+		g, err := a.F.ToInterval("t")
+		if err != nil {
+			return false
+		}
+		for p := -6.0; p <= 6; p += 0.5 {
+			want, err := a.F.Eval(map[string]float64{"t": p})
+			if err != nil {
+				return false
+			}
+			if g.Contains(p) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropAndOrSemantics(t *testing.T) {
+	f := func(a, b quickFormula) bool {
+		and := a.F.And(b.F)
+		or := a.F.Or(b.F)
+		for p := -6.0; p <= 6; p += 1 {
+			val := map[string]float64{"t": p}
+			av, _ := a.F.Eval(val)
+			bv, _ := b.F.Eval(val)
+			andv, _ := and.Eval(val)
+			orv, _ := or.Eval(val)
+			if andv != (av && bv) || orv != (av || bv) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropSatisfiableIffNonEmptyInterval(t *testing.T) {
+	f := func(a quickFormula) bool {
+		g, err := a.F.ToInterval("t")
+		if err != nil {
+			return false
+		}
+		return a.F.Satisfiable() == !g.IsEmpty()
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropEntailmentAgreesWithIntervals(t *testing.T) {
+	// For single-variable formulas, Entails must coincide with interval
+	// containment — this cross-checks the generic solver path against the
+	// exact interval path.
+	f := func(a, b quickFormula) bool {
+		ga, err1 := a.F.ToInterval("t")
+		gb, err2 := b.F.ToInterval("t")
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		// Force the generic path by bypassing the single-var shortcut:
+		// check each satisfiable disjunct with conjEntails directly.
+		generic := true
+		for _, cf := range a.F {
+			if !conjSatisfiable(cf) {
+				continue
+			}
+			if !conjEntails(cf, b.F) {
+				generic = false
+				break
+			}
+		}
+		want := gb.ContainsGen(ga)
+		return generic == want && a.F.Entails(b.F) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropSetClosureSoundness(t *testing.T) {
+	// Random small set-order conjunctions over universe {a,b,c} and
+	// variables X,Y: if satisfiable, the closure's lower bounds themselves
+	// form a solution whenever every variable has a finite upper bound or
+	// none; check that the lower-bound assignment satisfies the conjunction.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		univ := []string{"a", "b", "c"}
+		vars := []string{"X", "Y"}
+		n := 1 + r.Intn(4)
+		var cjs SetConj
+		for i := 0; i < n; i++ {
+			switch r.Intn(4) {
+			case 0:
+				cjs = append(cjs, Member(univ[r.Intn(3)], vars[r.Intn(2)]))
+			case 1:
+				cjs = append(cjs, Subset(SetVar(vars[r.Intn(2)]), SetLit(univ[r.Intn(3)], univ[r.Intn(3)])))
+			case 2:
+				cjs = append(cjs, Subset(SetLit(univ[r.Intn(3)]), SetVar(vars[r.Intn(2)])))
+			default:
+				cjs = append(cjs, Subset(SetVar(vars[r.Intn(2)]), SetVar(vars[r.Intn(2)])))
+			}
+		}
+		cl := closeConj(cjs)
+		if !cl.sat {
+			// Verify genuine unsatisfiability by enumeration over the universe.
+			subsets := [][]string{{}, {"a"}, {"b"}, {"c"}, {"a", "b"}, {"a", "c"}, {"b", "c"}, {"a", "b", "c"}}
+			for _, xs := range subsets {
+				for _, ys := range subsets {
+					ok, _ := cjs.Eval(map[string][]string{"X": xs, "Y": ys})
+					if ok {
+						return false // solver said unsat but a model exists
+					}
+				}
+			}
+			return true
+		}
+		// Build the minimal (lower-bound) assignment and check it.
+		val := map[string][]string{"X": nil, "Y": nil}
+		for v, b := range cl.vars {
+			var elems []string
+			for e := range b.lower {
+				elems = append(elems, e)
+			}
+			val[v] = elems
+		}
+		ok, err := cjs.Eval(val)
+		return err == nil && ok
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,153 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"videodb/internal/object"
+)
+
+// Aggregation helpers over result sets — a lightweight realization of the
+// aggregation abstraction the paper's conclusion lists as future work.
+// They operate on the already-computed distinct answers, so they compose
+// with any query the language can express.
+
+// Count returns the number of distinct answers.
+func (rs *ResultSet) Count() int { return len(rs.Rows) }
+
+// Column returns the values of the named column.
+func (rs *ResultSet) Column(name string) ([]object.Value, error) {
+	idx := -1
+	for i, c := range rs.Columns {
+		if c == name {
+			idx = i
+		}
+	}
+	if idx < 0 {
+		return nil, fmt.Errorf("core: no column %q (have %v)", name, rs.Columns)
+	}
+	out := make([]object.Value, len(rs.Rows))
+	for i, row := range rs.Rows {
+		out[i] = row[idx]
+	}
+	return out, nil
+}
+
+// numericColumn extracts the column and requires every value numeric.
+func (rs *ResultSet) numericColumn(name string) ([]float64, error) {
+	vals, err := rs.Column(name)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(vals))
+	for i, v := range vals {
+		n, ok := v.AsNumber()
+		if !ok {
+			return nil, fmt.Errorf("core: column %q has non-numeric value %s", name, v)
+		}
+		out[i] = n
+	}
+	return out, nil
+}
+
+// Sum returns the sum of a numeric column (0 for no rows).
+func (rs *ResultSet) Sum(column string) (float64, error) {
+	ns, err := rs.numericColumn(column)
+	if err != nil {
+		return 0, err
+	}
+	var s float64
+	for _, n := range ns {
+		s += n
+	}
+	return s, nil
+}
+
+// Min returns the minimum of a numeric column (+Inf for no rows).
+func (rs *ResultSet) Min(column string) (float64, error) {
+	ns, err := rs.numericColumn(column)
+	if err != nil {
+		return 0, err
+	}
+	m := math.Inf(1)
+	for _, n := range ns {
+		if n < m {
+			m = n
+		}
+	}
+	return m, nil
+}
+
+// Max returns the maximum of a numeric column (-Inf for no rows).
+func (rs *ResultSet) Max(column string) (float64, error) {
+	ns, err := rs.numericColumn(column)
+	if err != nil {
+		return 0, err
+	}
+	m := math.Inf(-1)
+	for _, n := range ns {
+		if n > m {
+			m = n
+		}
+	}
+	return m, nil
+}
+
+// GroupCount groups the answers by the named column and returns the
+// distinct-answer count per group, sorted by the canonical order of the
+// group values.
+func (rs *ResultSet) GroupCount(column string) ([]Group, error) {
+	vals, err := rs.Column(column)
+	if err != nil {
+		return nil, err
+	}
+	byKey := map[string]*Group{}
+	var order []string
+	for _, v := range vals {
+		k := v.String()
+		g, ok := byKey[k]
+		if !ok {
+			g = &Group{Key: v}
+			byKey[k] = g
+			order = append(order, k)
+		}
+		g.Count++
+	}
+	sort.Strings(order)
+	out := make([]Group, len(order))
+	for i, k := range order {
+		out[i] = *byKey[k]
+	}
+	return out, nil
+}
+
+// Group is one bucket of GroupCount.
+type Group struct {
+	Key   object.Value
+	Count int
+}
+
+// TotalScreenTime sums the durations of interval-object answers in the
+// named column — the archive question "how long is X on screen overall",
+// computed from generalized intervals without double counting (each
+// answer's duration is already a union of fragments).
+func (rs *ResultSet) TotalScreenTime(column string) (float64, error) {
+	vals, err := rs.Column(column)
+	if err != nil {
+		return 0, err
+	}
+	var total float64
+	for _, v := range vals {
+		oid, ok := v.AsRef()
+		if !ok {
+			return 0, fmt.Errorf("core: column %q has non-reference value %s", column, v)
+		}
+		o := rs.Object(oid)
+		if o == nil {
+			return 0, fmt.Errorf("core: no object %q", oid)
+		}
+		total += o.Duration().Duration()
+	}
+	return total, nil
+}

@@ -1,0 +1,176 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"videodb/internal/interval"
+	"videodb/internal/object"
+)
+
+func scoreDB(t *testing.T) *DB {
+	t.Helper()
+	db := New()
+	data := []struct {
+		oid   object.OID
+		team  string
+		score float64
+	}{
+		{"p1", "red", 10}, {"p2", "red", 20}, {"p3", "blue", 5}, {"p4", "blue", 7},
+		{"p5", "blue", 7},
+	}
+	for _, d := range data {
+		if err := db.PutEntity(d.oid, map[string]object.Value{
+			"team":  object.Str(d.team),
+			"score": object.Num(d.score),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+func TestAggregates(t *testing.T) {
+	db := scoreDB(t)
+	rs, err := db.Query("?- Object(O), O.team = T, O.score = S.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Count() != 5 {
+		t.Fatalf("Count = %d", rs.Count())
+	}
+	if sum, err := rs.Sum("S"); err != nil || sum != 49 {
+		t.Errorf("Sum = %v, %v", sum, err)
+	}
+	if min, err := rs.Min("S"); err != nil || min != 5 {
+		t.Errorf("Min = %v, %v", min, err)
+	}
+	if max, err := rs.Max("S"); err != nil || max != 20 {
+		t.Errorf("Max = %v, %v", max, err)
+	}
+	groups, err := rs.GroupCount("T")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 2 {
+		t.Fatalf("groups = %v", groups)
+	}
+	if k, _ := groups[0].Key.AsString(); k != "blue" || groups[0].Count != 3 {
+		t.Errorf("group 0 = %+v", groups[0])
+	}
+	if k, _ := groups[1].Key.AsString(); k != "red" || groups[1].Count != 2 {
+		t.Errorf("group 1 = %+v", groups[1])
+	}
+
+	// Errors.
+	if _, err := rs.Sum("nope"); err == nil || !strings.Contains(err.Error(), "no column") {
+		t.Errorf("Sum(nope) err = %v", err)
+	}
+	if _, err := rs.Sum("T"); err == nil || !strings.Contains(err.Error(), "non-numeric") {
+		t.Errorf("Sum(T) err = %v", err)
+	}
+
+	// Empty result set.
+	empty, err := db.Query(`?- Object(O), O.team = "green", O.score = S.`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if empty.Count() != 0 {
+		t.Fatal("expected no rows")
+	}
+	if s, _ := empty.Sum("S"); s != 0 {
+		t.Errorf("empty Sum = %v", s)
+	}
+	if m, _ := empty.Min("S"); !math.IsInf(m, 1) {
+		t.Errorf("empty Min = %v", m)
+	}
+	if m, _ := empty.Max("S"); !math.IsInf(m, -1) {
+		t.Errorf("empty Max = %v", m)
+	}
+}
+
+func TestTotalScreenTime(t *testing.T) {
+	db := New()
+	if err := db.PutInterval("g1", interval.FromPairs(0, 10, 20, 25), map[string]object.Value{
+		object.AttrEntities: object.RefSet("a"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.PutInterval("g2", interval.FromPairs(100, 130), map[string]object.Value{
+		object.AttrEntities: object.RefSet("a"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	db.PutEntity("a", nil)
+	rs, err := db.Query("?- Interval(G), a in G.entities.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	total, err := rs.TotalScreenTime("G")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 45 { // 15 + 30
+		t.Errorf("TotalScreenTime = %v", total)
+	}
+	if _, err := rs.TotalScreenTime("missing"); err == nil {
+		t.Error("expected column error")
+	}
+}
+
+func TestQueryComparisonBindsColumns(t *testing.T) {
+	// The query "O.team = T" binds T through the comparison? No — filters
+	// do not bind. This documents the behaviour: such a query must be
+	// written with the attribute projected through a rule or bound
+	// otherwise; parsing succeeds but validation rejects the unbound
+	// variable.
+	db := scoreDB(t)
+	_, err := db.Query("?- O.team = T.")
+	if err == nil {
+		t.Error("comparison-only query should be rejected as unsafe")
+	}
+}
+
+func TestExplainThroughDB(t *testing.T) {
+	db := scoreDB(t)
+	if err := db.DefineRule("peer(X, Y) :- Object(X), Object(Y), X.team = Y.team, X != Y"); err != nil {
+		t.Fatal(err)
+	}
+	out, err := db.Explain("?- peer(p1, Y), Y.score = S.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"stratum 0", "peer(X, Y)", "query_0", "assign S"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Explain missing %q:\n%s", want, out)
+		}
+	}
+	if _, err := db.Explain("?- broken("); err == nil {
+		t.Error("Explain should propagate parse errors")
+	}
+}
+
+func TestWhyThroughDB(t *testing.T) {
+	db := buildRope(t)
+	if err := db.DefineRule(
+		"contains(G1, G2) :- Interval(G1), Interval(G2), G2.duration => G1.duration"); err != nil {
+		t.Fatal(err)
+	}
+	out, err := db.Why("contains(gi1, gi1).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "contains(gi1, gi1)") || !strings.Contains(out, "gi1.duration => gi1.duration") {
+		t.Errorf("Why output:\n%s", out)
+	}
+	if _, err := db.Why("contains(G1, G2)."); err == nil {
+		t.Error("non-ground atom should be rejected")
+	}
+	if _, err := db.Why("Interval(G), contains(G, G)."); err == nil {
+		t.Error("conjunctive query should be rejected")
+	}
+	if _, err := db.Why("broken("); err == nil {
+		t.Error("parse error should propagate")
+	}
+}

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"videodb/internal/constraint"
+	"videodb/internal/datalog"
+	"videodb/internal/object"
+)
+
+// Taxonomy is the classification extension sketched in the paper's
+// conclusion (abstraction mechanisms: classification/generalization): a
+// class hierarchy over semantic objects. Objects declare their class in
+// the "class" attribute; the taxonomy contributes instance_of rules to
+// every query, so class membership — including inherited membership — is
+// queryable from VideoQL:
+//
+//	?- instance_of(O, "person").
+type Taxonomy struct {
+	parent map[string]string
+}
+
+// ClassAttr is the attribute carrying an object's declared class.
+const ClassAttr = "class"
+
+// InstanceOfPred is the derived predicate contributed by the taxonomy.
+const InstanceOfPred = "instance_of"
+
+// NewTaxonomy creates an empty taxonomy.
+func NewTaxonomy() *Taxonomy {
+	return &Taxonomy{parent: make(map[string]string)}
+}
+
+// Define declares a class with an optional parent (empty for a root).
+// Cycles are rejected.
+func (t *Taxonomy) Define(class, parent string) error {
+	if class == "" {
+		return fmt.Errorf("core: class name must be non-empty")
+	}
+	if parent != "" {
+		for p := parent; p != ""; p = t.parent[p] {
+			if p == class {
+				return fmt.Errorf("core: class cycle: %s would be its own ancestor", class)
+			}
+		}
+	}
+	t.parent[class] = parent
+	return nil
+}
+
+// IsA reports whether class equals or descends from ancestor.
+func (t *Taxonomy) IsA(class, ancestor string) bool {
+	for c := class; c != ""; c = t.parent[c] {
+		if c == ancestor {
+			return true
+		}
+		if _, ok := t.parent[c]; !ok {
+			return false
+		}
+	}
+	return false
+}
+
+// Classes returns the declared class names, sorted.
+func (t *Taxonomy) Classes() []string {
+	out := make([]string, 0, len(t.parent))
+	for c := range t.parent {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Rules generates the instance_of program fragment: direct membership
+// from the class attribute, plus propagation to ancestors.
+func (t *Taxonomy) Rules() []datalog.Rule {
+	var rules []datalog.Rule
+	for _, c := range t.Classes() {
+		cval := datalog.Const(object.Str(c))
+		rules = append(rules, datalog.NewRule(
+			datalog.Rel(InstanceOfPred, datalog.Var("O"), cval),
+			datalog.ObjectAtom(datalog.Var("O")),
+			datalog.Cmp(datalog.AttrOp(datalog.Var("O"), ClassAttr),
+				constraint.Eq, datalog.TermOp(cval)),
+		))
+		if p := t.parent[c]; p != "" {
+			rules = append(rules, datalog.NewRule(
+				datalog.Rel(InstanceOfPred, datalog.Var("O"), datalog.Const(object.Str(p))),
+				datalog.Rel(InstanceOfPred, datalog.Var("O"), cval),
+			))
+		}
+	}
+	return rules
+}
+
+// --- DB-level classification API ------------------------------------------------
+
+// DefineClass declares a class in the database's taxonomy.
+func (db *DB) DefineClass(class, parent string) error {
+	return db.taxonomy.Define(class, parent)
+}
+
+// Taxonomy exposes the database's taxonomy.
+func (db *DB) Taxonomy() *Taxonomy { return db.taxonomy }
+
+// AssignClass sets the object's class attribute.
+func (db *DB) AssignClass(oid object.OID, class string) error {
+	return db.st.Update(oid, func(o *object.Object) error {
+		o.Set(ClassAttr, object.Str(class))
+		return nil
+	})
+}
+
+// InstancesOf returns the oids of objects whose class equals or descends
+// from the given class, via the instance_of derived predicate.
+func (db *DB) InstancesOf(class string) ([]object.OID, error) {
+	rs, err := db.QueryAtom(datalog.Rel(InstanceOfPred,
+		datalog.Var("O"), datalog.Const(object.Str(class))))
+	if err != nil {
+		return nil, err
+	}
+	return rs.OIDs()
+}

@@ -1,0 +1,377 @@
+package core
+
+import (
+	"path/filepath"
+	"testing"
+
+	"videodb/internal/interval"
+	"videodb/internal/object"
+)
+
+// buildRope models the paper's worked example through the public API.
+func buildRope(t testing.TB) *DB {
+	t.Helper()
+	db := New()
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(db.PutInterval("gi1", interval.New(interval.Open(0, 30)), map[string]object.Value{
+		object.AttrEntities: object.RefSet("o1", "o2", "o3", "o4"),
+		"subject":           object.Str("murder"),
+		"victim":            object.Ref("o1"),
+		"murderer":          object.RefSet("o2", "o3"),
+	}))
+	must(db.PutInterval("gi2", interval.New(interval.Open(40, 80)), map[string]object.Value{
+		object.AttrEntities: object.RefSet("o1", "o2", "o3", "o4", "o5", "o6", "o7", "o8", "o9"),
+		"subject":           object.Str("Giving a party"),
+		"host":              object.RefSet("o2", "o3"),
+		"guest":             object.RefSet("o5", "o6", "o7", "o8", "o9"),
+	}))
+	people := map[object.OID]map[string]object.Value{
+		"o1": {"name": object.Str("David"), "role": object.Str("Victim")},
+		"o2": {"name": object.Str("Philip"), "realname": object.Str("Farley Granger"), "role": object.Str("Murderer")},
+		"o3": {"name": object.Str("Brandon"), "realname": object.Str("John Dall"), "role": object.Str("Murderer")},
+		"o4": {"identification": object.Str("Chest")},
+		"o5": {"name": object.Str("Janet")},
+		"o6": {"name": object.Str("Kenneth")},
+		"o7": {"name": object.Str("Mr.Kentley")},
+		"o8": {"name": object.Str("Mrs.Atwater")},
+		"o9": {"name": object.Str("Rupert Cadell")},
+	}
+	for oid, attrs := range people {
+		must(db.PutEntity(oid, attrs))
+	}
+	db.Relate("in", "o1", "o4", "gi1")
+	db.Relate("in", "o1", "o4", "gi2")
+	return db
+}
+
+func TestModelingAPI(t *testing.T) {
+	db := buildRope(t)
+	if got := db.Intervals(); len(got) != 2 {
+		t.Errorf("Intervals = %v", got)
+	}
+	if got := db.Entities(); len(got) != 9 {
+		t.Errorf("Entities = %v", got)
+	}
+	if db.Object("gi1") == nil || db.Object("nope") != nil {
+		t.Error("Object lookup")
+	}
+	// Attach extends λ1.
+	if err := db.PutEntity("o10", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Attach("gi1", "o10"); err != nil {
+		t.Fatal(err)
+	}
+	ents := db.Object("gi1").Entities()
+	if len(ents) != 5 {
+		t.Errorf("after Attach: %v", ents)
+	}
+	if err := db.Attach("o1", "o2"); err == nil {
+		t.Error("Attach to an entity should fail")
+	}
+	if err := db.Attach("missing", "o2"); err == nil {
+		t.Error("Attach to a missing object should fail")
+	}
+}
+
+func TestQueryTextEndToEnd(t *testing.T) {
+	db := buildRope(t)
+	rs, err := db.Query(`?- Interval(G), Object(O), O in G.entities, O.name = "David".`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Columns) != 2 || rs.Columns[0] != "G" || rs.Columns[1] != "O" {
+		t.Errorf("Columns = %v", rs.Columns)
+	}
+	if len(rs.Rows) != 2 {
+		t.Fatalf("Rows = %v", rs.Rows)
+	}
+	g, _ := rs.Rows[0][0].AsRef()
+	if g != "gi1" {
+		t.Errorf("first row = %v", rs.Rows[0])
+	}
+}
+
+func TestDefineRuleAndQuery(t *testing.T) {
+	db := buildRope(t)
+	if err := db.DefineRule(
+		"together(O1, O2, G) :- Interval(G), Object(O1), Object(O2), " +
+			"O1 in G.entities, O2 in G.entities, O1 != O2"); err != nil {
+		t.Fatal(err)
+	}
+	// Defining the same rule twice is a no-op.
+	if err := db.DefineRule(
+		"together(O1, O2, G) :- Interval(G), Object(O1), Object(O2), " +
+			"O1 in G.entities, O2 in G.entities, O1 != O2"); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(db.Rules().Rules); got != 1 {
+		t.Errorf("rules = %d, want 1 (dedup)", got)
+	}
+	rs, err := db.Query("?- together(o1, O, gi1).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	oids, err := rs.OIDs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(oids) != 3 || oids[0] != "o2" || oids[2] != "o4" {
+		t.Errorf("together with o1 in gi1 = %v", oids)
+	}
+	if err := db.DefineRule("broken(X) :- "); err == nil {
+		t.Error("bad rule text should fail")
+	}
+	if err := db.DefineRule("unsafe(X) :- p(Y)"); err == nil {
+		t.Error("unsafe rule should fail")
+	}
+}
+
+func TestLoadScript(t *testing.T) {
+	db := New()
+	results, err := db.LoadScript(`
+interval g1 { duration: [0, 10], entities: {a, b} }.
+interval g2 { duration: [20, 30], entities: {b} }.
+object a { name: "Reporter" }.
+object b { name: "Minister" }.
+appears(O, G) :- Interval(G), Object(O), O in G.entities.
+?- appears(b, G).
+?- appears(O, g1).
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("results = %d", len(results))
+	}
+	oids, err := results[0].OIDs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(oids) != 2 || oids[0] != "g1" || oids[1] != "g2" {
+		t.Errorf("appears(b, G) = %v", oids)
+	}
+	oids, err = results[1].OIDs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(oids) != 2 || oids[0] != "a" || oids[1] != "b" {
+		t.Errorf("appears(O, g1) = %v", oids)
+	}
+}
+
+func TestConstructiveQueryThroughDB(t *testing.T) {
+	db := buildRope(t)
+	if err := db.DefineRule(
+		"montage(G1 + G2) :- Interval(G1), Interval(G2), " +
+			"{o1, o2} subset G1.entities, {o1, o2} subset G2.entities"); err != nil {
+		t.Fatal(err)
+	}
+	rs, err := db.Query("?- montage(G).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Rows) != 3 { // gi1, gi2, gi1+gi2
+		t.Errorf("montage = %v", rs.Rows)
+	}
+	if len(rs.Created) != 1 || rs.Created[0].OID() != "gi1+gi2" {
+		t.Fatalf("Created = %v", rs.Created)
+	}
+	// The created object resolves through the result set.
+	o := rs.Object("gi1+gi2")
+	if o == nil || !o.Duration().Equal(interval.New(interval.Open(0, 30), interval.Open(40, 80))) {
+		t.Errorf("created object = %v", o)
+	}
+	if rs.Stats.Created != 1 {
+		t.Errorf("stats = %+v", rs.Stats)
+	}
+}
+
+func TestCompose(t *testing.T) {
+	db := buildRope(t)
+	oid, err := db.Compose("gi1", "gi2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oid != "gi1+gi2" {
+		t.Errorf("Compose oid = %s", oid)
+	}
+	o := db.Object(oid)
+	if o == nil {
+		t.Fatal("composed object not stored")
+	}
+	if !o.Duration().Equal(interval.New(interval.Open(0, 30), interval.Open(40, 80))) {
+		t.Errorf("composed duration = %v", o.Duration())
+	}
+	// Idempotent: same set -> same oid.
+	oid2, err := db.Compose("gi2", "gi1", "gi1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oid2 != oid {
+		t.Errorf("Compose not canonical: %s vs %s", oid2, oid)
+	}
+	// Single interval composes to itself.
+	self, err := db.Compose("gi1")
+	if err != nil || self != "gi1" {
+		t.Errorf("Compose single = %s, %v", self, err)
+	}
+	if _, err := db.Compose(); err == nil {
+		t.Error("empty Compose should fail")
+	}
+	if _, err := db.Compose("o1"); err == nil {
+		t.Error("composing an entity should fail")
+	}
+	if _, err := db.Compose("zzz"); err == nil {
+		t.Error("composing a missing object should fail")
+	}
+}
+
+func TestPersistenceThroughDB(t *testing.T) {
+	db := buildRope(t)
+	path := filepath.Join(t.TempDir(), "rope.json")
+	if err := db.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	fresh := New()
+	if err := fresh.LoadFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if len(fresh.Intervals()) != 2 || len(fresh.Entities()) != 9 {
+		t.Error("snapshot round trip lost objects")
+	}
+	rs, err := fresh.Query("?- in(X, Y, gi1).")
+	if err != nil || len(rs.Rows) != 1 {
+		t.Errorf("facts after load: %v, %v", rs, err)
+	}
+}
+
+func TestClassification(t *testing.T) {
+	db := buildRope(t)
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(db.DefineClass("person", ""))
+	must(db.DefineClass("actor", "person"))
+	must(db.DefineClass("prop", ""))
+	must(db.AssignClass("o1", "actor"))
+	must(db.AssignClass("o2", "actor"))
+	must(db.AssignClass("o4", "prop"))
+
+	actors, err := db.InstancesOf("actor")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(actors) != 2 || actors[0] != "o1" || actors[1] != "o2" {
+		t.Errorf("actors = %v", actors)
+	}
+	// Inherited membership.
+	people, err := db.InstancesOf("person")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(people) != 2 {
+		t.Errorf("people = %v", people)
+	}
+	props, err := db.InstancesOf("prop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(props) != 1 || props[0] != "o4" {
+		t.Errorf("props = %v", props)
+	}
+	// instance_of is usable inside VideoQL queries too.
+	rs, err := db.Query(`?- Interval(G), Object(O), O in G.entities, instance_of(O, "prop").`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Rows) != 2 { // chest appears in gi1 and gi2
+		t.Errorf("prop appearances = %v", rs.Rows)
+	}
+	// Taxonomy guards.
+	if err := db.DefineClass("", ""); err == nil {
+		t.Error("empty class name should fail")
+	}
+	if err := db.DefineClass("person", "actor"); err == nil {
+		t.Error("cycle should fail")
+	}
+	if !db.Taxonomy().IsA("actor", "person") || db.Taxonomy().IsA("person", "actor") {
+		t.Error("IsA")
+	}
+}
+
+func TestPresentation(t *testing.T) {
+	db := New()
+	if err := db.PutInterval("g1", interval.FromPairs(20, 30, 0, 5), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.PutInterval("g2", interval.FromPairs(10, 15), nil); err != nil {
+		t.Fatal(err)
+	}
+	edl, err := db.Presentation("g1", "g2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(edl) != 3 {
+		t.Fatalf("EDL = %v", edl)
+	}
+	if edl[0].Source != "g1" || edl[0].Span.Lo != 0 {
+		t.Errorf("cue 0 = %v", edl[0])
+	}
+	if edl[1].Source != "g2" || edl[2].Source != "g1" {
+		t.Errorf("EDL order = %v", edl)
+	}
+	if got := edl.Runtime(); got != 20 {
+		t.Errorf("Runtime = %v", got)
+	}
+	if _, err := db.Presentation("missing"); err == nil {
+		t.Error("missing source should fail")
+	}
+	db.PutEntity("e", nil)
+	if _, err := db.Presentation("e"); err == nil {
+		t.Error("entity source should fail")
+	}
+	if s := edl.String(); s == "" {
+		t.Error("EDL String")
+	}
+}
+
+func TestEDLCompact(t *testing.T) {
+	db := New()
+	if err := db.PutInterval("g1", interval.FromPairs(100, 110, 200, 205), nil); err != nil {
+		t.Fatal(err)
+	}
+	edl, err := db.Presentation("g1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	compact, err := edl.Compact(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(compact) != 2 {
+		t.Fatalf("compact = %v", compact)
+	}
+	if compact[0].Span.Lo != 0 || compact[0].Span.Hi != 10 {
+		t.Errorf("cue 0 = %v", compact[0])
+	}
+	if compact[1].Span.Lo != 10 || compact[1].Span.Hi != 15 {
+		t.Errorf("cue 1 = %v", compact[1])
+	}
+	if compact.Runtime() != edl.Runtime() {
+		t.Errorf("runtime changed: %v vs %v", compact.Runtime(), edl.Runtime())
+	}
+	// Unbounded cues are rejected.
+	bad := EDL{{Span: interval.Above(0), Source: "g1"}}
+	if _, err := bad.Compact(0); err == nil {
+		t.Error("unbounded cue should fail")
+	}
+}

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"fmt"
+
+	"videodb/internal/datalog"
+	"videodb/internal/object"
+	"videodb/internal/parser"
+	"videodb/internal/store"
+)
+
+// Open opens (or creates) a durable video database in dir: mutations are
+// written to a write-ahead log and recovered on the next Open; call
+// Checkpoint to compact the log into a snapshot and Close before exiting.
+// Rules are program source, not data — re-add them (or reload scripts)
+// after opening.
+func Open(dir string, opts ...store.DurableOption) (*DB, error) {
+	st, err := store.OpenDurable(dir, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return New(WithStore(st)), nil
+}
+
+// Checkpoint compacts the durable database's log into a snapshot.
+func (db *DB) Checkpoint() error { return db.st.Checkpoint() }
+
+// Close flushes and closes the durable database (no-op for in-memory
+// databases).
+func (db *DB) Close() error { return db.st.Close() }
+
+// Explain renders the evaluation strategy for the database's current
+// rules (plus the query's synthesized rule, if any) — strata, body
+// orders, index usage.
+func (db *DB) Explain(query string) (string, error) {
+	eng, _, err := db.engineFor(query)
+	if err != nil {
+		return "", err
+	}
+	return eng.Explain(), nil
+}
+
+// Why evaluates the program with provenance tracing and renders the
+// derivation tree of a ground atom, e.g. Why(`contains(gi1, gi3)`): the
+// answer to "why is this in the fixpoint?". The atom must be a single
+// ground relational atom.
+func (db *DB) Why(atomSrc string) (string, error) {
+	q, err := parser.ParseQuery(atomSrc)
+	if err != nil {
+		return "", err
+	}
+	if q.Rule != nil {
+		return "", fmt.Errorf("core: Why needs a single ground atom, got a conjunctive query")
+	}
+	args := make([]object.Value, len(q.Atom.Args))
+	for i, t := range q.Atom.Args {
+		if t.IsVar() || t.IsConcat() {
+			return "", fmt.Errorf("core: Why needs a ground atom (argument %d is %s)", i+1, t)
+		}
+		args[i] = t.Value()
+	}
+	rules := append([]datalog.Rule(nil), db.rules...)
+	rules = append(rules, db.taxonomy.Rules()...)
+	prog := datalog.NewProgram(rules...)
+	if !db.noPruning {
+		prog = prog.Reachable(q.Atom.Pred)
+	}
+	opts := append([]datalog.Option(nil), db.engOpts...)
+	opts = append(opts, datalog.TraceProvenance())
+	eng, err := datalog.NewEngine(db.st, prog, opts...)
+	if err != nil {
+		return "", err
+	}
+	return eng.Why(q.Atom.Pred, args...)
+}

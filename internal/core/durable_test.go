@@ -1,0 +1,62 @@
+package core
+
+import (
+	"testing"
+
+	"videodb/internal/interval"
+	"videodb/internal/object"
+)
+
+func TestDurableDB(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.PutEntity("o1", map[string]object.Value{"name": object.Str("David")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.PutInterval("gi1", interval.FromPairs(0, 30), map[string]object.Value{
+		object.AttrEntities: object.RefSet("o1"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	db.Relate("in", "o1", "gi1")
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.PutEntity("o2", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if len(re.Entities()) != 2 || len(re.Intervals()) != 1 {
+		t.Fatalf("recovered %v entities, %v intervals", re.Entities(), re.Intervals())
+	}
+	rs, err := re.Query("?- in(X, G).")
+	if err != nil || len(rs.Rows) != 1 {
+		t.Errorf("facts after recovery: %v %v", rs, err)
+	}
+	// Queries over recovered data behave normally.
+	rs, err = re.Query("?- Interval(G), o1 in G.entities.")
+	if err != nil || rs.Count() != 1 {
+		t.Errorf("query after recovery: %v %v", rs, err)
+	}
+}
+
+func TestInMemoryDBCloseNoop(t *testing.T) {
+	db := New()
+	if err := db.Close(); err != nil {
+		t.Errorf("Close = %v", err)
+	}
+	if err := db.Checkpoint(); err == nil {
+		t.Error("Checkpoint on in-memory DB should fail")
+	}
+}

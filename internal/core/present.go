@@ -1,0 +1,104 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"videodb/internal/interval"
+	"videodb/internal/object"
+)
+
+// Cue is one entry of an edit decision list: play the span, which comes
+// from the given source generalized interval.
+type Cue struct {
+	Span   interval.Span
+	Source object.OID
+}
+
+// String renders the cue, e.g. "gi1 [0,30)".
+func (c Cue) String() string { return fmt.Sprintf("%s %s", c.Source, c.Span) }
+
+// EDL is a playable edit decision list, the sequence-presentation helper
+// the paper's conclusion calls for: query answers (generalized interval
+// objects) ordered into a linear playback plan.
+type EDL []Cue
+
+// String renders the list, one cue per line.
+func (e EDL) String() string {
+	parts := make([]string, len(e))
+	for i, c := range e {
+		parts[i] = c.String()
+	}
+	return strings.Join(parts, "\n")
+}
+
+// Runtime returns the total playback time (the sum of cue lengths).
+func (e EDL) Runtime() float64 {
+	var d float64
+	for _, c := range e {
+		d += c.Span.Length()
+	}
+	return d
+}
+
+// Compact retimes the list into a gapless playback plan: cues keep their
+// order and lengths but start back-to-back at the given origin, as a
+// cutting room would splice the fragments. Unbounded cues are rejected.
+func (e EDL) Compact(origin float64) (EDL, error) {
+	out := make(EDL, len(e))
+	at := origin
+	for i, c := range e {
+		if !c.Span.IsBounded() {
+			return nil, fmt.Errorf("core: cue %d (%s) is unbounded", i, c)
+		}
+		length := c.Span.Length()
+		out[i] = Cue{
+			Span:   interval.ClosedOpen(at, at+length),
+			Source: c.Source,
+		}
+		at += length
+	}
+	return out, nil
+}
+
+// Presentation builds an edit decision list from generalized interval
+// objects: every fragment of every interval becomes a cue, ordered by
+// start time (ties by source oid). Objects are resolved against the
+// store; pass a ResultSet-resolved object list for ⊕-created intervals.
+func (db *DB) Presentation(oids ...object.OID) (EDL, error) {
+	objs := make([]*object.Object, 0, len(oids))
+	for _, oid := range oids {
+		o := db.st.Get(oid)
+		if o == nil {
+			return nil, fmt.Errorf("core: no object %q", oid)
+		}
+		objs = append(objs, o)
+	}
+	return PresentationOf(objs...)
+}
+
+// PresentationOf builds an edit decision list from already-resolved
+// interval objects (e.g. including ⊕-created ones from a ResultSet).
+func PresentationOf(objs ...*object.Object) (EDL, error) {
+	var edl EDL
+	for _, o := range objs {
+		if o.Kind() != object.GenInterval {
+			return nil, fmt.Errorf("core: %q is not a generalized interval", o.OID())
+		}
+		for _, s := range o.Duration().Spans() {
+			edl = append(edl, Cue{Span: s, Source: o.OID()})
+		}
+	}
+	sort.Slice(edl, func(i, j int) bool {
+		a, b := edl[i], edl[j]
+		if a.Span.Lo != b.Span.Lo {
+			return a.Span.Lo < b.Span.Lo
+		}
+		if a.Span.Hi != b.Span.Hi {
+			return a.Span.Hi < b.Span.Hi
+		}
+		return a.Source < b.Source
+	})
+	return edl, nil
+}

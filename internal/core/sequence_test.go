@@ -1,0 +1,132 @@
+package core
+
+import (
+	"testing"
+
+	"videodb/internal/interval"
+	"videodb/internal/object"
+)
+
+// ropeSequence rebuilds the worked example as one video document (the
+// paper's 7-tuple).
+func ropeSequence(t *testing.T) (*DB, *Sequence) {
+	t.Helper()
+	db := buildRope(t)
+	seq, err := db.CreateSequence("the_rope", map[string]object.Value{
+		"title": object.Str("The Rope"), "director": object.Str("Alfred Hitchcock"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := seq.Attach("gi1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := seq.Attach("gi2"); err != nil {
+		t.Fatal(err)
+	}
+	return db, seq
+}
+
+func TestSequenceTuple(t *testing.T) {
+	_, seq := ropeSequence(t)
+	v := seq.Tuple()
+
+	// I: the two generalized intervals.
+	if len(v.I) != 2 || v.I[0] != "gi1" || v.I[1] != "gi2" {
+		t.Errorf("I = %v", v.I)
+	}
+	// O: the nine semantic objects (union of λ1).
+	if len(v.O) != 9 || v.O[0] != "o1" || v.O[8] != "o9" {
+		t.Errorf("O = %v", v.O)
+	}
+	// f: atomic values include names, roles, subjects.
+	var sawDavid, sawMurder bool
+	for _, val := range v.F {
+		if s, ok := val.AsString(); ok {
+			if s == "David" {
+				sawDavid = true
+			}
+			if s == "murder" {
+				sawMurder = true
+			}
+		}
+	}
+	if !sawDavid || !sawMurder {
+		t.Errorf("F misses expected atoms: %v", v.F)
+	}
+	// R: the two in(o1, o4, gi) facts (part_of bookkeeping excluded).
+	if len(v.R) != 2 {
+		t.Errorf("R = %v", v.R)
+	}
+	// Σ and λ2 agree, indexed like I.
+	if len(v.Sigma) != 2 {
+		t.Fatalf("Sigma = %v", v.Sigma)
+	}
+	if !v.Sigma[0].Equal(interval.New(interval.Open(0, 30))) {
+		t.Errorf("Sigma[0] = %v", v.Sigma[0])
+	}
+	if !v.Lambda2["gi2"].Equal(interval.New(interval.Open(40, 80))) {
+		t.Errorf("Lambda2[gi2] = %v", v.Lambda2["gi2"])
+	}
+	// λ1 maps each interval to its entities.
+	if got := v.Lambda1["gi1"]; len(got) != 4 {
+		t.Errorf("Lambda1[gi1] = %v", got)
+	}
+	if got := v.Lambda1["gi2"]; len(got) != 9 {
+		t.Errorf("Lambda1[gi2] = %v", got)
+	}
+}
+
+func TestSequenceMembershipQueryable(t *testing.T) {
+	db, _ := ropeSequence(t)
+	// part_of facts participate in queries like any relation.
+	rs, err := db.Query("?- part_of(G, the_rope).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	oids, err := rs.OIDs()
+	if err != nil || len(oids) != 2 {
+		t.Errorf("part_of = %v, %v", oids, err)
+	}
+	// Cross-document isolation: a second sequence holds different intervals.
+	seq2, err := db.CreateSequence("other_film", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := seq2.AddInterval("x1", interval.FromPairs(0, 5), nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := seq2.Intervals(); len(got) != 1 || got[0] != "x1" {
+		t.Errorf("seq2 intervals = %v", got)
+	}
+	rs, err = db.Query("?- part_of(G, the_rope).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Rows) != 2 {
+		t.Errorf("the_rope gained intervals: %v", rs.Rows)
+	}
+}
+
+func TestSequenceErrors(t *testing.T) {
+	db, seq := ropeSequence(t)
+	if err := seq.Attach("o1"); err == nil {
+		t.Error("attaching an entity should fail")
+	}
+	if err := seq.Attach("zzz"); err == nil {
+		t.Error("attaching a missing object should fail")
+	}
+	if _, err := db.OpenSequence("gi1"); err == nil {
+		t.Error("opening a non-sequence should fail")
+	}
+	if _, err := db.OpenSequence("zzz"); err == nil {
+		t.Error("opening a missing sequence should fail")
+	}
+	re, err := db.OpenSequence("the_rope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.OID() != "the_rope" || len(re.Intervals()) != 2 {
+		t.Errorf("reopened sequence = %v", re.Intervals())
+	}
+}

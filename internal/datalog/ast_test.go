@@ -1,0 +1,203 @@
+package datalog
+
+import (
+	"strings"
+	"testing"
+
+	"videodb/internal/constraint"
+	"videodb/internal/object"
+)
+
+func TestTermBasics(t *testing.T) {
+	v := Var("X")
+	if !v.IsVar() || v.Name() != "X" || v.IsConcat() {
+		t.Error("Var basics")
+	}
+	c := Const(object.Num(3))
+	if c.IsVar() || !c.Value().Equal(object.Num(3)) {
+		t.Error("Const basics")
+	}
+	o := Oid("gi1")
+	if got, ok := o.Value().AsRef(); !ok || got != "gi1" {
+		t.Error("Oid basics")
+	}
+	cc := Concat(Var("G1"), Var("G2"))
+	if !cc.IsConcat() || cc.IsVar() {
+		t.Error("Concat basics")
+	}
+	if !cc.Value().IsNull() {
+		t.Error("Concat has no constant value")
+	}
+	if got := cc.String(); got != "G1 + G2" {
+		t.Errorf("Concat String = %q", got)
+	}
+	nested := Concat(cc, Var("G3"))
+	if got := nested.String(); got != "G1 + G2 + G3" {
+		t.Errorf("nested Concat String = %q", got)
+	}
+}
+
+func TestLiteralStrings(t *testing.T) {
+	cases := []struct {
+		lit  Literal
+		want string
+	}{
+		{Rel("in", Var("O1"), Var("O2"), Var("G")), "in(O1, O2, G)"},
+		{Interval(Var("G")), "Interval(G)"},
+		{ObjectAtom(Oid("o1")), "Object(o1)"},
+		{Cmp(AttrOp(Var("O"), "name"), constraint.Eq, TermOp(Const(object.Str("David")))),
+			`O.name = "David"`},
+		{Cmp(AttrOp(Var("O"), "a"), constraint.Lt, AttrOp(Var("P"), "b")), "O.a < P.b"},
+		{Member(TermOp(Var("O")), AttrOp(Var("G"), "entities")), "O in G.entities"},
+		{SubsetAtom(AttrOp(Var("G"), "entities"), TermOp(Oid("o1")), TermOp(Oid("o2"))),
+			"{o1, o2} subset G.entities"},
+		{Entails(AttrOp(Var("G2"), "duration"), AttrOp(Var("G1"), "duration")),
+			"G2.duration => G1.duration"},
+	}
+	for _, tc := range cases {
+		if got := tc.lit.String(); got != tc.want {
+			t.Errorf("String = %q, want %q", got, tc.want)
+		}
+	}
+}
+
+func TestRuleStringAndConstructive(t *testing.T) {
+	r := NewRule(
+		Rel("q", Var("G")),
+		Interval(Var("G")),
+		Member(TermOp(Oid("o1")), AttrOp(Var("G"), "entities")),
+	).Named("r1")
+	want := "r1: q(G) :- Interval(G), o1 in G.entities"
+	if got := r.String(); got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+	if r.IsConstructive() {
+		t.Error("plain rule is not constructive")
+	}
+	cr := NewRule(Rel("c", Concat(Var("G1"), Var("G2"))), Interval(Var("G1")), Interval(Var("G2")))
+	if !cr.IsConstructive() {
+		t.Error("concat head is constructive")
+	}
+}
+
+func TestRuleValidate(t *testing.T) {
+	ok := NewRule(
+		Rel("q", Var("O")),
+		Interval(Oid("gi1")),
+		ObjectAtom(Var("O")),
+		Member(TermOp(Var("O")), AttrOp(Oid("gi1"), "entities")),
+	)
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid rule rejected: %v", err)
+	}
+
+	// Head variable not in body.
+	bad := NewRule(Rel("q", Var("O"), Var("Z")), ObjectAtom(Var("O")))
+	if err := bad.Validate(); err == nil || !strings.Contains(err.Error(), "Z") {
+		t.Errorf("expected range-restriction error mentioning Z, got %v", err)
+	}
+
+	// Variable only in a constraint atom.
+	bad2 := NewRule(
+		Rel("q", Var("O")),
+		ObjectAtom(Var("O")),
+		Cmp(AttrOp(Var("O"), "n"), constraint.Lt, TermOp(Var("Limit"))),
+	)
+	if err := bad2.Validate(); err == nil || !strings.Contains(err.Error(), "Limit") {
+		t.Errorf("expected range-restriction error mentioning Limit, got %v", err)
+	}
+
+	// Constructive term in body.
+	bad3 := NewRule(
+		Rel("q", Var("G")),
+		Interval(Var("G")),
+		Rel("p", Concat(Var("G"), Var("G"))),
+	)
+	if err := bad3.Validate(); err == nil || !strings.Contains(err.Error(), "constructive") {
+		t.Errorf("expected constructive-in-body error, got %v", err)
+	}
+
+	// Empty head predicate.
+	bad4 := NewRule(RelAtom{Pred: ""})
+	if err := bad4.Validate(); err == nil {
+		t.Error("expected empty head error")
+	}
+
+	// Variables bound via head-only constants are fine; ground rule valid.
+	ground := NewRule(Rel("q", Oid("gi1")))
+	if err := ground.Validate(); err != nil {
+		t.Errorf("ground rule rejected: %v", err)
+	}
+}
+
+func TestProgramValidateAndIDB(t *testing.T) {
+	p := NewProgram(
+		NewRule(Rel("a", Var("X")), Rel("b", Var("X"))),
+		NewRule(Rel("c", Var("X")), Rel("a", Var("X"))),
+		NewRule(Rel("a", Var("X")), Rel("c", Var("X"))),
+	)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	idb := p.IDB()
+	if len(idb) != 2 || idb[0] != "a" || idb[1] != "c" {
+		t.Errorf("IDB = %v", idb)
+	}
+	if got := p.String(); !strings.Contains(got, "a(X) :- b(X)") {
+		t.Errorf("Program String = %q", got)
+	}
+	bad := NewProgram(NewRule(Rel("a", Var("Y")), Rel("b", Var("X"))))
+	if err := bad.Validate(); err == nil {
+		t.Error("program with unsafe rule should fail validation")
+	}
+}
+
+func TestVarsOf(t *testing.T) {
+	cases := []struct {
+		lit  Literal
+		want []string
+	}{
+		{Rel("p", Var("X"), Const(object.Num(1)), Var("Y"), Var("X")), []string{"X", "Y"}},
+		{Interval(Var("G")), []string{"G"}},
+		{Cmp(AttrOp(Var("A"), "x"), constraint.Lt, TermOp(Var("B"))), []string{"A", "B"}},
+		{Member(TermOp(Var("O")), AttrOp(Var("G"), "entities")), []string{"O", "G"}},
+		{Entails(AttrOp(Var("G1"), "duration"), AttrOp(Var("G2"), "duration")), []string{"G1", "G2"}},
+		{Not(Rel("p", Var("Z"))), []string{"Z"}},
+		{Temporal(AttrOp(Var("L"), "duration"), TempBefore, AttrOp(Var("R"), "duration")), []string{"L", "R"}},
+		{Rel("h", Concat(Var("A"), Var("B"))), []string{"A", "B"}},
+		{Rel("g", Oid("c")), nil},
+	}
+	for _, tc := range cases {
+		got := VarsOf(tc.lit)
+		if len(got) != len(tc.want) {
+			t.Errorf("VarsOf(%v) = %v, want %v", tc.lit, got, tc.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Errorf("VarsOf(%v) = %v, want %v", tc.lit, got, tc.want)
+				break
+			}
+		}
+	}
+}
+
+func TestParseTemporalRelNames(t *testing.T) {
+	for _, name := range []string{"before", "after", "meets", "metby", "overlaps", "equals", "contains", "during"} {
+		rel, ok := ParseTemporalRel(name)
+		if !ok || string(rel) != name {
+			t.Errorf("ParseTemporalRel(%q) = %v, %v", name, rel, ok)
+		}
+	}
+	if _, ok := ParseTemporalRel("in"); ok {
+		t.Error("'in' is not a temporal relation")
+	}
+	if _, ok := ParseTemporalRel(""); ok {
+		t.Error("empty string is not a temporal relation")
+	}
+	// String rendering of temporal atoms.
+	a := Temporal(AttrOp(Var("X"), "duration"), TempMeets, AttrOp(Var("Y"), "duration"))
+	if got := a.String(); got != "X.duration meets Y.duration" {
+		t.Errorf("String = %q", got)
+	}
+}

@@ -1,0 +1,1050 @@
+package datalog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"videodb/internal/constraint"
+	"videodb/internal/interval"
+	"videodb/internal/object"
+	"videodb/internal/store"
+	"videodb/internal/temporal"
+)
+
+// Engine evaluates a program bottom-up over a store, computing the least
+// fixpoint of the immediate consequence operator TP (Definition 22). The
+// engine snapshots the store's extensional database when Run is first
+// called; create a new engine to re-evaluate after store changes.
+type Engine struct {
+	st   *store.Store
+	prog Program
+	idb  map[string]bool
+
+	naive          bool
+	eager          bool
+	useMemberIndex bool
+	useJoinIndex   bool
+	maxRounds      int
+	maxCreated     int
+
+	derived map[string]*relation
+
+	// Extended active domain bookkeeping (Definition 20): objects created
+	// by the concatenation operator. created resolves oids immediately;
+	// activeCreated lists those visible to Interval class atoms this
+	// round; deltaCreated those that became visible at the last boundary.
+	created        map[object.OID]*object.Object
+	baseIDs        map[object.OID][]object.OID
+	concatKey      map[string]object.OID
+	activeCreated  []object.OID
+	deltaCreated   []object.OID
+	pendingCreated []object.OID
+
+	baseIntervals []object.OID
+	baseEntities  []object.OID
+	edbCache      map[string]*relation
+	edbKeys       map[string]map[string]bool // negation membership for EDB preds
+
+	// Stratification (negation extension): each rule runs in the stratum
+	// of its head predicate; lower strata are complete before a negated
+	// predicate is tested.
+	predStrata map[string]int
+	ruleStrata []int
+	maxStratum int
+	growsAt    []bool // stratum -> has constructive rules
+	curStratum int
+
+	intervalsGrow bool
+	ran           bool
+	stats         RunStats
+
+	// Provenance tracing (TraceProvenance).
+	trace bool
+	prov  map[string]*Derivation
+
+	// Parallel evaluation (Parallel): worker count and, on worker-local
+	// shallow copies, the private proposal buffer.
+	workers int
+	collect *[]proposal
+}
+
+// RunStats reports what a fixpoint computation did.
+type RunStats struct {
+	Rounds  int // TP iterations until fixpoint
+	Derived int // derived tuples (excluding EDB seeds)
+	Created int // generalized interval objects created by ⊕
+	Firings int // successful rule head instantiations (incl. duplicates)
+}
+
+// Option configures an Engine.
+type Option func(*Engine)
+
+// Naive switches to naive fixpoint iteration (every rule re-evaluated
+// against the full extent each round). Used by the E9 ablation and as a
+// differential-testing oracle for the default semi-naive evaluation.
+func Naive() Option { return func(e *Engine) { e.naive = true } }
+
+// EagerExtension materializes the full pairwise-concatenation closure of
+// the active interval domain each round, following Definition 19
+// literally (the extension D₃ᵉˣᵗ contains the concatenation of every pair
+// of generalized intervals). Exponential in the worst case; guarded by
+// MaxCreated.
+func EagerExtension() Option { return func(e *Engine) { e.eager = true } }
+
+// WithoutMemberIndex disables the planner's use of the store's
+// entity→interval inverted index for "o ∈ G.entities" generators (E10
+// ablation).
+func WithoutMemberIndex() Option { return func(e *Engine) { e.useMemberIndex = false } }
+
+// WithoutJoinIndex disables the per-relation hash index on bound
+// argument positions, forcing full scans in relational joins (E13
+// ablation).
+func WithoutJoinIndex() Option { return func(e *Engine) { e.useJoinIndex = false } }
+
+// MaxRounds bounds the number of TP iterations (a safety net; the
+// language guarantees termination, so hitting the bound is reported as an
+// error).
+func MaxRounds(n int) Option { return func(e *Engine) { e.maxRounds = n } }
+
+// MaxCreated bounds the number of ⊕-created objects.
+func MaxCreated(n int) Option { return func(e *Engine) { e.maxCreated = n } }
+
+// NewEngine validates the program and prepares an engine over the store.
+func NewEngine(st *store.Store, prog Program, opts ...Option) (*Engine, error) {
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	strata, maxStratum, err := stratify(prog)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		st:             st,
+		prog:           prog,
+		idb:            make(map[string]bool),
+		useMemberIndex: true,
+		useJoinIndex:   true,
+		maxRounds:      1 << 20,
+		maxCreated:     1 << 20,
+		derived:        make(map[string]*relation),
+		created:        make(map[object.OID]*object.Object),
+		baseIDs:        make(map[object.OID][]object.OID),
+		concatKey:      make(map[string]object.OID),
+		edbCache:       make(map[string]*relation),
+		edbKeys:        make(map[string]map[string]bool),
+		prov:           make(map[string]*Derivation),
+		predStrata:     strata,
+		maxStratum:     maxStratum,
+		growsAt:        make([]bool, maxStratum+1),
+	}
+	for _, pred := range prog.IDB() {
+		e.idb[pred] = true
+		e.derived[pred] = newRelation()
+	}
+	e.ruleStrata = make([]int, len(prog.Rules))
+	for i, r := range prog.Rules {
+		e.ruleStrata[i] = strata[r.Head.Pred]
+		if r.IsConstructive() {
+			e.intervalsGrow = true
+			e.growsAt[e.ruleStrata[i]] = true
+		}
+	}
+	for _, o := range opts {
+		o(e)
+	}
+	if e.eager {
+		e.intervalsGrow = true
+		e.growsAt[0] = true
+	}
+	return e, nil
+}
+
+// Stats returns the statistics of the last Run.
+func (e *Engine) Stats() RunStats { return e.stats }
+
+// Run computes the least fixpoint (for programs with negation: the
+// perfect model, stratum by stratum). It is idempotent: subsequent calls
+// return immediately.
+func (e *Engine) Run() error {
+	if e.ran {
+		return nil
+	}
+	e.snapshotEDB()
+	e.seedEDB()
+	for s := 0; s <= e.maxStratum; s++ {
+		if err := e.runStratum(s); err != nil {
+			return err
+		}
+	}
+	e.ran = true
+	return nil
+}
+
+// runStratum computes the fixpoint of the rules whose head lives in
+// stratum s, with all lower strata complete and fixed.
+func (e *Engine) runStratum(s int) error {
+	e.curStratum = s
+	var rules []Rule
+	for i, r := range e.prog.Rules {
+		if e.ruleStrata[i] == s {
+			rules = append(rules, r)
+		}
+	}
+
+	// Round 1 of the stratum: every rule against the current extent.
+	e.stats.Rounds++
+	round1 := make([]evalTask, len(rules))
+	for i, r := range rules {
+		round1[i] = evalTask{rule: r, delta: -1}
+	}
+	if err := e.runTasks(round1); err != nil {
+		return err
+	}
+	changed := e.advance()
+	if e.eager {
+		if err := e.eagerClosure(); err != nil {
+			return err
+		}
+		changed = changed || len(e.pendingCreated) > 0
+		e.applyCreatedBoundary()
+	}
+
+	for changed {
+		e.stats.Rounds++
+		if e.stats.Rounds > e.maxRounds {
+			return fmt.Errorf("datalog: fixpoint did not converge within %d rounds", e.maxRounds)
+		}
+		var tasks []evalTask
+		if e.naive {
+			for _, r := range rules {
+				tasks = append(tasks, evalTask{rule: r, delta: -1})
+			}
+		} else {
+			for _, r := range rules {
+				for _, p := range e.deltaPositions(r) {
+					tasks = append(tasks, evalTask{rule: r, delta: p})
+				}
+			}
+		}
+		if err := e.runTasks(tasks); err != nil {
+			return err
+		}
+		changed = e.advance()
+		if e.eager {
+			if err := e.eagerClosure(); err != nil {
+				return err
+			}
+			changed = changed || len(e.pendingCreated) > 0
+			e.applyCreatedBoundary()
+		}
+	}
+	return nil
+}
+
+func (e *Engine) snapshotEDB() {
+	e.baseIntervals = e.st.Intervals()
+	e.baseEntities = e.st.Entities()
+}
+
+// seedEDB loads extensional facts of IDB predicates into their relations
+// so duplicates are suppressed and the first delta is well-defined.
+func (e *Engine) seedEDB() {
+	for pred, rel := range e.derived {
+		for _, f := range e.st.Facts(pred) {
+			rel.propose(append(row(nil), f.Args...))
+		}
+		rel.advance()
+	}
+}
+
+// advance applies the round boundary to every relation and the created
+// object sets; it reports whether any extent grew.
+func (e *Engine) advance() bool {
+	changed := false
+	for _, rel := range e.derived {
+		if rel.advance() {
+			changed = true
+		}
+	}
+	if !e.eager {
+		if len(e.pendingCreated) > 0 {
+			changed = true
+		}
+		e.applyCreatedBoundary()
+	}
+	return changed
+}
+
+func (e *Engine) applyCreatedBoundary() {
+	e.deltaCreated = e.pendingCreated
+	e.pendingCreated = nil
+	e.activeCreated = append(e.activeCreated, e.deltaCreated...)
+}
+
+// deltaPositions returns the body literal indices that must take the
+// delta role in semi-naive evaluation: relational atoms over IDB
+// predicates of the current stratum (lower strata are complete and never
+// produce deltas), and Interval class atoms when the interval domain can
+// still grow in this stratum.
+func (e *Engine) deltaPositions(r Rule) []int {
+	var out []int
+	for i, l := range r.Body {
+		switch a := l.(type) {
+		case RelAtom:
+			if e.idb[a.Pred] && e.predStrata[a.Pred] == e.curStratum {
+				out = append(out, i)
+			}
+		case ClassAtom:
+			if a.Kind == object.GenInterval && e.intervalsGrow && e.growsAt[e.curStratum] {
+				out = append(out, i)
+			}
+		}
+	}
+	return out
+}
+
+// eagerClosure materializes the concatenation of every pair of active
+// intervals (Definition 19's extension), bounded by maxCreated.
+func (e *Engine) eagerClosure() error {
+	all := append(append([]object.OID(nil), e.baseIntervals...), e.activeCreated...)
+	all = append(all, e.pendingCreated...)
+	for i := 0; i < len(all); i++ {
+		for j := i + 1; j < len(all); j++ {
+			if _, err := e.materializeConcat(all[i], all[j]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// --- EDB access --------------------------------------------------------------
+
+func (e *Engine) edbRelation(pred string) *relation {
+	if rel, ok := e.edbCache[pred]; ok {
+		return rel
+	}
+	facts := e.st.Facts(pred)
+	rel := newRelation()
+	rel.rows = make([]row, len(facts))
+	for i, f := range facts {
+		rel.rows[i] = row(f.Args)
+	}
+	e.edbCache[pred] = rel
+	return rel
+}
+
+func (e *Engine) edbRows(pred string) []row { return e.edbRelation(pred).rows }
+
+// relAccess returns the rows a relational atom should scan and, when the
+// full extent is being read, the relation whose join index can narrow
+// the scan.
+func (e *Engine) relAccess(pred string, useDelta bool) ([]row, *relation) {
+	if rel, ok := e.derived[pred]; ok {
+		if useDelta {
+			return rel.delta, nil
+		}
+		return rel.rows, rel
+	}
+	rel := e.edbRelation(pred)
+	return rel.rows, rel
+}
+
+// Object resolves an oid against the extended domain: ⊕-created objects
+// first, then the store.
+func (e *Engine) Object(oid object.OID) *object.Object {
+	if o, ok := e.created[oid]; ok {
+		return o
+	}
+	return e.st.Get(oid)
+}
+
+// Created returns the ⊕-created generalized interval objects, sorted by
+// oid.
+func (e *Engine) Created() []*object.Object {
+	oids := make([]object.OID, 0, len(e.created))
+	for id := range e.created {
+		oids = append(oids, id)
+	}
+	sort.Slice(oids, func(i, j int) bool { return oids[i] < oids[j] })
+	out := make([]*object.Object, len(oids))
+	for i, id := range oids {
+		out[i] = e.created[id]
+	}
+	return out
+}
+
+// --- Rule evaluation ---------------------------------------------------------
+
+type bindings map[string]object.Value
+
+func (e *Engine) evalRule(r Rule, deltaPos int) error {
+	plan, err := planBody(r.Body, deltaPos)
+	if err != nil {
+		return fmt.Errorf("datalog: rule %s: %w", r.label(), err)
+	}
+	b := make(bindings)
+	return e.join(r, plan, 0, b, deltaPos)
+}
+
+func (e *Engine) join(r Rule, plan []int, i int, b bindings, deltaPos int) error {
+	if i == len(plan) {
+		return e.fireHead(r, b)
+	}
+	pos := plan[i]
+	lit := r.Body[pos]
+	useDelta := pos == deltaPos
+
+	switch a := lit.(type) {
+	case RelAtom:
+		rows, rel := e.relAccess(a.Pred, useDelta)
+		// Join index: when some argument is already determined and the
+		// extent is large, scan only the matching rows.
+		if e.useJoinIndex && rel != nil && len(rows) >= 16 {
+			for pos, t := range a.Args {
+				v, ok := termValue(t, b)
+				if !ok {
+					continue
+				}
+				for _, ri := range rel.lookup(pos, v.String()) {
+					tuple := rows[ri]
+					if len(tuple) != len(a.Args) {
+						continue
+					}
+					undo, ok := unifyArgs(a.Args, tuple, b)
+					if ok {
+						if err := e.join(r, plan, i+1, b, deltaPos); err != nil {
+							return err
+						}
+					}
+					for _, v := range undo {
+						delete(b, v)
+					}
+				}
+				return nil
+			}
+		}
+		for _, tuple := range rows {
+			if len(tuple) != len(a.Args) {
+				continue // arity mismatch: the fact cannot unify
+			}
+			undo, ok := unifyArgs(a.Args, tuple, b)
+			if ok {
+				if err := e.join(r, plan, i+1, b, deltaPos); err != nil {
+					return err
+				}
+			}
+			for _, v := range undo {
+				delete(b, v)
+			}
+		}
+		return nil
+
+	case ClassAtom:
+		// Bound argument: a membership test.
+		if v, ok := termValue(a.Arg, b); ok {
+			if e.isKind(v, a.Kind) {
+				return e.join(r, plan, i+1, b, deltaPos)
+			}
+			return nil
+		}
+		for _, oid := range e.classCandidates(a, r, plan, i, b, useDelta) {
+			undo, ok := unify(a.Arg, object.Ref(oid), b)
+			if ok {
+				if err := e.join(r, plan, i+1, b, deltaPos); err != nil {
+					return err
+				}
+			}
+			for _, v := range undo {
+				delete(b, v)
+			}
+		}
+		return nil
+
+	default:
+		if cmp, ok := lit.(CmpAtom); ok {
+			handled, err := e.joinAssign(cmp, r, plan, i, b, deltaPos)
+			if handled || err != nil {
+				return err
+			}
+		}
+		ok, err := e.evalFilter(lit, b)
+		if err != nil {
+			return fmt.Errorf("datalog: rule %s: %w", r.label(), err)
+		}
+		if ok {
+			return e.join(r, plan, i+1, b, deltaPos)
+		}
+		return nil
+	}
+}
+
+// joinAssign executes an equality atom in assignment orientation: when
+// one side is an unbound plain variable and the other side resolves, the
+// variable is bound to the resolved value (attribute projection). It
+// reports whether it handled the literal.
+func (e *Engine) joinAssign(cmp CmpAtom, r Rule, plan []int, i int, b bindings, deltaPos int) (bool, error) {
+	for _, as := range cmp.assignments() {
+		if _, isBound := b[as.target]; isBound {
+			continue
+		}
+		v, err := e.resolveOperand(as.src, b)
+		if err != nil {
+			continue // source not determined in this orientation
+		}
+		if v.IsNull() {
+			return true, nil // undefined attribute: the atom cannot hold
+		}
+		b[as.target] = v
+		err = e.join(r, plan, i+1, b, deltaPos)
+		delete(b, as.target)
+		return true, err
+	}
+	return false, nil
+}
+
+// classCandidates enumerates the oids a class atom generator should try.
+// For Interval atoms it may consult the store's inverted index when a
+// later membership constraint pins the entity.
+func (e *Engine) classCandidates(a ClassAtom, r Rule, plan []int, i int, b bindings, useDelta bool) []object.OID {
+	if a.Kind == object.Entity {
+		return e.baseEntities
+	}
+	if useDelta {
+		return e.deltaCreated
+	}
+	if e.useMemberIndex {
+		if elem, ok := e.indexableMember(a, r, plan, i, b); ok {
+			cands := e.st.IntervalsContaining(elem)
+			// Created intervals are not in the store index; filter them here.
+			for _, oid := range e.activeCreated {
+				if containsOID(e.created[oid].Entities(), elem) {
+					cands = append(cands, oid)
+				}
+			}
+			return cands
+		}
+	}
+	out := make([]object.OID, 0, len(e.baseIntervals)+len(e.activeCreated))
+	out = append(out, e.baseIntervals...)
+	out = append(out, e.activeCreated...)
+	return out
+}
+
+// indexableMember looks ahead in the plan for a constraint of the shape
+// "elem ∈ V.entities" where V is the class atom's (unbound) variable and
+// elem is already bound to an object reference.
+func (e *Engine) indexableMember(a ClassAtom, r Rule, plan []int, i int, b bindings) (object.OID, bool) {
+	if !a.Arg.IsVar() {
+		return "", false
+	}
+	v := a.Arg.Name()
+	for _, pos := range plan[i+1:] {
+		m, ok := r.Body[pos].(MemberAtom)
+		if !ok || len(m.Elems) == 0 {
+			continue
+		}
+		if m.Set.Attr != object.AttrEntities || !m.Set.Term.IsVar() || m.Set.Term.Name() != v {
+			continue
+		}
+		elem := m.Elems[0]
+		if elem.Attr != "" {
+			continue
+		}
+		if val, ok := termValue(elem.Term, b); ok {
+			if oid, isRef := val.AsRef(); isRef {
+				return oid, true
+			}
+		}
+	}
+	return "", false
+}
+
+func containsOID(ids []object.OID, want object.OID) bool {
+	for _, id := range ids {
+		if id == want {
+			return true
+		}
+	}
+	return false
+}
+
+func (e *Engine) isKind(v object.Value, k object.Kind) bool {
+	oid, ok := v.AsRef()
+	if !ok {
+		return false
+	}
+	o := e.Object(oid)
+	return o != nil && o.Kind() == k
+}
+
+// termValue resolves a non-constructive term under the bindings; ok is
+// false when the term is an unbound variable.
+func termValue(t Term, b bindings) (object.Value, bool) {
+	if t.IsVar() {
+		v, ok := b[t.Name()]
+		return v, ok
+	}
+	if t.IsConcat() {
+		return object.Null(), false
+	}
+	return t.Value(), true
+}
+
+// unify matches a term against a value, extending the bindings; it
+// returns the variables newly bound (for undo) and whether it succeeded.
+func unify(t Term, v object.Value, b bindings) ([]string, bool) {
+	if t.IsVar() {
+		if cur, ok := b[t.Name()]; ok {
+			return nil, cur.Equal(v)
+		}
+		b[t.Name()] = v
+		return []string{t.Name()}, true
+	}
+	if t.IsConcat() {
+		return nil, false
+	}
+	return nil, t.Value().Equal(v)
+}
+
+func unifyArgs(args []Term, tuple row, b bindings) ([]string, bool) {
+	var undo []string
+	for i, t := range args {
+		u, ok := unify(t, tuple[i], b)
+		undo = append(undo, u...)
+		if !ok {
+			for _, v := range undo {
+				delete(b, v)
+			}
+			return nil, false
+		}
+	}
+	return undo, true
+}
+
+// --- Filters ------------------------------------------------------------------
+
+func (e *Engine) resolveOperand(o Operand, b bindings) (object.Value, error) {
+	v, ok := termValue(o.Term, b)
+	if !ok {
+		return object.Null(), fmt.Errorf("unbound variable %q in constraint operand %s", o.Term.Name(), o)
+	}
+	if o.Attr == "" {
+		return v, nil
+	}
+	oid, isRef := v.AsRef()
+	if !isRef {
+		return object.Null(), nil // non-object has no attributes; constraint fails
+	}
+	obj := e.Object(oid)
+	if obj == nil {
+		return object.Null(), nil
+	}
+	return obj.Attr(o.Attr), nil
+}
+
+func (e *Engine) evalFilter(l Literal, b bindings) (bool, error) {
+	switch a := l.(type) {
+	case CmpAtom:
+		lv, err := e.resolveOperand(a.Left, b)
+		if err != nil {
+			return false, err
+		}
+		rv, err := e.resolveOperand(a.Right, b)
+		if err != nil {
+			return false, err
+		}
+		return compareValues(lv, a.Op, rv), nil
+
+	case MemberAtom:
+		set, err := e.resolveOperand(a.Set, b)
+		if err != nil {
+			return false, err
+		}
+		for _, el := range a.Elems {
+			ev, err := e.resolveOperand(el, b)
+			if err != nil {
+				return false, err
+			}
+			if !set.ContainsElem(ev) {
+				return false, nil
+			}
+		}
+		return true, nil
+
+	case EntailAtom:
+		lv, err := e.resolveOperand(a.Left, b)
+		if err != nil {
+			return false, err
+		}
+		rv, err := e.resolveOperand(a.Right, b)
+		if err != nil {
+			return false, err
+		}
+		lt, ok1 := lv.AsTemporal()
+		rt, ok2 := rv.AsTemporal()
+		if !ok1 || !ok2 {
+			return false, nil
+		}
+		return rt.ContainsGen(lt), nil
+
+	case TemporalAtom:
+		lv, err := e.resolveOperand(a.Left, b)
+		if err != nil {
+			return false, err
+		}
+		rv, err := e.resolveOperand(a.Right, b)
+		if err != nil {
+			return false, err
+		}
+		lt, ok1 := lv.AsTemporal()
+		rt, ok2 := rv.AsTemporal()
+		if !ok1 || !ok2 {
+			return false, nil
+		}
+		return evalTemporalRel(a.Rel, lt, rt), nil
+
+	case NotAtom:
+		tuple := make(row, len(a.Atom.Args))
+		for i, t := range a.Atom.Args {
+			v, ok := termValue(t, b)
+			if !ok {
+				return false, fmt.Errorf("unbound variable %q in negated atom %s", t.Name(), a)
+			}
+			tuple[i] = v
+		}
+		return !e.hasTuple(a.Atom.Pred, tuple), nil
+
+	default:
+		return false, fmt.Errorf("unexpected literal %T in filter position", l)
+	}
+}
+
+// hasTuple reports whether the predicate's extent (EDB plus derived)
+// contains the tuple. For negation this is sound because stratification
+// guarantees the predicate's stratum is below the current one, so its
+// extent is complete.
+func (e *Engine) hasTuple(pred string, tuple row) bool {
+	key := rowKey(tuple)
+	if rel, ok := e.derived[pred]; ok {
+		return rel.keys[key] // EDB facts were seeded into the relation
+	}
+	keys, ok := e.edbKeys[pred]
+	if !ok {
+		keys = make(map[string]bool)
+		for _, r := range e.edbRows(pred) {
+			keys[rowKey(r)] = true
+		}
+		e.edbKeys[pred] = keys
+	}
+	return keys[key]
+}
+
+// evalTemporalRel evaluates an Allen-style relation between generalized
+// intervals using the algebraic temporal evaluator.
+func evalTemporalRel(rel TemporalRel, l, r interval.Generalized) bool {
+	alg := temporal.Algebraic{}
+	switch rel {
+	case TempBefore:
+		return !l.IsEmpty() && !r.IsEmpty() && alg.Before(l, r)
+	case TempAfter:
+		return !l.IsEmpty() && !r.IsEmpty() && alg.Before(r, l)
+	case TempMeets:
+		return temporal.Meets(l, r)
+	case TempMetBy:
+		return temporal.Meets(r, l)
+	case TempOverlaps:
+		return alg.Overlaps(l, r)
+	case TempEquals:
+		return alg.Equals(l, r)
+	case TempContains:
+		return alg.Contains(l, r)
+	case TempDuring:
+		return alg.Contains(r, l)
+	default:
+		return false
+	}
+}
+
+// compareValues evaluates an order comparison between values: numbers
+// compare numerically, strings lexically; = and ≠ use structural
+// equality for any kinds; order comparisons between other kinds are
+// false (the dense order is defined on concrete domains only).
+func compareValues(l object.Value, op constraint.Op, r object.Value) bool {
+	switch op {
+	case constraint.Eq:
+		return l.Equal(r)
+	case constraint.Ne:
+		return !l.Equal(r)
+	}
+	if ln, ok := l.AsNumber(); ok {
+		if rn, ok := r.AsNumber(); ok {
+			return op.Holds(ln, rn)
+		}
+		return false
+	}
+	if ls, ok := l.AsString(); ok {
+		if rs, ok := r.AsString(); ok {
+			return op.Holds(float64(strings.Compare(ls, rs)), 0)
+		}
+	}
+	return false
+}
+
+// --- Head instantiation --------------------------------------------------------
+
+func (e *Engine) fireHead(r Rule, b bindings) error {
+	tuple := make(row, len(r.Head.Args))
+	for i, t := range r.Head.Args {
+		switch {
+		case t.IsConcat():
+			oid, err := e.concatTerm(t, b)
+			if err != nil {
+				return fmt.Errorf("datalog: rule %s: %w", r.label(), err)
+			}
+			tuple[i] = object.Ref(oid)
+		case t.IsVar():
+			v, ok := b[t.Name()]
+			if !ok {
+				return fmt.Errorf("datalog: rule %s: head variable %s unbound (range restriction violated)", r.label(), t.Name())
+			}
+			tuple[i] = v
+		default:
+			tuple[i] = t.Value()
+		}
+	}
+	e.stats.Firings++
+	if e.collect != nil {
+		// Parallel worker: buffer the proposal for the round barrier.
+		*e.collect = append(*e.collect, proposal{pred: r.Head.Pred, tuple: tuple})
+		return nil
+	}
+	rel := e.derived[r.Head.Pred]
+	if rel.propose(tuple) {
+		e.stats.Derived++
+		if e.trace {
+			e.recordProvenance(r, b, r.Head.Pred, tuple)
+		}
+	}
+	return nil
+}
+
+// concatTerm evaluates a (possibly nested) constructive term to the oid
+// of the resulting generalized interval object, materializing it in the
+// extended active domain if new.
+func (e *Engine) concatTerm(t Term, b bindings) (object.OID, error) {
+	if !t.IsConcat() {
+		v, ok := termValue(t, b)
+		if !ok {
+			return "", fmt.Errorf("unbound variable %q in constructive term", t.Name())
+		}
+		oid, isRef := v.AsRef()
+		if !isRef {
+			return "", fmt.Errorf("concatenation operand %s is not an object reference", v)
+		}
+		o := e.Object(oid)
+		if o == nil {
+			return "", fmt.Errorf("concatenation operand %s does not exist", oid)
+		}
+		if o.Kind() != object.GenInterval {
+			return "", fmt.Errorf("concatenation operand %s is not a generalized interval", oid)
+		}
+		return oid, nil
+	}
+	l, err := e.concatTerm(*t.left, b)
+	if err != nil {
+		return "", err
+	}
+	r, err := e.concatTerm(*t.right, b)
+	if err != nil {
+		return "", err
+	}
+	return e.materializeConcat(l, r)
+}
+
+func (e *Engine) bases(oid object.OID) []object.OID {
+	if b, ok := e.baseIDs[oid]; ok {
+		return b
+	}
+	return []object.OID{oid}
+}
+
+// materializeConcat implements the object-creating semantics of Section
+// 6.1: the oid of I1 ⊕ I2 is a function of the operand identities — here
+// the sorted union of their base-interval identities — which makes ⊕
+// idempotent, commutative and associative at the identity level and
+// guarantees termination of constructive rules.
+func (e *Engine) materializeConcat(l, r object.OID) (object.OID, error) {
+	bases := mergeOIDs(e.bases(l), e.bases(r))
+	if len(bases) == 1 {
+		return bases[0], nil // I ⊕ I ≡ I
+	}
+	key := oidKey(bases)
+	if oid, ok := e.concatKey[key]; ok {
+		return oid, nil
+	}
+	if base, ok := e.sameBases(l, bases); ok {
+		// Absorption: concatenating an object with a subset of its own
+		// bases yields the object itself.
+		return base, nil
+	}
+	if base, ok := e.sameBases(r, bases); ok {
+		return base, nil
+	}
+
+	oid := e.freshOID(bases)
+	lo, ro := e.Object(l), e.Object(r)
+	merged := lo.Merge(ro, oid)
+	e.created[oid] = merged
+	e.baseIDs[oid] = bases
+	e.concatKey[key] = oid
+	e.pendingCreated = append(e.pendingCreated, oid)
+	e.stats.Created++
+	if e.stats.Created > e.maxCreated {
+		return "", fmt.Errorf("more than %d objects created by concatenation (raise MaxCreated if intended)", e.maxCreated)
+	}
+	return oid, nil
+}
+
+func (e *Engine) sameBases(oid object.OID, bases []object.OID) (object.OID, bool) {
+	own := e.bases(oid)
+	if len(own) != len(bases) {
+		return "", false
+	}
+	for i := range own {
+		if own[i] != bases[i] {
+			return "", false
+		}
+	}
+	return oid, true
+}
+
+func (e *Engine) freshOID(bases []object.OID) object.OID {
+	parts := make([]string, len(bases))
+	for i, b := range bases {
+		parts[i] = string(b)
+	}
+	oid := object.OID(strings.Join(parts, "+"))
+	for i := 0; e.Object(oid) != nil; i++ {
+		oid = object.OID(fmt.Sprintf("%s#%d", strings.Join(parts, "+"), i))
+	}
+	return oid
+}
+
+func mergeOIDs(a, b []object.OID) []object.OID {
+	out := make([]object.OID, 0, len(a)+len(b))
+	out = append(out, a...)
+	out = append(out, b...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	dedup := out[:0]
+	for i, id := range out {
+		if i == 0 || out[i-1] != id {
+			dedup = append(dedup, id)
+		}
+	}
+	return dedup
+}
+
+func oidKey(bases []object.OID) string {
+	parts := make([]string, len(bases))
+	for i, b := range bases {
+		parts[i] = string(b)
+	}
+	return strings.Join(parts, "\x00")
+}
+
+// --- Planning -----------------------------------------------------------------
+
+// planBody orders the body literals for evaluation: the delta literal (if
+// any) first, then greedily preferring evaluable filters (cheap pruning)
+// and binding literals that join with already-bound variables. Because
+// rules are range-restricted, every filter eventually becomes evaluable.
+func planBody(body []Literal, deltaPos int) ([]int, error) {
+	placed := make([]bool, len(body))
+	bound := map[string]bool{}
+	var plan []int
+
+	place := func(i int) {
+		placed[i] = true
+		plan = append(plan, i)
+		if body[i].binds() {
+			body[i].collectVars(bound)
+		}
+	}
+	if deltaPos >= 0 {
+		place(deltaPos)
+	}
+	for len(plan) < len(body) {
+		// 1. Any filter whose variables are all bound, or an equality
+		// assignment whose source side is bound (it then binds its
+		// target).
+		found, assignVar := -1, ""
+		for i, l := range body {
+			if placed[i] || l.binds() {
+				continue
+			}
+			vars := map[string]bool{}
+			l.collectVars(vars)
+			unboundVars := 0
+			var unbound string
+			for v := range vars {
+				if !bound[v] {
+					unboundVars++
+					unbound = v
+				}
+			}
+			if unboundVars == 0 {
+				found, assignVar = i, ""
+				break
+			}
+			if cmp, ok := l.(CmpAtom); ok && unboundVars == 1 {
+				for _, as := range cmp.assignments() {
+					if as.target == unbound {
+						if found < 0 {
+							found, assignVar = i, unbound
+						}
+						break
+					}
+				}
+			}
+		}
+		if found >= 0 {
+			place(found)
+			if assignVar != "" {
+				bound[assignVar] = true
+			}
+			continue
+		}
+		// 2. The binding literal sharing the most bound variables.
+		best, bestScore := -1, -1
+		for i, l := range body {
+			if placed[i] || !l.binds() {
+				continue
+			}
+			vars := map[string]bool{}
+			l.collectVars(vars)
+			score := 0
+			for v := range vars {
+				if bound[v] {
+					score++
+				}
+			}
+			// Prefer relational atoms slightly: they are usually more
+			// selective than class enumeration.
+			if _, isRel := l.(RelAtom); isRel {
+				score = score*2 + 1
+			} else {
+				score = score * 2
+			}
+			if score > bestScore {
+				best, bestScore = i, score
+			}
+		}
+		if best < 0 {
+			return nil, fmt.Errorf("constraint atoms reference variables not bound by any body literal")
+		}
+		place(best)
+	}
+	return plan, nil
+}

@@ -1,0 +1,123 @@
+package datalog
+
+import (
+	"fmt"
+	"strings"
+
+	"videodb/internal/object"
+)
+
+// Explain renders the evaluation strategy for a program over the
+// engine's store: the stratum of every rule, the planned body order, and
+// which generators can use the store's inverted index. It is purely
+// informational — the same planner drives evaluation.
+func (e *Engine) Explain() string {
+	var b strings.Builder
+	for s := 0; s <= e.maxStratum; s++ {
+		wrote := false
+		for i, r := range e.prog.Rules {
+			if e.ruleStrata[i] != s {
+				continue
+			}
+			if !wrote {
+				fmt.Fprintf(&b, "stratum %d:\n", s)
+				wrote = true
+			}
+			b.WriteString(e.explainRule(r))
+		}
+	}
+	if b.Len() == 0 {
+		return "(empty program)\n"
+	}
+	return b.String()
+}
+
+// ExplainRule renders the plan of a single rule.
+func (e *Engine) ExplainRule(r Rule) string { return e.explainRule(r) }
+
+func (e *Engine) explainRule(r Rule) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "  rule %s\n", r.String())
+	plan, err := planBody(r.Body, -1)
+	if err != nil {
+		fmt.Fprintf(&b, "    plan error: %v\n", err)
+		return b.String()
+	}
+	bound := map[string]bool{}
+	for step, pos := range plan {
+		lit := r.Body[pos]
+		role := "filter"
+		note := ""
+		switch a := lit.(type) {
+		case RelAtom:
+			role = "scan"
+			if e.idb[a.Pred] {
+				role = "scan (derived)"
+			}
+		case ClassAtom:
+			role = "enumerate"
+			if v, isVar := classVar(a); !isVar || bound[v] {
+				role = "check"
+			} else if a.Kind == object.GenInterval && e.useMemberIndex {
+				if _, ok := e.planIndexHint(a, r, plan, step, bound); ok {
+					role = "index lookup (entities)"
+				}
+			}
+		case NotAtom:
+			role = "anti-join"
+		case CmpAtom:
+			role = "filter"
+			for _, as := range a.assignments() {
+				if !bound[as.target] {
+					role = fmt.Sprintf("assign %s", as.target)
+					bound[as.target] = true
+					break
+				}
+			}
+		case MemberAtom, EntailAtom:
+			role = "filter"
+		}
+		fmt.Fprintf(&b, "    %d. %-26s %s%s\n", step+1, role, lit, note)
+		if lit.binds() {
+			lit.collectVars(bound)
+		}
+	}
+	return b.String()
+}
+
+func classVar(a ClassAtom) (string, bool) {
+	if a.Arg.IsVar() {
+		return a.Arg.Name(), true
+	}
+	return "", false
+}
+
+// planIndexHint mirrors indexableMember for explanation purposes: it
+// checks whether a later membership constraint pins the class atom's
+// variable to a known-at-runtime entity (a bound variable or constant).
+func (e *Engine) planIndexHint(a ClassAtom, r Rule, plan []int, i int, bound map[string]bool) (string, bool) {
+	if !a.Arg.IsVar() {
+		return "", false
+	}
+	v := a.Arg.Name()
+	for _, pos := range plan[i+1:] {
+		m, ok := r.Body[pos].(MemberAtom)
+		if !ok || len(m.Elems) == 0 {
+			continue
+		}
+		if m.Set.Attr != object.AttrEntities || !m.Set.Term.IsVar() || m.Set.Term.Name() != v {
+			continue
+		}
+		elem := m.Elems[0]
+		if elem.Attr != "" {
+			continue
+		}
+		if !elem.Term.IsVar() {
+			return elem.Term.String(), true
+		}
+		if bound[elem.Term.Name()] {
+			return elem.Term.Name(), true
+		}
+	}
+	return "", false
+}

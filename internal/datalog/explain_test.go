@@ -1,0 +1,80 @@
+package datalog
+
+import (
+	"strings"
+	"testing"
+
+	"videodb/internal/constraint"
+	"videodb/internal/object"
+	"videodb/internal/store"
+)
+
+func TestExplain(t *testing.T) {
+	s := ropeStore(t)
+	p := NewProgram(
+		NewRule(Rel("appears", Var("O"), Var("G")),
+			Interval(Var("G")), ObjectAtom(Var("O")),
+			Member(TermOp(Var("O")), AttrOp(Var("G"), "entities"))),
+		NewRule(Rel("q", Var("G")),
+			Interval(Var("G")),
+			Member(TermOp(Oid("o5")), AttrOp(Var("G"), "entities"))),
+		NewRule(Rel("absent", Var("O")),
+			ObjectAtom(Var("O")),
+			Not(Rel("appears", Var("O"), Oid("gi1")))),
+	)
+	e := mustEngine(t, s, p)
+	out := e.Explain()
+
+	for _, want := range []string{
+		"stratum 0:", "stratum 1:", // negation forces two strata
+		"index lookup (entities)", // the q rule uses the inverted index
+		"anti-join",               // negation
+		"filter",                  // the member constraint
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Explain output missing %q:\n%s", want, out)
+		}
+	}
+
+	// The generator runs first, the membership filter second.
+	qPlan := e.ExplainRule(p.Rules[1])
+	if !strings.Contains(qPlan, "1. index lookup") || !strings.Contains(qPlan, "2. filter") {
+		t.Errorf("unexpected plan layout:\n%s", qPlan)
+	}
+}
+
+func TestExplainWithoutMemberIndex(t *testing.T) {
+	s := ropeStore(t)
+	p := NewProgram(NewRule(Rel("q", Var("G")),
+		Interval(Var("G")),
+		Member(TermOp(Oid("o5")), AttrOp(Var("G"), "entities"))))
+	e := mustEngine(t, s, p, WithoutMemberIndex())
+	out := e.Explain()
+	if strings.Contains(out, "index lookup") {
+		t.Errorf("index disabled but plan claims index:\n%s", out)
+	}
+	if !strings.Contains(out, "enumerate") {
+		t.Errorf("expected enumeration:\n%s", out)
+	}
+}
+
+func TestExplainBoundClassAtomAndComparisons(t *testing.T) {
+	s := ropeStore(t)
+	p := NewProgram(NewRule(Rel("q", Var("O")),
+		ObjectAtom(Var("O")),
+		Interval(Oid("gi1")),
+		Cmp(AttrOp(Var("O"), "name"), constraint.Eq, TermOp(Const(object.Str("David")))),
+	))
+	e := mustEngine(t, s, p)
+	out := e.Explain()
+	if !strings.Contains(out, "check") {
+		t.Errorf("bound class atom should be a check:\n%s", out)
+	}
+}
+
+func TestExplainEmptyProgram(t *testing.T) {
+	e := mustEngine(t, store.New(), NewProgram())
+	if got := e.Explain(); !strings.Contains(got, "empty") {
+		t.Errorf("Explain() = %q", got)
+	}
+}

@@ -1,0 +1,226 @@
+package datalog
+
+import (
+	"strings"
+	"testing"
+
+	"videodb/internal/constraint"
+	"videodb/internal/interval"
+	"videodb/internal/object"
+	"videodb/internal/store"
+)
+
+func TestNegationBasics(t *testing.T) {
+	s := ropeStore(t)
+	// Objects that never appear in gi1: absent(O) :- Object(O),
+	// not appears(O, gi1)  with appears derived first.
+	p := NewProgram(
+		NewRule(Rel("appears", Var("O"), Var("G")),
+			Interval(Var("G")), ObjectAtom(Var("O")),
+			Member(TermOp(Var("O")), AttrOp(Var("G"), "entities"))),
+		NewRule(Rel("absent", Var("O")),
+			ObjectAtom(Var("O")),
+			Not(Rel("appears", Var("O"), Oid("gi1")))),
+	)
+	e := mustEngine(t, s, p)
+	wantOIDs(t, oidResults(t, e, Rel("absent", Var("O"))), "o5", "o6", "o7", "o8", "o9")
+}
+
+func TestNegationOverEDB(t *testing.T) {
+	s := store.New()
+	s.Put(object.NewEntity("a"))
+	s.Put(object.NewEntity("b"))
+	s.Put(object.NewEntity("c"))
+	s.AddFact(store.RefFact("likes", "a", "b"))
+	// unloved(X) :- Object(X), not liked(X) where liked projects likes.
+	p := NewProgram(
+		NewRule(Rel("liked", Var("Y")), Rel("likes", Var("X"), Var("Y"))),
+		NewRule(Rel("unloved", Var("X")),
+			ObjectAtom(Var("X")), Not(Rel("liked", Var("X")))),
+	)
+	e := mustEngine(t, s, p)
+	wantOIDs(t, oidResults(t, e, Rel("unloved", Var("X"))), "a", "c")
+
+	// Direct negation of an EDB relation (no defining rules).
+	p2 := NewProgram(NewRule(Rel("solo", Var("X")),
+		ObjectAtom(Var("X")),
+		Not(Rel("likes", Var("X"), Oid("b")))))
+	e2 := mustEngine(t, s, p2)
+	wantOIDs(t, oidResults(t, e2, Rel("solo", Var("X"))), "b", "c")
+}
+
+func TestNegationUnreachable(t *testing.T) {
+	// The classic: nodes not reachable from a source.
+	s := store.New()
+	edges := [][2]string{{"a", "b"}, {"b", "c"}, {"d", "e"}}
+	for _, e := range edges {
+		s.AddFact(store.NewFact("edge", object.Str(e[0]), object.Str(e[1])))
+	}
+	for _, n := range []string{"a", "b", "c", "d", "e"} {
+		s.AddFact(store.NewFact("node", object.Str(n)))
+	}
+	p := NewProgram(
+		NewRule(Rel("reach", Const(object.Str("a")))),
+		NewRule(Rel("reach", Var("Y")),
+			Rel("reach", Var("X")), Rel("edge", Var("X"), Var("Y"))),
+		NewRule(Rel("unreachable", Var("N")),
+			Rel("node", Var("N")), Not(Rel("reach", Var("N")))),
+	)
+	e := mustEngine(t, s, p)
+	res, err := e.Query(Rel("unreachable", Var("N")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 {
+		t.Fatalf("unreachable = %v", res)
+	}
+	if v, _ := res[0].Values[0].AsString(); v != "d" {
+		t.Errorf("first unreachable = %v", res[0])
+	}
+	if v, _ := res[1].Values[0].AsString(); v != "e" {
+		t.Errorf("second unreachable = %v", res[1])
+	}
+}
+
+func TestNegationMultipleStrata(t *testing.T) {
+	// Three strata: base -> not base -> not (not base).
+	s := store.New()
+	for _, n := range []string{"a", "b", "c"} {
+		s.AddFact(store.NewFact("item", object.Str(n)))
+	}
+	s.AddFact(store.NewFact("flagged", object.Str("a")))
+	p := NewProgram(
+		NewRule(Rel("clean", Var("X")),
+			Rel("item", Var("X")), Not(Rel("flagged", Var("X")))),
+		NewRule(Rel("dirty", Var("X")),
+			Rel("item", Var("X")), Not(Rel("clean", Var("X")))),
+	)
+	e := mustEngine(t, s, p)
+	res, err := e.Query(Rel("dirty", Var("X")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 {
+		t.Fatalf("dirty = %v", res)
+	}
+	if v, _ := res[0].Values[0].AsString(); v != "a" {
+		t.Errorf("dirty = %v", res)
+	}
+}
+
+func TestUnstratifiedRejected(t *testing.T) {
+	cases := []Program{
+		// p :- not p.
+		NewProgram(NewRule(Rel("p", Var("X")),
+			Rel("base", Var("X")), Not(Rel("p", Var("X"))))),
+		// Mutual recursion through negation.
+		NewProgram(
+			NewRule(Rel("win", Var("X")),
+				Rel("move", Var("X"), Var("Y")), Not(Rel("win", Var("Y")))),
+		),
+		// Longer cycle: a -> b -> not a.
+		NewProgram(
+			NewRule(Rel("a", Var("X")), Rel("b", Var("X"))),
+			NewRule(Rel("b", Var("X")), Rel("base", Var("X")), Not(Rel("a", Var("X")))),
+		),
+	}
+	for i, p := range cases {
+		if _, err := NewEngine(store.New(), p); err == nil {
+			t.Errorf("case %d: unstratified program accepted", i)
+		} else if !strings.Contains(err.Error(), "stratified") {
+			t.Errorf("case %d: error %q should mention stratification", i, err)
+		}
+	}
+}
+
+func TestNegationWithConstructiveRules(t *testing.T) {
+	// Constructive rules grow the Interval class; a rule negating a
+	// predicate over intervals must run after all concatenation settles.
+	// Here: merged intervals exist after concatenation; "atomic" intervals
+	// are those that are not a proper concatenation result.
+	s := store.New()
+	s.Put(object.NewInterval("g1", interval.FromPairs(0, 10)).
+		Set(object.AttrEntities, object.RefSet("x")))
+	s.Put(object.NewInterval("g2", interval.FromPairs(20, 30)).
+		Set(object.AttrEntities, object.RefSet("x")))
+	p := NewProgram(
+		// Stratum of merged: creates g1+g2 (both orientations of the pair
+		// concatenate to the same object).
+		NewRule(Rel("merged", Concat(Var("G1"), Var("G2"))),
+			Interval(Var("G1")), Interval(Var("G2")),
+			Member(TermOp(Oid("x")), AttrOp(Var("G1"), "entities")),
+			Member(TermOp(Oid("x")), AttrOp(Var("G2"), "entities")),
+			Cmp(TermOp(Var("G1")), constraint.Ne, TermOp(Var("G2")))),
+		// proper(G): merged result that is none of its operands.
+		NewRule(Rel("proper", Var("G")),
+			Rel("merged", Var("G")),
+			Not(Rel("base_interval", Var("G")))),
+		NewRule(Rel("base_interval", Oid("g1"))),
+		NewRule(Rel("base_interval", Oid("g2"))),
+	)
+	e := mustEngine(t, s, p)
+	got := oidResults(t, e, Rel("proper", Var("G")))
+	if len(got) != 1 || got[0] != "g1+g2" {
+		t.Errorf("proper = %v", got)
+	}
+}
+
+func TestNegationStratumOrderingWithIntervalGrowth(t *testing.T) {
+	// A rule negating over a predicate that ranges over Interval(G) must
+	// be forced above the constructive stratum by the pseudo-predicate
+	// dependency. If it ran too early it would see only the base
+	// intervals and wrongly derive "no_big".
+	s := store.New()
+	s.Put(object.NewInterval("g1", interval.FromPairs(0, 10)))
+	s.Put(object.NewInterval("g2", interval.FromPairs(20, 30)))
+	long := object.Temporal(interval.FromPairs(0, 10, 20, 30))
+	p := NewProgram(
+		NewRule(Rel("pair", Concat(Oid("g1"), Oid("g2"))), Interval(Oid("g1"))),
+		// big(G) holds only for the created object (its duration covers
+		// both fragments).
+		NewRule(Rel("big", Var("G")),
+			Interval(Var("G")),
+			Entails(TermOp(Const(long)), AttrOp(Var("G"), "duration"))),
+		NewRule(Rel("no_big", Const(object.Str("witness"))),
+			Rel("marker", Var("X")), Not(Rel("big", Oid("g1+g2")))),
+	)
+	s.AddFact(store.NewFact("marker", object.Str("m")))
+	e := mustEngine(t, s, p)
+	ok, err := e.Ask(Rel("no_big", Var("W")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("no_big derived: negation evaluated before the interval domain settled")
+	}
+	bigs := oidResults(t, e, Rel("big", Var("G")))
+	if len(bigs) != 1 || bigs[0] != "g1+g2" {
+		t.Errorf("big = %v", bigs)
+	}
+}
+
+func TestNegationNaiveEquivalence(t *testing.T) {
+	// Differential check with negation present.
+	s := store.New()
+	for i := 0; i < 10; i++ {
+		s.AddFact(store.NewFact("n", object.Num(float64(i))))
+		if i%2 == 0 {
+			s.AddFact(store.NewFact("even", object.Num(float64(i))))
+		}
+	}
+	p := NewProgram(
+		NewRule(Rel("odd", Var("X")), Rel("n", Var("X")), Not(Rel("even", Var("X")))),
+		NewRule(Rel("same", Var("X"), Var("Y")),
+			Rel("odd", Var("X")), Rel("odd", Var("Y"))),
+	)
+	semi := mustEngine(t, s, p)
+	naive := mustEngine(t, s, p, Naive())
+	r1, err1 := semi.Rows("same")
+	r2, err2 := naive.Rows("same")
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if len(r1) != 25 || len(r2) != 25 {
+		t.Errorf("same: %d vs %d tuples, want 25", len(r1), len(r2))
+	}
+}

@@ -1,0 +1,134 @@
+package datalog
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Parallel rule evaluation: within one TP round, the (rule, delta) tasks
+// are independent — they read the previous round's extents and only
+// produce proposals for the next round — so they can run on worker
+// goroutines. Each worker evaluates with a private collector; proposals
+// merge at the round barrier, preserving the exact TP semantics.
+// Constructive rules mutate the shared extended-domain state and are
+// evaluated serially, as is everything when provenance tracing is on
+// (the recorded derivation must be the deterministic first one).
+
+// Parallel evaluates each round's rules on up to workers goroutines.
+// workers ≤ 1 keeps the serial evaluator.
+func Parallel(workers int) Option { return func(e *Engine) { e.workers = workers } }
+
+type proposal struct {
+	pred  string
+	tuple row
+}
+
+type evalTask struct {
+	rule  Rule
+	delta int
+}
+
+// runTasks evaluates a round's tasks, in parallel when configured.
+func (e *Engine) runTasks(tasks []evalTask) error {
+	if e.workers <= 1 || e.trace || len(tasks) < 2 {
+		for _, t := range tasks {
+			if err := e.evalRule(t.rule, t.delta); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var serial, parallel []evalTask
+	for _, t := range tasks {
+		if t.rule.IsConstructive() {
+			serial = append(serial, t)
+		} else {
+			parallel = append(parallel, t)
+		}
+	}
+	for _, t := range serial {
+		if err := e.evalRule(t.rule, t.delta); err != nil {
+			return err
+		}
+	}
+	if len(parallel) == 0 {
+		return nil
+	}
+
+	e.warmEDBCaches()
+	workers := e.workers
+	if workers > len(parallel) {
+		workers = len(parallel)
+	}
+	type result struct {
+		proposals []proposal
+		firings   int
+		err       error
+	}
+	taskCh := make(chan evalTask)
+	results := make(chan result, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// A shallow copy shares the read-only round state; the
+			// collector redirects head firings into a private buffer.
+			local := *e
+			local.collect = &[]proposal{}
+			local.stats = RunStats{}
+			var firstErr error
+			for t := range taskCh {
+				if firstErr != nil {
+					continue // drain
+				}
+				firstErr = local.evalRule(t.rule, t.delta)
+			}
+			results <- result{proposals: *local.collect, firings: local.stats.Firings, err: firstErr}
+		}()
+	}
+	for _, t := range parallel {
+		taskCh <- t
+	}
+	close(taskCh)
+	wg.Wait()
+	close(results)
+
+	var firstErr error
+	for res := range results {
+		if res.err != nil && firstErr == nil {
+			firstErr = res.err
+		}
+		e.stats.Firings += res.firings
+		for _, p := range res.proposals {
+			rel, ok := e.derived[p.pred]
+			if !ok {
+				return fmt.Errorf("datalog: internal: proposal for unknown predicate %q", p.pred)
+			}
+			if rel.propose(p.tuple) {
+				e.stats.Derived++
+			}
+		}
+	}
+	return firstErr
+}
+
+// warmEDBCaches pre-fills the lazily built EDB caches so worker
+// goroutines never write shared maps.
+func (e *Engine) warmEDBCaches() {
+	for _, r := range e.prog.Rules {
+		for _, l := range r.Body {
+			switch a := l.(type) {
+			case RelAtom:
+				if !e.idb[a.Pred] {
+					e.edbRows(a.Pred)
+				}
+			case NotAtom:
+				if !e.idb[a.Atom.Pred] {
+					e.hasTuple(a.Atom.Pred, nil)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package datalog
+
+import (
+	"strings"
+	"testing"
+
+	"videodb/internal/object"
+	"videodb/internal/store"
+)
+
+func TestProvenanceChain(t *testing.T) {
+	s := store.New()
+	s.AddFact(store.NewFact("next", object.Str("a"), object.Str("b")))
+	s.AddFact(store.NewFact("next", object.Str("b"), object.Str("c")))
+	p := NewProgram(
+		NewRule(Rel("reach", Var("X"), Var("Y")), Rel("next", Var("X"), Var("Y"))).Named("base"),
+		NewRule(Rel("reach", Var("X"), Var("Z")),
+			Rel("reach", Var("X"), Var("Y")), Rel("next", Var("Y"), Var("Z"))).Named("step"),
+	)
+	e := mustEngine(t, s, p, TraceProvenance())
+	out, err := e.Why("reach", object.Str("a"), object.Str("c"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`reach("a", "c")  [by step]`,
+		`reach("a", "b")  [by base]`,
+		`next("a", "b")  [fact]`,
+		`next("b", "c")  [fact]`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Why output missing %q:\n%s", want, out)
+		}
+	}
+
+	// Derivation structure is inspectable programmatically.
+	d := e.DerivationOf("reach", object.Str("a"), object.Str("c"))
+	if d == nil || d.Rule != "step" || len(d.Premises) != 2 {
+		t.Fatalf("derivation = %+v", d)
+	}
+	if d.Premises[0].Pred != "reach" || d.Premises[1].Pred != "next" {
+		t.Errorf("premises = %v", d.Premises)
+	}
+
+	// EDB facts and unknown tuples have no derivation.
+	if e.DerivationOf("next", object.Str("a"), object.Str("b")) != nil {
+		t.Error("EDB fact should have no derivation record")
+	}
+	out, err = e.Why("reach", object.Str("c"), object.Str("a"))
+	if err != nil || !strings.Contains(out, "[unknown]") {
+		t.Errorf("unknown tuple: %q, %v", out, err)
+	}
+}
+
+func TestProvenanceConditions(t *testing.T) {
+	s := ropeStore(t)
+	p := NewProgram(NewRule(
+		Rel("q", Var("G")),
+		Interval(Var("G")),
+		Member(TermOp(Oid("o1")), AttrOp(Var("G"), "entities")),
+	).Named("find"))
+	e := mustEngine(t, s, p, TraceProvenance())
+	out, err := e.Why("q", object.Ref("gi1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Conditions show with the variable substituted.
+	if !strings.Contains(out, "Interval(gi1)") || !strings.Contains(out, "o1 in gi1.entities") {
+		t.Errorf("conditions not substituted:\n%s", out)
+	}
+}
+
+func TestWhyRequiresTracing(t *testing.T) {
+	e := mustEngine(t, store.New(), NewProgram())
+	if _, err := e.Why("p", object.Num(1)); err == nil {
+		t.Error("Why without TraceProvenance should fail")
+	}
+}
+
+func TestSubstituteWordBoundaries(t *testing.T) {
+	b := bindings{"X": object.Num(1), "X1": object.Num(2)}
+	lit := Cmp(TermOp(Var("X1")), 0, TermOp(Var("X")))
+	got := substitute(lit, b)
+	if got != "2 < 1" {
+		t.Errorf("substitute = %q", got)
+	}
+}

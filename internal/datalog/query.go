@@ -1,0 +1,122 @@
+package datalog
+
+import (
+	"fmt"
+	"sort"
+
+	"videodb/internal/object"
+)
+
+// Result is one answer to a query: the tuple of values matching the query
+// atom's argument positions.
+type Result struct {
+	Values []object.Value
+}
+
+// String renders the result tuple.
+func (r Result) String() string { return rowKey(r.Values) }
+
+// Rows returns every tuple of the predicate (extensional facts plus
+// derived tuples) in canonical order, computing the fixpoint first if
+// necessary.
+func (e *Engine) Rows(pred string) ([][]object.Value, error) {
+	if err := e.Run(); err != nil {
+		return nil, err
+	}
+	var rows []row
+	if rel, ok := e.derived[pred]; ok {
+		rows = rel.sortedRows() // EDB facts were seeded into the relation
+	} else {
+		rows = append([]row(nil), e.edbRows(pred)...)
+		sort.Slice(rows, func(i, j int) bool { return rowKey(rows[i]) < rowKey(rows[j]) })
+	}
+	out := make([][]object.Value, len(rows))
+	for i, r := range rows {
+		out[i] = append([]object.Value(nil), r...)
+	}
+	return out, nil
+}
+
+// Query answers a query ?q(s) (Definition 13): the pattern's constants
+// must match and its variables are projected out. Repeated variables in
+// the pattern enforce equality. Results are distinct tuples of the
+// pattern's variable bindings in first-occurrence order, canonically
+// sorted.
+func (e *Engine) Query(q RelAtom) ([]Result, error) {
+	if err := e.Run(); err != nil {
+		return nil, err
+	}
+	for _, t := range q.Args {
+		if t.IsConcat() {
+			return nil, fmt.Errorf("datalog: constructive terms are not allowed in queries")
+		}
+	}
+	var varOrder []string
+	seenVar := map[string]bool{}
+	for _, t := range q.Args {
+		if t.IsVar() && !seenVar[t.Name()] {
+			seenVar[t.Name()] = true
+			varOrder = append(varOrder, t.Name())
+		}
+	}
+
+	rows, err := e.Rows(q.Pred)
+	if err != nil {
+		return nil, err
+	}
+	var out []Result
+	seen := map[string]bool{}
+	b := make(bindings)
+	for _, tuple := range rows {
+		if len(tuple) != len(q.Args) {
+			continue
+		}
+		undo, ok := unifyArgs(q.Args, tuple, b)
+		if ok {
+			vals := make([]object.Value, len(varOrder))
+			for i, v := range varOrder {
+				vals[i] = b[v]
+			}
+			if k := rowKey(vals); !seen[k] {
+				seen[k] = true
+				out = append(out, Result{Values: vals})
+			}
+		}
+		for _, v := range undo {
+			delete(b, v)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return rowKey(out[i].Values) < rowKey(out[j].Values) })
+	return out, nil
+}
+
+// QueryOIDs runs Query and extracts single-column object references,
+// failing if the query has a different shape.
+func (e *Engine) QueryOIDs(q RelAtom) ([]object.OID, error) {
+	res, err := e.Query(q)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]object.OID, 0, len(res))
+	for _, r := range res {
+		if len(r.Values) != 1 {
+			return nil, fmt.Errorf("datalog: QueryOIDs needs a single-variable query, got %d columns", len(r.Values))
+		}
+		oid, ok := r.Values[0].AsRef()
+		if !ok {
+			return nil, fmt.Errorf("datalog: QueryOIDs: non-reference answer %s", r.Values[0])
+		}
+		out = append(out, oid)
+	}
+	return out, nil
+}
+
+// Ask reports whether the (possibly ground) query has at least one
+// answer.
+func (e *Engine) Ask(q RelAtom) (bool, error) {
+	res, err := e.Query(q)
+	if err != nil {
+		return false, err
+	}
+	return len(res) > 0, nil
+}

@@ -1,0 +1,105 @@
+package datalog
+
+import (
+	"sort"
+	"strings"
+	"sync"
+
+	"videodb/internal/object"
+)
+
+// row is one derived tuple.
+type row []object.Value
+
+func rowKey(r row) string {
+	var b strings.Builder
+	for i, v := range r {
+		if i > 0 {
+			b.WriteByte('\x1f')
+		}
+		b.WriteString(v.String())
+	}
+	return b.String()
+}
+
+// relation holds the derived tuples of one IDB predicate, with the delta
+// bookkeeping needed by semi-naive evaluation: rows is the full extent,
+// delta the tuples added in the previous round, next the tuples derived
+// in the current round (applied at the round boundary, matching the
+// TP-iteration semantics of Definition 22).
+type relation struct {
+	rows  []row
+	keys  map[string]bool
+	delta []row
+	next  []row
+
+	// Join index: argument position -> value key -> indexes into rows.
+	// Built lazily per position on first use, extended incrementally as
+	// rows grow; guarded for parallel workers.
+	idxMu sync.Mutex
+	idx   map[int]*posIndex
+}
+
+// posIndex indexes one argument position of a relation.
+type posIndex struct {
+	vals    map[string][]int
+	covered int // rows[:covered] are indexed
+}
+
+func newRelation() *relation {
+	return &relation{keys: make(map[string]bool)}
+}
+
+// lookup returns the indexes of rows whose argument at pos has the given
+// canonical value key. The index for a position is built on first use
+// and extended to cover new rows on later calls.
+func (r *relation) lookup(pos int, key string) []int {
+	r.idxMu.Lock()
+	defer r.idxMu.Unlock()
+	if r.idx == nil {
+		r.idx = make(map[int]*posIndex)
+	}
+	pi, ok := r.idx[pos]
+	if !ok {
+		pi = &posIndex{vals: make(map[string][]int)}
+		r.idx[pos] = pi
+	}
+	for i := pi.covered; i < len(r.rows); i++ {
+		if pos < len(r.rows[i]) {
+			k := r.rows[i][pos].String()
+			pi.vals[k] = append(pi.vals[k], i)
+		}
+	}
+	pi.covered = len(r.rows)
+	return pi.vals[key]
+}
+
+// propose records a tuple derived this round; duplicates of existing or
+// already-proposed tuples are ignored. It reports whether the tuple was
+// new.
+func (r *relation) propose(t row) bool {
+	k := rowKey(t)
+	if r.keys[k] {
+		return false
+	}
+	r.keys[k] = true
+	r.next = append(r.next, t)
+	return true
+}
+
+// advance applies the round boundary: next becomes delta and joins the
+// full extent. It reports whether anything changed.
+func (r *relation) advance() bool {
+	r.delta = r.next
+	r.next = nil
+	r.rows = append(r.rows, r.delta...)
+	return len(r.delta) > 0
+}
+
+// sortedRows returns the rows in canonical (key) order.
+func (r *relation) sortedRows() []row {
+	out := make([]row, len(r.rows))
+	copy(out, r.rows)
+	sort.Slice(out, func(i, j int) bool { return rowKey(out[i]) < rowKey(out[j]) })
+	return out
+}

@@ -1,0 +1,117 @@
+package datalog
+
+import (
+	"fmt"
+	"strings"
+
+	"videodb/internal/object"
+)
+
+// Stratification for the negation extension. Each IDB predicate gets a
+// stratum; a rule's head must be in a stratum ≥ the strata of the
+// predicates it uses positively, and strictly greater than the strata of
+// the predicates it negates. Programs with recursion through negation
+// are rejected.
+//
+// Constructive rules interact with stratification through the Interval
+// class: creating a generalized interval extends the extension of every
+// Interval(G) atom. We model that with a pseudo-predicate ("⊕Interval"):
+// every constructive rule also "defines" it, and every rule whose body
+// contains an Interval class atom depends on it positively. The ordinary
+// stratification condition then guarantees that any rule reading the
+// Interval class runs at or after every rule that can grow it — which is
+// exactly what negation soundness needs.
+
+// intervalPseudo is the pseudo-predicate tracking growth of the Interval
+// class extension. The NUL byte keeps it out of the user namespace.
+const intervalPseudo = "\x00interval"
+
+type stratumDep struct {
+	head, body string
+	negative   bool
+}
+
+// stratify returns the stratum of each predicate (IDB predicates and the
+// pseudo-predicate; EDB predicates are implicitly stratum 0) and the
+// maximum stratum. It fails if the program is not stratified.
+func stratify(p Program) (map[string]int, int, error) {
+	idb := map[string]bool{}
+	for _, r := range p.Rules {
+		idb[r.Head.Pred] = true
+	}
+
+	var deps []stratumDep
+	addRuleDeps := func(head string, r Rule) {
+		for _, l := range r.Body {
+			switch a := l.(type) {
+			case RelAtom:
+				if idb[a.Pred] {
+					deps = append(deps, stratumDep{head: head, body: a.Pred})
+				}
+			case NotAtom:
+				// Negated predicates constrain the stratum even when they
+				// are EDB-only (stratum 0), which the +1 handles uniformly.
+				deps = append(deps, stratumDep{head: head, body: a.Atom.Pred, negative: true})
+			case ClassAtom:
+				if a.Kind == object.GenInterval {
+					deps = append(deps, stratumDep{head: head, body: intervalPseudo})
+				}
+			}
+		}
+	}
+	for _, r := range p.Rules {
+		addRuleDeps(r.Head.Pred, r)
+		if r.IsConstructive() {
+			addRuleDeps(intervalPseudo, r)
+		}
+	}
+
+	strata := map[string]int{}
+	nodes := map[string]bool{intervalPseudo: true}
+	for pred := range idb {
+		nodes[pred] = true
+	}
+	for _, d := range deps {
+		nodes[d.head] = true
+		nodes[d.body] = true
+	}
+	limit := len(nodes) + 1
+	for changed, iter := true, 0; changed; iter++ {
+		if iter > limit*len(deps)+1 {
+			return nil, 0, fmt.Errorf("datalog: program is not stratified (recursion through negation involving %s)", cycleHint(deps, strata))
+		}
+		changed = false
+		for _, d := range deps {
+			want := strata[d.body]
+			if d.negative {
+				want++
+			}
+			if strata[d.head] < want {
+				strata[d.head] = want
+				if strata[d.head] > limit {
+					return nil, 0, fmt.Errorf("datalog: program is not stratified (recursion through negation involving %q)", d.head)
+				}
+				changed = true
+			}
+		}
+	}
+	max := 0
+	for _, s := range strata {
+		if s > max {
+			max = s
+		}
+	}
+	return strata, max, nil
+}
+
+func cycleHint(deps []stratumDep, strata map[string]int) string {
+	var preds []string
+	seen := map[string]bool{}
+	for _, d := range deps {
+		if d.negative && !seen[d.head] {
+			seen[d.head] = true
+			preds = append(preds, fmt.Sprintf("%q", d.head))
+		}
+	}
+	return strings.Join(preds, ", ")
+}

@@ -1,0 +1,111 @@
+package datalog
+
+import (
+	"testing"
+
+	"videodb/internal/interval"
+	"videodb/internal/object"
+	"videodb/internal/store"
+)
+
+func temporalStore(t testing.TB) *store.Store {
+	t.Helper()
+	s := store.New()
+	s.Put(object.NewInterval("early", interval.New(interval.ClosedOpen(0, 10))))
+	s.Put(object.NewInterval("mid", interval.New(interval.ClosedOpen(10, 20))))
+	s.Put(object.NewInterval("late", interval.New(interval.ClosedOpen(30, 40))))
+	s.Put(object.NewInterval("wide", interval.New(interval.ClosedOpen(5, 35))))
+	s.Put(object.NewInterval("frag", interval.FromPairs(2, 4, 32, 34)))
+	return s
+}
+
+func TestTemporalAtoms(t *testing.T) {
+	s := temporalStore(t)
+	cases := []struct {
+		rel  TemporalRel
+		l, r string
+		want bool
+	}{
+		{TempBefore, "early", "late", true},
+		{TempBefore, "early", "mid", true}, // [0,10) precedes [10,20): no shared instant
+		{TempBefore, "mid", "early", false},
+		{TempAfter, "late", "early", true},
+		{TempMeets, "early", "mid", true},
+		{TempMeets, "early", "late", false},
+		{TempMetBy, "mid", "early", true},
+		{TempOverlaps, "wide", "mid", true},
+		{TempOverlaps, "early", "late", false},
+		{TempEquals, "early", "early", true},
+		{TempEquals, "early", "mid", false},
+		{TempContains, "wide", "mid", true},
+		{TempContains, "wide", "frag", false}, // frag starts at 2, before wide
+		{TempDuring, "mid", "wide", true},
+	}
+	for _, tc := range cases {
+		p := NewProgram(NewRule(
+			Rel("q", Oid(object.OID(tc.l))),
+			Interval(Oid(object.OID(tc.l))),
+			TemporalAtom{Rel: tc.rel,
+				Left:  AttrOp(Oid(object.OID(tc.l)), "duration"),
+				Right: AttrOp(Oid(object.OID(tc.r)), "duration")},
+		))
+		e := mustEngine(t, s, p)
+		got, err := e.Ask(Rel("q", Oid(object.OID(tc.l))))
+		if err != nil {
+			t.Fatalf("%s %s %s: %v", tc.l, tc.rel, tc.r, err)
+		}
+		if got != tc.want {
+			t.Errorf("%s %s %s = %v, want %v", tc.l, tc.rel, tc.r, got, tc.want)
+		}
+	}
+}
+
+func TestTemporalAtomFixesBeforeSemantics(t *testing.T) {
+	// "before" between touching half-open intervals: [0,10) and [10,20)
+	// share no instant and every instant of the first precedes the
+	// second, so before holds — and meets also holds (the seamless case).
+	s := temporalStore(t)
+	p := NewProgram(NewRule(
+		Rel("b", Var("X"), Var("Y")),
+		Interval(Var("X")), Interval(Var("Y")),
+		Temporal(AttrOp(Var("X"), "duration"), TempBefore, AttrOp(Var("Y"), "duration")),
+	))
+	e := mustEngine(t, s, p)
+	ok, err := e.Ask(Rel("b", Oid("early"), Oid("mid")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("[0,10) should be before [10,20) over a dense order")
+	}
+}
+
+func TestTemporalAtomAgainstConstant(t *testing.T) {
+	s := temporalStore(t)
+	win := object.Temporal(interval.FromPairs(25, 50))
+	p := NewProgram(NewRule(
+		Rel("q", Var("G")),
+		Interval(Var("G")),
+		Temporal(AttrOp(Var("G"), "duration"), TempBefore, TermOp(Const(win))),
+	))
+	e := mustEngine(t, s, p)
+	wantOIDs(t, oidResults(t, e, Rel("q", Var("G"))), "early", "mid")
+}
+
+func TestTemporalAtomNonTemporalOperand(t *testing.T) {
+	s := store.New()
+	s.Put(object.NewEntity("e").Set("name", object.Str("x")))
+	p := NewProgram(NewRule(
+		Rel("q", Var("O")),
+		ObjectAtom(Var("O")),
+		Temporal(AttrOp(Var("O"), "name"), TempBefore, AttrOp(Var("O"), "name")),
+	))
+	e := mustEngine(t, s, p)
+	res, err := e.Query(Rel("q", Var("O")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 0 {
+		t.Errorf("non-temporal operands must not satisfy temporal atoms: %v", res)
+	}
+}

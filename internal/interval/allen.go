@@ -1,0 +1,163 @@
+package interval
+
+// Relation is one of Allen's thirteen qualitative relations between two
+// non-empty spans. The paper's related systems (Hjelsvold & Midtstraum's
+// VideoStar, OVID) expose these as interval operators; this package
+// implements them as the interval-based counterpart to the paper's
+// point-based constraint formulation, so the two approaches can be compared
+// (experiment E8).
+type Relation uint8
+
+// The thirteen Allen relations. X rel Y reads "X rel Y", e.g. Before means
+// X ends strictly before Y begins.
+const (
+	RelInvalid      Relation = iota
+	RelBefore                // X ends before Y begins, with a gap
+	RelMeets                 // X ends exactly where Y begins, no gap, no overlap
+	RelOverlaps              // X begins first, they overlap, Y ends last
+	RelStarts                // X and Y begin together, X ends first
+	RelDuring                // X begins after and ends before Y
+	RelFinishes              // X begins after Y, they end together
+	RelEquals                // same span
+	RelFinishedBy            // inverse of Finishes
+	RelContains              // inverse of During
+	RelStartedBy             // inverse of Starts
+	RelOverlappedBy          // inverse of Overlaps
+	RelMetBy                 // inverse of Meets
+	RelAfter                 // inverse of Before
+)
+
+var relationNames = [...]string{
+	RelInvalid:      "invalid",
+	RelBefore:       "before",
+	RelMeets:        "meets",
+	RelOverlaps:     "overlaps",
+	RelStarts:       "starts",
+	RelDuring:       "during",
+	RelFinishes:     "finishes",
+	RelEquals:       "equals",
+	RelFinishedBy:   "finished-by",
+	RelContains:     "contains",
+	RelStartedBy:    "started-by",
+	RelOverlappedBy: "overlapped-by",
+	RelMetBy:        "met-by",
+	RelAfter:        "after",
+}
+
+// String returns the conventional lowercase name of the relation.
+func (r Relation) String() string {
+	if int(r) < len(relationNames) {
+		return relationNames[r]
+	}
+	return "invalid"
+}
+
+// Inverse returns the converse relation: if Classify(x, y) == r then
+// Classify(y, x) == r.Inverse().
+func (r Relation) Inverse() Relation {
+	switch r {
+	case RelBefore:
+		return RelAfter
+	case RelAfter:
+		return RelBefore
+	case RelMeets:
+		return RelMetBy
+	case RelMetBy:
+		return RelMeets
+	case RelOverlaps:
+		return RelOverlappedBy
+	case RelOverlappedBy:
+		return RelOverlaps
+	case RelStarts:
+		return RelStartedBy
+	case RelStartedBy:
+		return RelStarts
+	case RelDuring:
+		return RelContains
+	case RelContains:
+		return RelDuring
+	case RelFinishes:
+		return RelFinishedBy
+	case RelFinishedBy:
+		return RelFinishes
+	case RelEquals:
+		return RelEquals
+	default:
+		return RelInvalid
+	}
+}
+
+// Classify returns the Allen relation holding between the non-empty spans
+// x and y. Openness of endpoints is honoured over the dense order: [0,1)
+// meets [1,2] (the union is seamless and they share no point), while
+// [0,1] overlaps [1,2] in the single point 1. Classify returns RelInvalid
+// if either span is empty.
+func Classify(x, y Span) Relation {
+	if x.IsEmpty() || y.IsEmpty() {
+		return RelInvalid
+	}
+	x, y = x.normalize(), y.normalize()
+	loCmp := x.cmpLo(y)
+	hiCmp := x.cmpHi(y)
+	switch {
+	case loCmp == 0 && hiCmp == 0:
+		return RelEquals
+	case loCmp == 0:
+		if hiCmp < 0 {
+			return RelStarts
+		}
+		return RelStartedBy
+	case hiCmp == 0:
+		if loCmp > 0 {
+			return RelFinishes
+		}
+		return RelFinishedBy
+	case loCmp < 0 && hiCmp > 0:
+		return RelContains
+	case loCmp > 0 && hiCmp < 0:
+		return RelDuring
+	case loCmp < 0: // hiCmp < 0: x entirely earlier or overlapping
+		return classifyDisjointOrOverlap(x, y, RelBefore, RelMeets, RelOverlaps)
+	default: // loCmp > 0 && hiCmp > 0
+		return classifyDisjointOrOverlap(y, x, RelAfter, RelMetBy, RelOverlappedBy)
+	}
+}
+
+// classifyDisjointOrOverlap distinguishes before/meets/overlaps for spans
+// where a starts and ends before b does (a.cmpLo(b) < 0, a.cmpHi(b) < 0).
+// The caller supplies the relation names so the same logic serves both
+// orientations.
+func classifyDisjointOrOverlap(a, b Span, before, meets, overlaps Relation) Relation {
+	if a.Overlaps(b) {
+		return overlaps
+	}
+	// Disjoint: "meets" when their union is seamless (no gap and no missing
+	// point), i.e. the spans are mergeable but share no point.
+	if a.mergeable(b) {
+		return meets
+	}
+	return before
+}
+
+// Before reports x before y (strictly earlier with a gap).
+func Before(x, y Span) bool { return Classify(x, y) == RelBefore }
+
+// Meets reports x meets y.
+func Meets(x, y Span) bool { return Classify(x, y) == RelMeets }
+
+// OverlapsRel reports x overlaps y in Allen's strict sense (x starts
+// first, they intersect, y ends last). Use Span.Overlaps for the weaker
+// "shares a point" test.
+func OverlapsRel(x, y Span) bool { return Classify(x, y) == RelOverlaps }
+
+// During reports x during y (strict containment on both sides).
+func During(x, y Span) bool { return Classify(x, y) == RelDuring }
+
+// Starts reports x starts y.
+func Starts(x, y Span) bool { return Classify(x, y) == RelStarts }
+
+// Finishes reports x finishes y.
+func Finishes(x, y Span) bool { return Classify(x, y) == RelFinishes }
+
+// Equals reports x equals y.
+func Equals(x, y Span) bool { return Classify(x, y) == RelEquals }

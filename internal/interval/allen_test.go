@@ -1,0 +1,155 @@
+package interval
+
+import "testing"
+
+func TestClassify(t *testing.T) {
+	tests := []struct {
+		name string
+		x, y Span
+		want Relation
+	}{
+		{"before", Closed(0, 1), Closed(3, 4), RelBefore},
+		{"after", Closed(3, 4), Closed(0, 1), RelAfter},
+		{"meets half-open", ClosedOpen(0, 1), Closed(1, 2), RelMeets},
+		{"meets open-closed", Closed(0, 1), OpenClosed(1, 2), RelMeets},
+		{"met-by", Closed(1, 2), ClosedOpen(0, 1), RelMetBy},
+		{"closed touch overlaps in a point", Closed(0, 1), Closed(1, 2), RelOverlaps},
+		{"uncovered touch is before", ClosedOpen(0, 1), OpenClosed(1, 2), RelBefore},
+		{"overlaps", Closed(0, 5), Closed(3, 8), RelOverlaps},
+		{"overlapped-by", Closed(3, 8), Closed(0, 5), RelOverlappedBy},
+		{"starts", Closed(0, 3), Closed(0, 8), RelStarts},
+		{"started-by", Closed(0, 8), Closed(0, 3), RelStartedBy},
+		{"starts openness differs", Open(0, 3), Closed(0, 8), RelDuring}, // (0,· starts later than [0,·
+		{"during", Closed(2, 3), Closed(0, 8), RelDuring},
+		{"contains", Closed(0, 8), Closed(2, 3), RelContains},
+		{"finishes", Closed(5, 8), Closed(0, 8), RelFinishes},
+		{"finished-by", Closed(0, 8), Closed(5, 8), RelFinishedBy},
+		{"equals", Closed(1, 2), Closed(1, 2), RelEquals},
+		{"equals open", Open(1, 2), Open(1, 2), RelEquals},
+		{"open vs closed same bounds", Open(1, 2), Closed(1, 2), RelDuring},
+		{"unbounded contains", Full(), Closed(0, 1), RelContains},
+		{"two rays overlap", Above(0), Below(10), RelOverlappedBy},
+		{"invalid empty", Closed(2, 1), Closed(0, 1), RelInvalid},
+	}
+	for _, tc := range tests {
+		if got := Classify(tc.x, tc.y); got != tc.want {
+			t.Errorf("%s: Classify(%v, %v) = %v, want %v", tc.name, tc.x, tc.y, got, tc.want)
+		}
+	}
+}
+
+func TestClassifyInverseSymmetry(t *testing.T) {
+	spans := []Span{
+		Closed(0, 1), Closed(0, 5), Closed(3, 8), Closed(2, 3), Open(0, 5),
+		ClosedOpen(0, 1), OpenClosed(1, 2), Point(1), Above(2), Below(4), Full(),
+	}
+	for _, x := range spans {
+		for _, y := range spans {
+			r := Classify(x, y)
+			if got := Classify(y, x); got != r.Inverse() {
+				t.Errorf("Classify(%v,%v)=%v but Classify(%v,%v)=%v (want inverse %v)",
+					x, y, r, y, x, got, r.Inverse())
+			}
+		}
+	}
+}
+
+func TestRelationStringAndInverse(t *testing.T) {
+	all := []Relation{
+		RelBefore, RelMeets, RelOverlaps, RelStarts, RelDuring, RelFinishes,
+		RelEquals, RelFinishedBy, RelContains, RelStartedBy, RelOverlappedBy,
+		RelMetBy, RelAfter,
+	}
+	seen := map[string]bool{}
+	for _, r := range all {
+		name := r.String()
+		if name == "invalid" || seen[name] {
+			t.Errorf("relation %d has bad or duplicate name %q", r, name)
+		}
+		seen[name] = true
+		if r.Inverse().Inverse() != r {
+			t.Errorf("%v: double inverse is not identity", r)
+		}
+	}
+	if RelInvalid.String() != "invalid" || Relation(200).String() != "invalid" {
+		t.Error("invalid relations should stringify as invalid")
+	}
+	if RelInvalid.Inverse() != RelInvalid {
+		t.Error("inverse of invalid should be invalid")
+	}
+}
+
+func TestRelationPredicates(t *testing.T) {
+	if !Before(Closed(0, 1), Closed(2, 3)) {
+		t.Error("Before")
+	}
+	if !Meets(ClosedOpen(0, 1), Closed(1, 2)) {
+		t.Error("Meets")
+	}
+	if !OverlapsRel(Closed(0, 5), Closed(3, 8)) {
+		t.Error("OverlapsRel")
+	}
+	if !During(Closed(2, 3), Closed(0, 8)) {
+		t.Error("During")
+	}
+	if !Starts(Closed(0, 3), Closed(0, 8)) {
+		t.Error("Starts")
+	}
+	if !Finishes(Closed(5, 8), Closed(0, 8)) {
+		t.Error("Finishes")
+	}
+	if !Equals(Closed(1, 2), Closed(1, 2)) {
+		t.Error("Equals")
+	}
+}
+
+func TestClassifyExactlyOneRelation(t *testing.T) {
+	// Allen's relations are jointly exhaustive and pairwise disjoint: every
+	// ordered pair of non-empty spans is classified by exactly one relation.
+	vals := []float64{0, 1, 2, 3}
+	var spans []Span
+	for _, lo := range vals {
+		for _, hi := range vals {
+			for _, loOpen := range []bool{false, true} {
+				for _, hiOpen := range []bool{false, true} {
+					s := Span{Lo: lo, Hi: hi, LoOpen: loOpen, HiOpen: hiOpen}
+					if !s.IsEmpty() {
+						spans = append(spans, s)
+					}
+				}
+			}
+		}
+	}
+	for _, x := range spans {
+		for _, y := range spans {
+			r := Classify(x, y)
+			if r == RelInvalid {
+				t.Fatalf("Classify(%v,%v) = invalid for non-empty spans", x, y)
+			}
+			// Coherence spot checks against set semantics.
+			inter := x.Intersect(y)
+			switch r {
+			case RelBefore, RelAfter, RelMeets, RelMetBy:
+				if !inter.IsEmpty() {
+					t.Errorf("%v %v %v but intersection %v non-empty", x, r, y, inter)
+				}
+			case RelEquals:
+				if !x.Equal(y) {
+					t.Errorf("%v equals %v but not Equal", x, y)
+				}
+			case RelDuring, RelStarts, RelFinishes:
+				if !y.ContainsSpan(x) || x.Equal(y) {
+					t.Errorf("%v %v %v but containment fails", x, r, y)
+				}
+			case RelContains, RelStartedBy, RelFinishedBy:
+				if !x.ContainsSpan(y) || x.Equal(y) {
+					t.Errorf("%v %v %v but containment fails", x, r, y)
+				}
+			case RelOverlaps, RelOverlappedBy:
+				if inter.IsEmpty() || x.ContainsSpan(y) || y.ContainsSpan(x) {
+					t.Errorf("%v %v %v incoherent", x, r, y)
+				}
+			}
+		}
+	}
+}

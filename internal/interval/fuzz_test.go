@@ -1,0 +1,29 @@
+package interval
+
+import "testing"
+
+// FuzzParse checks the interval notation parser never panics and that
+// successful parses round-trip through String.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"[0,10)", "(0,10]", "[0,10] ∪ [20,30]", "[0,1] u (2,3)",
+		"(-inf,3] | [5,+inf)", "∅", "", "[1,", "[,]", "[1,2][3,4]",
+		"[1e308,2e308]", "[-0,0]", "[0.5,0.25]", "(((", "[nan,nan]",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		g, err := Parse(src)
+		if err != nil {
+			return
+		}
+		back, err := Parse(g.String())
+		if err != nil {
+			t.Fatalf("re-parse of %q (from %q) failed: %v", g.String(), src, err)
+		}
+		if !back.Equal(g) {
+			t.Fatalf("round trip changed value: %q -> %v -> %v", src, g, back)
+		}
+	})
+}

@@ -1,0 +1,362 @@
+package interval
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Generalized is a generalized time interval: a set of pairwise
+// non-overlapping spans (Definition 5 of the paper). The representation is
+// kept normalized — spans are sorted by lower bound, non-empty, disjoint
+// and non-mergeable — so structural equality coincides with set equality
+// of the underlying point sets.
+//
+// The zero value is the empty generalized interval.
+type Generalized struct {
+	spans []Span
+}
+
+// Empty returns the empty generalized interval.
+func Empty() Generalized { return Generalized{} }
+
+// New builds a normalized generalized interval from arbitrary spans:
+// empty spans are dropped and overlapping or adjacent-covered spans merge.
+func New(spans ...Span) Generalized {
+	return Generalized{spans: normalizeSpans(spans)}
+}
+
+// FromPairs builds a generalized interval from flat (lo, hi) closed pairs;
+// it panics if given an odd number of arguments. Convenient in tests.
+func FromPairs(bounds ...float64) Generalized {
+	if len(bounds)%2 != 0 {
+		panic("interval.FromPairs: odd number of bounds")
+	}
+	spans := make([]Span, 0, len(bounds)/2)
+	for i := 0; i < len(bounds); i += 2 {
+		spans = append(spans, Closed(bounds[i], bounds[i+1]))
+	}
+	return New(spans...)
+}
+
+func normalizeSpans(in []Span) []Span {
+	spans := make([]Span, 0, len(in))
+	for _, s := range in {
+		if !s.IsEmpty() {
+			spans = append(spans, s.normalize())
+		}
+	}
+	if len(spans) == 0 {
+		return nil
+	}
+	sort.Slice(spans, func(i, j int) bool {
+		if c := spans[i].cmpLo(spans[j]); c != 0 {
+			return c < 0
+		}
+		return spans[i].cmpHi(spans[j]) < 0
+	})
+	out := spans[:1]
+	for _, s := range spans[1:] {
+		last := &out[len(out)-1]
+		if last.mergeable(s) {
+			*last = last.Hull(s)
+		} else {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Spans returns the normalized spans in increasing order. The caller must
+// not modify the returned slice.
+func (g Generalized) Spans() []Span { return g.spans }
+
+// NumSpans returns the number of maximal disjoint spans.
+func (g Generalized) NumSpans() int { return len(g.spans) }
+
+// IsEmpty reports whether the generalized interval contains no points.
+func (g Generalized) IsEmpty() bool { return len(g.spans) == 0 }
+
+// IsBounded reports whether the interval has finite extent on both sides.
+func (g Generalized) IsBounded() bool {
+	if g.IsEmpty() {
+		return true
+	}
+	return g.spans[0].IsBounded() && g.spans[len(g.spans)-1].IsBounded()
+}
+
+// Hull returns the smallest single span covering the whole interval.
+func (g Generalized) Hull() Span {
+	if g.IsEmpty() {
+		return Span{Lo: 1, Hi: 0}
+	}
+	first, last := g.spans[0], g.spans[len(g.spans)-1]
+	return Span{Lo: first.Lo, LoOpen: first.LoOpen, Hi: last.Hi, HiOpen: last.HiOpen}
+}
+
+// Duration returns the total measure of the interval (the sum of span
+// lengths); +Inf if any span is unbounded.
+func (g Generalized) Duration() float64 {
+	var d float64
+	for _, s := range g.spans {
+		d += s.Length()
+	}
+	return d
+}
+
+// Contains reports whether the point p lies in the interval. It runs in
+// O(log n) time using binary search over the normalized spans.
+func (g Generalized) Contains(p float64) bool {
+	i := sort.Search(len(g.spans), func(i int) bool { return g.spans[i].Hi >= p })
+	for ; i < len(g.spans); i++ {
+		if g.spans[i].Lo > p {
+			return false
+		}
+		if g.spans[i].Contains(p) {
+			return true
+		}
+	}
+	return false
+}
+
+// Equal reports whether the two intervals contain exactly the same points.
+func (g Generalized) Equal(h Generalized) bool {
+	if len(g.spans) != len(h.spans) {
+		return false
+	}
+	for i := range g.spans {
+		if !g.spans[i].Equal(h.spans[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Union returns the set union of the two intervals. This is also the
+// temporal semantics of the paper's concatenation operator ⊕ on
+// generalized interval objects; see Concat.
+func (g Generalized) Union(h Generalized) Generalized {
+	if g.IsEmpty() {
+		return h
+	}
+	if h.IsEmpty() {
+		return g
+	}
+	all := make([]Span, 0, len(g.spans)+len(h.spans))
+	all = append(all, g.spans...)
+	all = append(all, h.spans...)
+	return Generalized{spans: normalizeSpans(all)}
+}
+
+// Concat is the interpreted concatenation ⊕ of Section 6.1: the resulting
+// generalized interval covers the fragments of both operands. It is
+// commutative, associative and idempotent (I ⊕ I ≡ I), which underpins the
+// termination of constructive rules.
+func (g Generalized) Concat(h Generalized) Generalized { return g.Union(h) }
+
+// Intersect returns the set intersection of the two intervals.
+func (g Generalized) Intersect(h Generalized) Generalized {
+	if g.IsEmpty() || h.IsEmpty() {
+		return Generalized{}
+	}
+	var out []Span
+	i, j := 0, 0
+	for i < len(g.spans) && j < len(h.spans) {
+		x := g.spans[i].Intersect(h.spans[j])
+		if !x.IsEmpty() {
+			out = append(out, x)
+		}
+		if g.spans[i].cmpHi(h.spans[j]) <= 0 {
+			i++
+		} else {
+			j++
+		}
+	}
+	return Generalized{spans: normalizeSpans(out)}
+}
+
+// Minus returns the points of g not in h.
+func (g Generalized) Minus(h Generalized) Generalized {
+	if g.IsEmpty() || h.IsEmpty() {
+		return g
+	}
+	cur := g.spans
+	for _, hs := range h.spans {
+		var next []Span
+		for _, cs := range cur {
+			next = append(next, cs.Minus(hs)...)
+		}
+		cur = next
+		if len(cur) == 0 {
+			break
+		}
+	}
+	return Generalized{spans: normalizeSpans(cur)}
+}
+
+// Overlaps reports whether the two intervals share at least one point.
+func (g Generalized) Overlaps(h Generalized) bool {
+	i, j := 0, 0
+	for i < len(g.spans) && j < len(h.spans) {
+		if g.spans[i].Overlaps(h.spans[j]) {
+			return true
+		}
+		if g.spans[i].cmpHi(h.spans[j]) <= 0 {
+			i++
+		} else {
+			j++
+		}
+	}
+	return false
+}
+
+// ContainsGen reports whether g contains every point of h (h ⊆ g). This is
+// exactly constraint entailment between the duration constraints the paper
+// attaches to generalized intervals: duration(h) ⇒ duration(g).
+func (g Generalized) ContainsGen(h Generalized) bool {
+	if h.IsEmpty() {
+		return true
+	}
+	if g.IsEmpty() {
+		return false
+	}
+	i := 0
+	for _, hs := range h.spans {
+		for i < len(g.spans) && g.spans[i].cmpHi(hs) < 0 {
+			i++
+		}
+		if i == len(g.spans) || !g.spans[i].ContainsSpan(hs) {
+			return false
+		}
+	}
+	return true
+}
+
+// Gaps returns the maximal spans lying strictly between the interval's
+// fragments (empty for convex or empty intervals). The gaps of the
+// generalized interval are exactly what concatenation-based virtual
+// editing skips over.
+func (g Generalized) Gaps() Generalized {
+	if g.NumSpans() < 2 {
+		return Generalized{}
+	}
+	return New(g.Hull()).Minus(g)
+}
+
+// Shift returns the interval translated by delta.
+func (g Generalized) Shift(delta float64) Generalized {
+	if delta == 0 || g.IsEmpty() {
+		return g
+	}
+	spans := make([]Span, len(g.spans))
+	for i, s := range g.spans {
+		spans[i] = s.Shift(delta)
+	}
+	return Generalized{spans: spans} // shifting preserves normalization
+}
+
+// Clamp returns the part of the interval lying within the window w.
+func (g Generalized) Clamp(w Span) Generalized {
+	return g.Intersect(New(w))
+}
+
+// Min returns the infimum of the interval, or +Inf if empty.
+func (g Generalized) Min() float64 {
+	if g.IsEmpty() {
+		return math.Inf(1)
+	}
+	return g.spans[0].Lo
+}
+
+// Max returns the supremum of the interval, or -Inf if empty.
+func (g Generalized) Max() float64 {
+	if g.IsEmpty() {
+		return math.Inf(-1)
+	}
+	return g.spans[len(g.spans)-1].Hi
+}
+
+// String renders the interval as a ∪-separated list of spans, e.g.
+// "[0,10) ∪ [20,30)". The empty interval renders as "∅".
+func (g Generalized) String() string {
+	if g.IsEmpty() {
+		return "∅"
+	}
+	parts := make([]string, len(g.spans))
+	for i, s := range g.spans {
+		parts[i] = s.String()
+	}
+	return strings.Join(parts, " ∪ ")
+}
+
+// Parse parses the notation produced by String; it also accepts "u", "U",
+// "|" and "+" as union separators between spans.
+func Parse(s string) (Generalized, error) {
+	t := strings.TrimSpace(s)
+	if t == "" || t == "∅" || t == "empty" {
+		return Generalized{}, nil
+	}
+	var spans []Span
+	rest := t
+	for strings.TrimSpace(rest) != "" {
+		start := strings.IndexAny(rest, "[(")
+		if start < 0 {
+			return Generalized{}, fmt.Errorf("interval: trailing garbage %q in %q", rest, s)
+		}
+		// Everything before the span must be whitespace or a separator.
+		sep := strings.TrimSpace(rest[:start])
+		sep = strings.TrimFunc(sep, func(r rune) bool {
+			return r == 'u' || r == 'U' || r == '|' || r == '∪' || r == '+' || r == ' '
+		})
+		if sep != "" {
+			return Generalized{}, fmt.Errorf("interval: unexpected %q in %q", sep, s)
+		}
+		end := strings.IndexAny(rest[start:], "])")
+		if end < 0 {
+			return Generalized{}, fmt.Errorf("interval: unterminated span in %q", s)
+		}
+		end += start
+		sp, err := ParseSpan(rest[start : end+1])
+		if err != nil {
+			return Generalized{}, err
+		}
+		spans = append(spans, sp)
+		rest = rest[end+1:]
+	}
+	return New(spans...), nil
+}
+
+// MarshalBinary encodes the interval for gob/persistence use.
+func (g Generalized) MarshalBinary() ([]byte, error) {
+	return []byte(g.String()), nil
+}
+
+// UnmarshalBinary decodes data produced by MarshalBinary.
+func (g *Generalized) UnmarshalBinary(data []byte) error {
+	parsed, err := Parse(string(data))
+	if err != nil {
+		return err
+	}
+	*g = parsed
+	return nil
+}
+
+// MarshalJSON encodes the interval as a JSON string in String notation.
+func (g Generalized) MarshalJSON() ([]byte, error) {
+	return []byte(fmt.Sprintf("%q", g.String())), nil
+}
+
+// UnmarshalJSON decodes a JSON string in String notation.
+func (g *Generalized) UnmarshalJSON(data []byte) error {
+	if len(data) < 2 || data[0] != '"' || data[len(data)-1] != '"' {
+		return errors.New("interval: generalized interval JSON must be a string")
+	}
+	parsed, err := Parse(string(data[1 : len(data)-1]))
+	if err != nil {
+		return err
+	}
+	*g = parsed
+	return nil
+}

@@ -1,0 +1,285 @@
+package interval
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+func TestNewNormalizes(t *testing.T) {
+	tests := []struct {
+		name string
+		in   []Span
+		want Generalized
+	}{
+		{"empty", nil, Empty()},
+		{"drops empty spans", []Span{Closed(2, 1), Open(3, 3)}, Empty()},
+		{"sorts", []Span{Closed(10, 11), Closed(0, 1)}, FromPairs(0, 1, 10, 11)},
+		{"merges overlap", []Span{Closed(0, 5), Closed(3, 8)}, FromPairs(0, 8)},
+		{"merges adjacent covered", []Span{ClosedOpen(0, 5), Closed(5, 8)}, FromPairs(0, 8)},
+		{"keeps uncovered touch", []Span{ClosedOpen(0, 5), OpenClosed(5, 8)},
+			New(ClosedOpen(0, 5), OpenClosed(5, 8))},
+		{"merge chain", []Span{Closed(0, 2), Closed(2, 4), Closed(4, 6)}, FromPairs(0, 6)},
+		{"point fills hole", []Span{ClosedOpen(0, 5), Point(5), OpenClosed(5, 8)}, FromPairs(0, 8)},
+		{"duplicate", []Span{Closed(1, 2), Closed(1, 2)}, FromPairs(1, 2)},
+		{"nested", []Span{Closed(0, 10), Closed(2, 3)}, FromPairs(0, 10)},
+	}
+	for _, tc := range tests {
+		got := New(tc.in...)
+		if !got.Equal(tc.want) {
+			t.Errorf("%s: New(%v) = %v, want %v", tc.name, tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestGeneralizedContains(t *testing.T) {
+	g := New(Closed(0, 10), Open(20, 30), Closed(40, 40))
+	tests := []struct {
+		p    float64
+		want bool
+	}{
+		{0, true}, {5, true}, {10, true}, {15, false},
+		{20, false}, {25, true}, {30, false},
+		{40, true}, {39.999, false}, {41, false},
+		{-1, false}, {1e9, false},
+	}
+	for _, tc := range tests {
+		if got := g.Contains(tc.p); got != tc.want {
+			t.Errorf("Contains(%v) = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+	if Empty().Contains(0) {
+		t.Error("empty interval should contain nothing")
+	}
+}
+
+func TestGeneralizedUnionIntersectMinus(t *testing.T) {
+	a := FromPairs(0, 10, 20, 30)
+	b := FromPairs(5, 25, 40, 50)
+
+	if got, want := a.Union(b), FromPairs(0, 30, 40, 50); !got.Equal(want) {
+		t.Errorf("union = %v, want %v", got, want)
+	}
+	if got, want := a.Intersect(b), FromPairs(5, 10, 20, 25); !got.Equal(want) {
+		t.Errorf("intersect = %v, want %v", got, want)
+	}
+	if got, want := a.Minus(b), New(ClosedOpen(0, 5), OpenClosed(25, 30)); !got.Equal(want) {
+		t.Errorf("minus = %v, want %v", got, want)
+	}
+	if got, want := b.Minus(a), New(Open(10, 20), Closed(40, 50)); !got.Equal(want) {
+		t.Errorf("minus rev = %v, want %v", got, want)
+	}
+	// Identities with empty.
+	if !a.Union(Empty()).Equal(a) || !Empty().Union(a).Equal(a) {
+		t.Error("union with empty should be identity")
+	}
+	if !a.Intersect(Empty()).IsEmpty() {
+		t.Error("intersect with empty should be empty")
+	}
+	if !a.Minus(Empty()).Equal(a) {
+		t.Error("minus empty should be identity")
+	}
+	if !Empty().Minus(a).IsEmpty() {
+		t.Error("empty minus anything should be empty")
+	}
+}
+
+func TestGeneralizedOverlapsAndContainsGen(t *testing.T) {
+	a := FromPairs(0, 10, 20, 30)
+	tests := []struct {
+		b                  Generalized
+		overlaps, contains bool
+	}{
+		{FromPairs(2, 3), true, true},
+		{FromPairs(2, 3, 22, 23), true, true},
+		{FromPairs(2, 3, 12, 13), true, false},
+		{FromPairs(12, 13), false, false},
+		{FromPairs(-5, 0), true, false},   // touches endpoint 0
+		{New(Open(10, 20)), false, false}, // exactly the gap
+		{FromPairs(0, 10, 20, 30), true, true},
+		{FromPairs(0, 30), true, false},
+		{Empty(), false, true},
+	}
+	for _, tc := range tests {
+		if got := a.Overlaps(tc.b); got != tc.overlaps {
+			t.Errorf("%v.Overlaps(%v) = %v, want %v", a, tc.b, got, tc.overlaps)
+		}
+		if got := a.ContainsGen(tc.b); got != tc.contains {
+			t.Errorf("%v.ContainsGen(%v) = %v, want %v", a, tc.b, got, tc.contains)
+		}
+	}
+	if Empty().ContainsGen(FromPairs(0, 1)) {
+		t.Error("empty must not contain a non-empty interval")
+	}
+	if !Empty().ContainsGen(Empty()) {
+		t.Error("empty contains empty")
+	}
+}
+
+func TestGeneralizedConcatLaws(t *testing.T) {
+	a := FromPairs(0, 10)
+	b := FromPairs(20, 30)
+	c := FromPairs(5, 25)
+
+	if !a.Concat(a).Equal(a) {
+		t.Error("⊕ must be idempotent: I ⊕ I ≡ I")
+	}
+	if !a.Concat(b).Equal(b.Concat(a)) {
+		t.Error("⊕ must be commutative")
+	}
+	if !a.Concat(b).Concat(c).Equal(a.Concat(b.Concat(c))) {
+		t.Error("⊕ must be associative")
+	}
+	// Absorption: (I1 ⊕ I2) ⊕ I1 = I1 ⊕ I2 (paper §6.1 termination argument).
+	ab := a.Concat(b)
+	if !ab.Concat(a).Equal(ab) {
+		t.Error("⊕ must absorb already-included operands")
+	}
+}
+
+func TestGeneralizedMetrics(t *testing.T) {
+	g := FromPairs(0, 10, 20, 25)
+	if got := g.Duration(); got != 15 {
+		t.Errorf("Duration = %v, want 15", got)
+	}
+	if got := g.NumSpans(); got != 2 {
+		t.Errorf("NumSpans = %v, want 2", got)
+	}
+	if got := g.Min(); got != 0 {
+		t.Errorf("Min = %v, want 0", got)
+	}
+	if got := g.Max(); got != 25 {
+		t.Errorf("Max = %v, want 25", got)
+	}
+	if got := g.Hull(); !got.Equal(Closed(0, 25)) {
+		t.Errorf("Hull = %v, want [0,25]", got)
+	}
+	if !g.IsBounded() {
+		t.Error("bounded interval reported unbounded")
+	}
+	if New(Above(0)).IsBounded() {
+		t.Error("unbounded interval reported bounded")
+	}
+	if got := Empty().Min(); !math.IsInf(got, 1) {
+		t.Errorf("empty Min = %v, want +Inf", got)
+	}
+	if got := Empty().Max(); !math.IsInf(got, -1) {
+		t.Errorf("empty Max = %v, want -Inf", got)
+	}
+	if got := Empty().Duration(); got != 0 {
+		t.Errorf("empty Duration = %v, want 0", got)
+	}
+}
+
+func TestGeneralizedShiftClamp(t *testing.T) {
+	g := FromPairs(0, 10, 20, 30)
+	if got, want := g.Shift(100), FromPairs(100, 110, 120, 130); !got.Equal(want) {
+		t.Errorf("Shift = %v, want %v", got, want)
+	}
+	if got, want := g.Clamp(Closed(5, 22)), FromPairs(5, 10, 20, 22); !got.Equal(want) {
+		t.Errorf("Clamp = %v, want %v", got, want)
+	}
+	if !g.Shift(0).Equal(g) {
+		t.Error("Shift(0) should be identity")
+	}
+}
+
+func TestGeneralizedStringParse(t *testing.T) {
+	cases := []Generalized{
+		Empty(),
+		FromPairs(0, 10),
+		FromPairs(0, 10, 20, 30, 40, 50),
+		New(Open(0, 1), ClosedOpen(2, 3), OpenClosed(4, 5)),
+		New(Below(0), Closed(5, 6), Above(10)),
+	}
+	for _, g := range cases {
+		text := g.String()
+		back, err := Parse(text)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", text, err)
+		}
+		if !back.Equal(g) {
+			t.Errorf("round trip %q: got %v", text, back)
+		}
+	}
+	// Alternative separators.
+	for _, text := range []string{"[0,1] u [2,3]", "[0,1] U [2,3]", "[0,1]+[2,3]", "[0,1] | [2,3]"} {
+		g, err := Parse(text)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", text, err)
+		}
+		if !g.Equal(FromPairs(0, 1, 2, 3)) {
+			t.Errorf("Parse(%q) = %v", text, g)
+		}
+	}
+	if _, err := Parse("[0,1] ∪ [bad]"); err == nil {
+		t.Error("expected parse error")
+	}
+}
+
+func TestGeneralizedJSONRoundTrip(t *testing.T) {
+	g := New(Closed(0, 10), Open(20, 30))
+	data, err := json.Marshal(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Generalized
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(g) {
+		t.Errorf("JSON round trip: got %v, want %v", back, g)
+	}
+	if err := back.UnmarshalJSON([]byte(`42`)); err == nil {
+		t.Error("expected error for non-string JSON")
+	}
+}
+
+func TestGeneralizedBinaryRoundTrip(t *testing.T) {
+	g := New(ClosedOpen(0, 10), Above(100))
+	data, err := g.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Generalized
+	if err := back.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(g) {
+		t.Errorf("binary round trip: got %v, want %v", back, g)
+	}
+}
+
+func TestFromPairsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("FromPairs with odd arity should panic")
+		}
+	}()
+	FromPairs(1, 2, 3)
+}
+
+func TestGaps(t *testing.T) {
+	cases := []struct {
+		g, want Generalized
+	}{
+		{Empty(), Empty()},
+		{FromPairs(0, 10), Empty()},
+		{FromPairs(0, 10, 20, 30), New(Open(10, 20))},
+		{FromPairs(0, 1, 2, 3, 4, 5), New(Open(1, 2), Open(3, 4))},
+		{New(ClosedOpen(0, 10), OpenClosed(20, 30)), New(Closed(10, 20))},
+	}
+	for _, tc := range cases {
+		if got := tc.g.Gaps(); !got.Equal(tc.want) {
+			t.Errorf("Gaps(%v) = %v, want %v", tc.g, got, tc.want)
+		}
+	}
+	// Gaps ∪ interval = hull; gaps ∩ interval = ∅.
+	g := FromPairs(0, 5, 8, 9, 15, 20)
+	if !g.Gaps().Union(g).Equal(New(g.Hull())) {
+		t.Error("gaps ∪ g should equal the hull")
+	}
+	if g.Gaps().Overlaps(g) {
+		t.Error("gaps must not overlap the interval")
+	}
+}

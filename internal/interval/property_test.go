@@ -1,0 +1,195 @@
+package interval
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// genSpan draws a random span with small integer-ish bounds so that
+// adjacency and equality cases occur often.
+func genSpan(r *rand.Rand) Span {
+	lo := float64(r.Intn(21) - 10)
+	hi := lo + float64(r.Intn(8))
+	s := Span{Lo: lo, Hi: hi, LoOpen: r.Intn(2) == 0, HiOpen: r.Intn(2) == 0}
+	if r.Intn(10) == 0 {
+		return Span{Lo: 1, Hi: 0} // occasionally empty
+	}
+	return s
+}
+
+func genGeneralized(r *rand.Rand) Generalized {
+	n := r.Intn(5)
+	spans := make([]Span, n)
+	for i := range spans {
+		spans[i] = genSpan(r)
+	}
+	return New(spans...)
+}
+
+// quickGen is a testing/quick Generator wrapper for Generalized.
+type quickGen struct{ G Generalized }
+
+func (quickGen) Generate(r *rand.Rand, _ int) reflect.Value {
+	return reflect.ValueOf(quickGen{G: genGeneralized(r)})
+}
+
+var quickCfg = &quick.Config{MaxCount: 400}
+
+func TestPropUnionCommutativeAssociativeIdempotent(t *testing.T) {
+	f := func(a, b, c quickGen) bool {
+		ab, ba := a.G.Union(b.G), b.G.Union(a.G)
+		if !ab.Equal(ba) {
+			return false
+		}
+		if !a.G.Union(a.G).Equal(a.G) {
+			return false
+		}
+		left := a.G.Union(b.G).Union(c.G)
+		right := a.G.Union(b.G.Union(c.G))
+		return left.Equal(right)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropIntersectDistributesOverUnion(t *testing.T) {
+	f := func(a, b, c quickGen) bool {
+		left := a.G.Intersect(b.G.Union(c.G))
+		right := a.G.Intersect(b.G).Union(a.G.Intersect(c.G))
+		return left.Equal(right)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropMinusComplement(t *testing.T) {
+	f := func(a, b quickGen) bool {
+		diff := a.G.Minus(b.G)
+		// diff and b are disjoint, and diff ∪ (a ∩ b) = a.
+		if diff.Overlaps(b.G) {
+			return false
+		}
+		return diff.Union(a.G.Intersect(b.G)).Equal(a.G)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropContainsGenCoherence(t *testing.T) {
+	f := func(a, b quickGen) bool {
+		// a ⊇ b iff a ∪ b == a iff b \ a == ∅.
+		byUnion := a.G.Union(b.G).Equal(a.G)
+		byMinus := b.G.Minus(a.G).IsEmpty()
+		byContains := a.G.ContainsGen(b.G)
+		return byUnion == byContains && byMinus == byContains
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropOverlapsCoherence(t *testing.T) {
+	f := func(a, b quickGen) bool {
+		return a.G.Overlaps(b.G) == !a.G.Intersect(b.G).IsEmpty() &&
+			a.G.Overlaps(b.G) == b.G.Overlaps(a.G)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropNormalizationCanonical(t *testing.T) {
+	// Re-normalizing the spans of a normalized interval is the identity,
+	// spans are sorted, pairwise disjoint and non-mergeable.
+	f := func(a quickGen) bool {
+		spans := a.G.Spans()
+		if !New(spans...).Equal(a.G) {
+			return false
+		}
+		for i := 1; i < len(spans); i++ {
+			if spans[i-1].cmpLo(spans[i]) >= 0 {
+				return false
+			}
+			if spans[i-1].mergeable(spans[i]) {
+				return false
+			}
+		}
+		for _, s := range spans {
+			if s.IsEmpty() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropPointMembershipMatchesOps(t *testing.T) {
+	// Membership in union/intersection/difference agrees with pointwise
+	// boolean algebra, sampled at half-integer grid points.
+	f := func(a, b quickGen) bool {
+		u, x, d := a.G.Union(b.G), a.G.Intersect(b.G), a.G.Minus(b.G)
+		for p := -12.0; p <= 12; p += 0.5 {
+			ina, inb := a.G.Contains(p), b.G.Contains(p)
+			if u.Contains(p) != (ina || inb) {
+				return false
+			}
+			if x.Contains(p) != (ina && inb) {
+				return false
+			}
+			if d.Contains(p) != (ina && !inb) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropParseRoundTrip(t *testing.T) {
+	f := func(a quickGen) bool {
+		back, err := Parse(a.G.String())
+		return err == nil && back.Equal(a.G)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropDurationAdditive(t *testing.T) {
+	// |a| + |b| = |a ∪ b| + |a ∩ b| for bounded intervals.
+	f := func(a, b quickGen) bool {
+		lhs := a.G.Duration() + b.G.Duration()
+		rhs := a.G.Union(b.G).Duration() + a.G.Intersect(b.G).Duration()
+		return lhs == rhs
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropAllenPartition(t *testing.T) {
+	// For random non-empty spans exactly one relation holds and inversion
+	// is coherent.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		x, y := genSpan(r), genSpan(r)
+		if x.IsEmpty() || y.IsEmpty() {
+			return true
+		}
+		rel := Classify(x, y)
+		return rel != RelInvalid && Classify(y, x) == rel.Inverse()
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,384 @@
+// Package interval implements time intervals and generalized time intervals
+// over a dense linear order, as defined in Section 4 of "A Database Approach
+// for Modeling and Querying Video Data" (Decleir, Hacid, Kouloumdjian,
+// ICDE 1999).
+//
+// A Span is a single interval with independently open or closed endpoints,
+// possibly unbounded (±Inf endpoints are always open). A Generalized value
+// is a set of pairwise non-overlapping, non-mergeable spans kept in a
+// canonical normalized form, and corresponds to the paper's "generalized
+// interval": the disjunction of the time intervals during which some
+// described fact holds.
+//
+// The time domain is the dense order of the reals, represented as float64.
+// Because the order is dense, two spans that merely touch at a point that
+// neither covers (for example [1,2) and (2,3]) do NOT merge: the point 2 is
+// missing from their union.
+package interval
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Span is a single time interval with endpoints Lo..Hi. Either endpoint may
+// be open (excluded) or closed (included). Unbounded spans use math.Inf
+// endpoints, which are always treated as open.
+//
+// The zero value is the empty span.
+type Span struct {
+	Lo, Hi         float64
+	LoOpen, HiOpen bool
+}
+
+// Closed returns the closed span [lo, hi].
+func Closed(lo, hi float64) Span { return Span{Lo: lo, Hi: hi} }
+
+// Open returns the open span (lo, hi).
+func Open(lo, hi float64) Span { return Span{Lo: lo, Hi: hi, LoOpen: true, HiOpen: true} }
+
+// ClosedOpen returns the half-open span [lo, hi).
+func ClosedOpen(lo, hi float64) Span { return Span{Lo: lo, Hi: hi, HiOpen: true} }
+
+// OpenClosed returns the half-open span (lo, hi].
+func OpenClosed(lo, hi float64) Span { return Span{Lo: lo, Hi: hi, LoOpen: true} }
+
+// Point returns the degenerate span [p, p].
+func Point(p float64) Span { return Span{Lo: p, Hi: p} }
+
+// Above returns the unbounded span (lo, +inf).
+func Above(lo float64) Span {
+	return Span{Lo: lo, Hi: math.Inf(1), LoOpen: true, HiOpen: true}
+}
+
+// AtLeast returns the unbounded span [lo, +inf).
+func AtLeast(lo float64) Span {
+	return Span{Lo: lo, Hi: math.Inf(1), HiOpen: true}
+}
+
+// Below returns the unbounded span (-inf, hi).
+func Below(hi float64) Span {
+	return Span{Lo: math.Inf(-1), Hi: hi, LoOpen: true, HiOpen: true}
+}
+
+// AtMost returns the unbounded span (-inf, hi].
+func AtMost(hi float64) Span {
+	return Span{Lo: math.Inf(-1), Hi: hi, LoOpen: true}
+}
+
+// Full returns the span covering the whole time line (-inf, +inf).
+func Full() Span {
+	return Span{Lo: math.Inf(-1), Hi: math.Inf(1), LoOpen: true, HiOpen: true}
+}
+
+// IsEmpty reports whether the span contains no points. NaN bounds are
+// outside the dense order and make the span empty.
+func (s Span) IsEmpty() bool {
+	if math.IsNaN(s.Lo) || math.IsNaN(s.Hi) {
+		return true
+	}
+	if s.Lo > s.Hi {
+		return true
+	}
+	if s.Lo == s.Hi {
+		return s.LoOpen || s.HiOpen || math.IsInf(s.Lo, 0)
+	}
+	return false
+}
+
+// IsPoint reports whether the span is a single point [p, p].
+func (s Span) IsPoint() bool {
+	return s.Lo == s.Hi && !s.LoOpen && !s.HiOpen && !math.IsInf(s.Lo, 0)
+}
+
+// IsBounded reports whether both endpoints are finite.
+func (s Span) IsBounded() bool {
+	return !math.IsInf(s.Lo, 0) && !math.IsInf(s.Hi, 0)
+}
+
+// Length returns Hi - Lo, the measure of the span. Openness of endpoints
+// does not change the measure; unbounded spans have infinite length, and
+// empty spans have length zero.
+func (s Span) Length() float64 {
+	if s.IsEmpty() {
+		return 0
+	}
+	return s.Hi - s.Lo
+}
+
+// normalize canonicalizes representations of the empty span and endpoint
+// openness at infinities so that Equal can compare structurally.
+func (s Span) normalize() Span {
+	if s.IsEmpty() {
+		return Span{Lo: 1, Hi: 0} // canonical empty
+	}
+	if math.IsInf(s.Lo, -1) {
+		s.LoOpen = true
+	}
+	if math.IsInf(s.Hi, 1) {
+		s.HiOpen = true
+	}
+	return s
+}
+
+// Contains reports whether the point p lies in the span.
+func (s Span) Contains(p float64) bool {
+	if s.IsEmpty() || math.IsInf(p, 0) {
+		return false
+	}
+	if p < s.Lo || (p == s.Lo && s.LoOpen) {
+		return false
+	}
+	if p > s.Hi || (p == s.Hi && s.HiOpen) {
+		return false
+	}
+	return true
+}
+
+// cmpLo compares the lower bounds of two spans: -1 if s starts before t,
+// 0 if they start identically, +1 if s starts after t. A closed bound at
+// the same value starts before an open one (it includes the endpoint).
+func (s Span) cmpLo(t Span) int {
+	switch {
+	case s.Lo < t.Lo:
+		return -1
+	case s.Lo > t.Lo:
+		return 1
+	case s.LoOpen == t.LoOpen:
+		return 0
+	case !s.LoOpen:
+		return -1
+	default:
+		return 1
+	}
+}
+
+// cmpHi compares the upper bounds of two spans: -1 if s ends before t.
+// An open bound at the same value ends before a closed one.
+func (s Span) cmpHi(t Span) int {
+	switch {
+	case s.Hi < t.Hi:
+		return -1
+	case s.Hi > t.Hi:
+		return 1
+	case s.HiOpen == t.HiOpen:
+		return 0
+	case s.HiOpen:
+		return -1
+	default:
+		return 1
+	}
+}
+
+// Equal reports whether the two spans contain exactly the same points.
+func (s Span) Equal(t Span) bool {
+	s, t = s.normalize(), t.normalize()
+	if s.IsEmpty() && t.IsEmpty() {
+		return true
+	}
+	return s == t
+}
+
+// Overlaps reports whether the two spans share at least one point.
+func (s Span) Overlaps(t Span) bool {
+	return !s.Intersect(t).IsEmpty()
+}
+
+// ContainsSpan reports whether every point of t lies in s.
+func (s Span) ContainsSpan(t Span) bool {
+	if t.IsEmpty() {
+		return true
+	}
+	if s.IsEmpty() {
+		return false
+	}
+	return s.cmpLo(t) <= 0 && s.cmpHi(t) >= 0
+}
+
+// Intersect returns the intersection of the two spans (possibly empty).
+func (s Span) Intersect(t Span) Span {
+	if s.IsEmpty() || t.IsEmpty() {
+		return Span{Lo: 1, Hi: 0}
+	}
+	r := s
+	if s.cmpLo(t) < 0 {
+		r.Lo, r.LoOpen = t.Lo, t.LoOpen
+	}
+	if s.cmpHi(t) > 0 {
+		r.Hi, r.HiOpen = t.Hi, t.HiOpen
+	}
+	return r.normalize()
+}
+
+// mergeable reports whether the union of s and t is a single span: they
+// overlap, or they are adjacent with the touching point covered by at
+// least one of them.
+func (s Span) mergeable(t Span) bool {
+	if s.IsEmpty() || t.IsEmpty() {
+		return true
+	}
+	if s.cmpLo(t) > 0 {
+		s, t = t, s
+	}
+	// s starts first (or equal). They merge unless s ends strictly before
+	// t begins, leaving a gap or an uncovered touching point.
+	if s.Hi > t.Lo {
+		return true
+	}
+	if s.Hi < t.Lo {
+		return false
+	}
+	return !s.HiOpen || !t.LoOpen
+}
+
+// Hull returns the smallest single span containing both s and t.
+func (s Span) Hull(t Span) Span {
+	if s.IsEmpty() {
+		return t.normalize()
+	}
+	if t.IsEmpty() {
+		return s.normalize()
+	}
+	r := s
+	if t.cmpLo(s) < 0 {
+		r.Lo, r.LoOpen = t.Lo, t.LoOpen
+	}
+	if t.cmpHi(s) > 0 {
+		r.Hi, r.HiOpen = t.Hi, t.HiOpen
+	}
+	return r.normalize()
+}
+
+// Minus returns the points of s not in t, as zero, one or two spans.
+func (s Span) Minus(t Span) []Span {
+	if s.IsEmpty() {
+		return nil
+	}
+	x := s.Intersect(t)
+	if x.IsEmpty() {
+		return []Span{s.normalize()}
+	}
+	var out []Span
+	// Left remainder: from s.Lo to x.Lo (x.Lo becomes an open/closed upper
+	// bound with flipped openness).
+	left := Span{Lo: s.Lo, LoOpen: s.LoOpen, Hi: x.Lo, HiOpen: !x.LoOpen}
+	if !left.IsEmpty() {
+		out = append(out, left.normalize())
+	}
+	right := Span{Lo: x.Hi, LoOpen: !x.HiOpen, Hi: s.Hi, HiOpen: s.HiOpen}
+	if !right.IsEmpty() {
+		out = append(out, right.normalize())
+	}
+	return out
+}
+
+// Shift returns the span translated by delta.
+func (s Span) Shift(delta float64) Span {
+	if s.IsEmpty() {
+		return s.normalize()
+	}
+	r := s
+	if !math.IsInf(r.Lo, 0) {
+		r.Lo += delta
+	}
+	if !math.IsInf(r.Hi, 0) {
+		r.Hi += delta
+	}
+	return r.normalize()
+}
+
+// String renders the span in standard mathematical notation, e.g. "[0,10)",
+// "(3,+inf)". The empty span renders as "∅".
+func (s Span) String() string {
+	if s.IsEmpty() {
+		return "∅"
+	}
+	var b strings.Builder
+	if s.LoOpen {
+		b.WriteByte('(')
+	} else {
+		b.WriteByte('[')
+	}
+	b.WriteString(formatBound(s.Lo))
+	b.WriteByte(',')
+	b.WriteString(formatBound(s.Hi))
+	if s.HiOpen {
+		b.WriteByte(')')
+	} else {
+		b.WriteByte(']')
+	}
+	return b.String()
+}
+
+func formatBound(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+inf"
+	case math.IsInf(v, -1):
+		return "-inf"
+	default:
+		return strconv.FormatFloat(v, 'g', -1, 64)
+	}
+}
+
+// ParseSpan parses the notation produced by String, e.g. "[0,10)" or
+// "(-inf,3]". It rejects malformed input with a descriptive error.
+func ParseSpan(s string) (Span, error) {
+	t := strings.TrimSpace(s)
+	if t == "∅" || t == "empty" {
+		return Span{Lo: 1, Hi: 0}, nil
+	}
+	if len(t) < 5 {
+		return Span{}, fmt.Errorf("interval: malformed span %q", s)
+	}
+	var sp Span
+	switch t[0] {
+	case '[':
+	case '(':
+		sp.LoOpen = true
+	default:
+		return Span{}, fmt.Errorf("interval: span %q must start with '[' or '('", s)
+	}
+	switch t[len(t)-1] {
+	case ']':
+	case ')':
+		sp.HiOpen = true
+	default:
+		return Span{}, fmt.Errorf("interval: span %q must end with ']' or ')'", s)
+	}
+	body := t[1 : len(t)-1]
+	comma := strings.IndexByte(body, ',')
+	if comma < 0 {
+		return Span{}, fmt.Errorf("interval: span %q missing comma", s)
+	}
+	lo, err := parseBound(body[:comma])
+	if err != nil {
+		return Span{}, fmt.Errorf("interval: span %q: %v", s, err)
+	}
+	hi, err := parseBound(body[comma+1:])
+	if err != nil {
+		return Span{}, fmt.Errorf("interval: span %q: %v", s, err)
+	}
+	sp.Lo, sp.Hi = lo, hi
+	if sp.IsEmpty() && !(lo > hi) && lo != hi {
+		return Span{}, fmt.Errorf("interval: span %q is empty", s)
+	}
+	return sp.normalize(), nil
+}
+
+func parseBound(s string) (float64, error) {
+	switch t := strings.TrimSpace(s); t {
+	case "+inf", "inf", "+∞", "∞":
+		return math.Inf(1), nil
+	case "-inf", "-∞":
+		return math.Inf(-1), nil
+	default:
+		v, err := strconv.ParseFloat(t, 64)
+		if err == nil && math.IsNaN(v) {
+			return 0, fmt.Errorf("NaN is not a point of the dense order")
+		}
+		return v, err
+	}
+}

@@ -1,0 +1,227 @@
+package interval
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSpanConstructorsAndEmptiness(t *testing.T) {
+	tests := []struct {
+		name  string
+		s     Span
+		empty bool
+	}{
+		{"closed", Closed(0, 1), false},
+		{"open", Open(0, 1), false},
+		{"closed-open", ClosedOpen(0, 1), false},
+		{"open-closed", OpenClosed(0, 1), false},
+		{"point", Point(5), false},
+		{"reversed", Closed(2, 1), true},
+		{"degenerate open", Open(3, 3), true},
+		{"degenerate half-open", ClosedOpen(3, 3), true},
+		{"zero value", Span{}, false}, // [0,0] is the point 0
+		{"above", Above(0), false},
+		{"below", Below(0), false},
+		{"full", Full(), false},
+		{"inf point", Span{Lo: math.Inf(1), Hi: math.Inf(1)}, true},
+	}
+	for _, tc := range tests {
+		if got := tc.s.IsEmpty(); got != tc.empty {
+			t.Errorf("%s: IsEmpty() = %v, want %v", tc.name, got, tc.empty)
+		}
+	}
+}
+
+func TestSpanContains(t *testing.T) {
+	tests := []struct {
+		s    Span
+		p    float64
+		want bool
+	}{
+		{Closed(0, 10), 0, true},
+		{Closed(0, 10), 10, true},
+		{Closed(0, 10), 5, true},
+		{Closed(0, 10), -0.001, false},
+		{Closed(0, 10), 10.001, false},
+		{Open(0, 10), 0, false},
+		{Open(0, 10), 10, false},
+		{Open(0, 10), 0.0001, true},
+		{ClosedOpen(0, 10), 0, true},
+		{ClosedOpen(0, 10), 10, false},
+		{OpenClosed(0, 10), 0, false},
+		{OpenClosed(0, 10), 10, true},
+		{Point(3), 3, true},
+		{Point(3), 3.0001, false},
+		{Above(5), 5, false},
+		{Above(5), 1e18, true},
+		{AtLeast(5), 5, true},
+		{Below(5), 5, false},
+		{AtMost(5), 5, true},
+		{Full(), 0, true},
+		{Full(), math.Inf(1), false}, // infinity is not a point of the order
+		{Closed(2, 1), 1.5, false},   // empty
+	}
+	for _, tc := range tests {
+		if got := tc.s.Contains(tc.p); got != tc.want {
+			t.Errorf("%v.Contains(%v) = %v, want %v", tc.s, tc.p, got, tc.want)
+		}
+	}
+}
+
+func TestSpanLength(t *testing.T) {
+	if got := Closed(2, 5).Length(); got != 3 {
+		t.Errorf("Length [2,5] = %v, want 3", got)
+	}
+	if got := Open(2, 5).Length(); got != 3 {
+		t.Errorf("Length (2,5) = %v, want 3", got)
+	}
+	if got := Closed(5, 2).Length(); got != 0 {
+		t.Errorf("Length of empty = %v, want 0", got)
+	}
+	if got := Above(0).Length(); !math.IsInf(got, 1) {
+		t.Errorf("Length (0,inf) = %v, want +Inf", got)
+	}
+}
+
+func TestSpanIntersect(t *testing.T) {
+	tests := []struct {
+		a, b, want Span
+	}{
+		{Closed(0, 10), Closed(5, 15), Closed(5, 10)},
+		{Closed(0, 10), Closed(10, 15), Point(10)},
+		{ClosedOpen(0, 10), Closed(10, 15), Closed(2, 1)}, // empty: 10 excluded from a
+		{Open(0, 10), Open(5, 15), Span{Lo: 5, Hi: 10, LoOpen: true, HiOpen: true}},
+		{Closed(0, 10), Open(0, 10), Open(0, 10)},
+		{Closed(0, 3), Closed(7, 9), Closed(2, 1)}, // disjoint
+		{Full(), Closed(1, 2), Closed(1, 2)},
+		{Above(5), Below(7), Open(5, 7)},
+	}
+	for _, tc := range tests {
+		got := tc.a.Intersect(tc.b)
+		if !got.Equal(tc.want) {
+			t.Errorf("%v ∩ %v = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+		// Intersection is commutative.
+		if rev := tc.b.Intersect(tc.a); !rev.Equal(got) {
+			t.Errorf("%v ∩ %v = %v, not commutative (got %v)", tc.b, tc.a, rev, got)
+		}
+	}
+}
+
+func TestSpanContainsSpan(t *testing.T) {
+	tests := []struct {
+		a, b Span
+		want bool
+	}{
+		{Closed(0, 10), Closed(2, 8), true},
+		{Closed(0, 10), Closed(0, 10), true},
+		{Closed(0, 10), Open(0, 10), true},
+		{Open(0, 10), Closed(0, 10), false},
+		{Open(0, 10), Open(0, 10), true},
+		{Closed(0, 10), Closed(0, 11), false},
+		{Closed(0, 10), Closed(2, 1), true}, // empty is contained everywhere
+		{Closed(2, 1), Closed(0, 10), false},
+		{Full(), Above(3), true},
+		{Above(3), Full(), false},
+	}
+	for _, tc := range tests {
+		if got := tc.a.ContainsSpan(tc.b); got != tc.want {
+			t.Errorf("%v ⊇ %v = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestSpanMinus(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b Span
+		want []Span
+	}{
+		{"disjoint", Closed(0, 5), Closed(7, 9), []Span{Closed(0, 5)}},
+		{"cut middle", Closed(0, 10), Closed(3, 7), []Span{ClosedOpen(0, 3), OpenClosed(7, 10)}},
+		{"cut middle open hole", Closed(0, 10), Open(3, 7), []Span{Closed(0, 3), Closed(7, 10)}},
+		{"trim left", Closed(0, 10), Closed(-5, 5), []Span{OpenClosed(5, 10)}},
+		{"trim right", Closed(0, 10), Closed(5, 15), []Span{ClosedOpen(0, 5)}},
+		{"swallowed", Closed(2, 3), Closed(0, 10), nil},
+		{"remove point", Closed(0, 10), Point(5), []Span{ClosedOpen(0, 5), OpenClosed(5, 10)}},
+		{"unbounded minus bounded", Full(), Closed(0, 1), []Span{Below(0), Above(1)}},
+	}
+	for _, tc := range tests {
+		got := Closed(0, 0).Minus(Closed(1, 1)) // smoke: non-aliasing
+		_ = got
+		parts := tc.a.Minus(tc.b)
+		if len(parts) != len(tc.want) {
+			t.Errorf("%s: %v \\ %v = %v, want %v", tc.name, tc.a, tc.b, parts, tc.want)
+			continue
+		}
+		for i := range parts {
+			if !parts[i].Equal(tc.want[i]) {
+				t.Errorf("%s: part %d = %v, want %v", tc.name, i, parts[i], tc.want[i])
+			}
+		}
+	}
+}
+
+func TestSpanHull(t *testing.T) {
+	if got := Closed(0, 1).Hull(Closed(5, 6)); !got.Equal(Closed(0, 6)) {
+		t.Errorf("hull = %v, want [0,6]", got)
+	}
+	if got := (Span{Lo: 2, Hi: 1}).Hull(Closed(5, 6)); !got.Equal(Closed(5, 6)) {
+		t.Errorf("hull with empty = %v, want [5,6]", got)
+	}
+}
+
+func TestSpanShift(t *testing.T) {
+	if got := Closed(1, 2).Shift(10); !got.Equal(Closed(11, 12)) {
+		t.Errorf("shift = %v", got)
+	}
+	if got := Above(1).Shift(10); !got.Equal(Above(11)) {
+		t.Errorf("shift unbounded = %v", got)
+	}
+}
+
+func TestSpanStringAndParse(t *testing.T) {
+	spans := []Span{
+		Closed(0, 10), Open(-1.5, 2.25), ClosedOpen(3, 4), OpenClosed(3, 4),
+		Point(7), Above(3), AtLeast(3), Below(9), AtMost(9), Full(),
+	}
+	for _, s := range spans {
+		text := s.String()
+		back, err := ParseSpan(text)
+		if err != nil {
+			t.Fatalf("ParseSpan(%q): %v", text, err)
+		}
+		if !back.Equal(s) {
+			t.Errorf("round trip %q: got %v, want %v", text, back, s)
+		}
+	}
+	if got := (Span{Lo: 2, Hi: 1}).String(); got != "∅" {
+		t.Errorf("empty String = %q", got)
+	}
+	if s, err := ParseSpan("∅"); err != nil || !s.IsEmpty() {
+		t.Errorf("ParseSpan(∅) = %v, %v", s, err)
+	}
+	for _, bad := range []string{"", "[1,2", "1,2]", "[a,b]", "[1;2]", "{1,2}"} {
+		if _, err := ParseSpan(bad); err == nil {
+			t.Errorf("ParseSpan(%q): expected error", bad)
+		}
+	}
+}
+
+func TestSpanEqualNormalization(t *testing.T) {
+	// All empty spans are equal regardless of representation.
+	empties := []Span{{Lo: 2, Hi: 1}, Open(3, 3), ClosedOpen(7, 7), {Lo: math.Inf(1), Hi: math.Inf(1)}}
+	for i, a := range empties {
+		for j, b := range empties {
+			if !a.Equal(b) {
+				t.Errorf("empty %d != empty %d", i, j)
+			}
+		}
+	}
+	// Infinite endpoints are open regardless of flags.
+	a := Span{Lo: math.Inf(-1), Hi: 3}
+	b := Span{Lo: math.Inf(-1), Hi: 3, LoOpen: true}
+	if !a.Equal(b) {
+		t.Error("(-inf,3] should equal regardless of LoOpen flag at -inf")
+	}
+}

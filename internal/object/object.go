@@ -1,0 +1,221 @@
+package object
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"videodb/internal/interval"
+)
+
+// Kind distinguishes the two classes of v-objects of Section 5.2: semantic
+// objects (entities of interest) and generalized interval objects
+// (fragments of a video sequence).
+type Kind uint8
+
+// The two object classes. Entity objects populate the built-in Object
+// predicate of the query language, GenInterval objects the Interval
+// predicate.
+const (
+	Entity Kind = iota
+	GenInterval
+)
+
+// String returns "entity" or "interval".
+func (k Kind) String() string {
+	switch k {
+	case Entity:
+		return "entity"
+	case GenInterval:
+		return "interval"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Well-known attribute names used by the model. Duration is the attribute
+// the paper attaches to every generalized interval (λ2: the temporal
+// constraint); Entities is λ1 (the set of objects visible in the
+// interval).
+const (
+	AttrDuration = "duration"
+	AttrEntities = "entities"
+)
+
+// Object is a v-object: an object identity together with a finite tuple
+// of attribute/value pairs (Definition 7). Objects are mutable builders
+// until stored; the store works on copies.
+type Object struct {
+	oid   OID
+	kind  Kind
+	attrs map[string]Value
+}
+
+// New creates an object with the given identity and kind.
+func New(oid OID, kind Kind) *Object {
+	return &Object{oid: oid, kind: kind, attrs: make(map[string]Value)}
+}
+
+// NewEntity creates a semantic object.
+func NewEntity(oid OID) *Object { return New(oid, Entity) }
+
+// NewInterval creates a generalized interval object with the given
+// duration (λ2 as a canonical generalized interval).
+func NewInterval(oid OID, duration interval.Generalized) *Object {
+	o := New(oid, GenInterval)
+	o.Set(AttrDuration, Temporal(duration))
+	return o
+}
+
+// OID returns the object's identity.
+func (o *Object) OID() OID { return o.oid }
+
+// Kind returns the object's class.
+func (o *Object) Kind() Kind { return o.kind }
+
+// Set sets attribute name to value v and returns the object for chaining.
+// Setting Null removes the attribute (an attribute defined for an object
+// always has a value, per Section 5.2).
+func (o *Object) Set(name string, v Value) *Object {
+	if v.IsNull() {
+		delete(o.attrs, name)
+		return o
+	}
+	o.attrs[name] = v
+	return o
+}
+
+// Attr returns the value of the attribute, or Null if undefined.
+func (o *Object) Attr(name string) Value { return o.attrs[name] }
+
+// Has reports whether the attribute is defined.
+func (o *Object) Has(name string) bool {
+	_, ok := o.attrs[name]
+	return ok
+}
+
+// Attrs returns the sorted attribute names (attr(o) of Definition 7).
+func (o *Object) Attrs() []string {
+	names := make([]string, 0, len(o.attrs))
+	for n := range o.attrs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// NumAttrs returns the number of defined attributes.
+func (o *Object) NumAttrs() int { return len(o.attrs) }
+
+// Duration returns the temporal extent of a generalized interval object
+// (λ2); the empty interval for entities or intervals without a duration.
+func (o *Object) Duration() interval.Generalized {
+	g, _ := o.attrs[AttrDuration].AsTemporal()
+	return g
+}
+
+// Entities returns the oids of the semantic objects attached to a
+// generalized interval (λ1), in sorted order.
+func (o *Object) Entities() []OID {
+	v := o.attrs[AttrEntities]
+	var out []OID
+	for _, e := range v.Elems() {
+		if id, ok := e.AsRef(); ok {
+			out = append(out, id)
+		}
+	}
+	if id, ok := v.AsRef(); ok { // tolerate a scalar ref
+		out = append(out, id)
+	}
+	return out
+}
+
+// Clone returns a deep-enough copy (values are immutable, so copying the
+// attribute map suffices).
+func (o *Object) Clone() *Object {
+	c := New(o.oid, o.kind)
+	for k, v := range o.attrs {
+		c.attrs[k] = v
+	}
+	return c
+}
+
+// Equal reports whether the two objects have the same identity, kind and
+// attribute tuple.
+func (o *Object) Equal(p *Object) bool {
+	if o.oid != p.oid || o.kind != p.kind || len(o.attrs) != len(p.attrs) {
+		return false
+	}
+	for k, v := range o.attrs {
+		if w, ok := p.attrs[k]; !ok || !v.Equal(w) {
+			return false
+		}
+	}
+	return true
+}
+
+// Merge implements the attribute semantics of concatenation (Section 6.1):
+// attr(e) = attr(e1) ∪ attr(e2) and e.Ai = e1.Ai ∪ e2.Ai. The receiver is
+// unchanged; a new object with the given oid is returned.
+func (o *Object) Merge(p *Object, oid OID) *Object {
+	m := New(oid, o.kind)
+	for k, v := range o.attrs {
+		m.attrs[k] = v
+	}
+	for k, v := range p.attrs {
+		m.attrs[k] = m.attrs[k].Union(v)
+	}
+	return m
+}
+
+// String renders the object in the paper's notation:
+// (oid, [A1: v1, …, An: vn]).
+func (o *Object) String() string {
+	names := o.Attrs()
+	parts := make([]string, len(names))
+	for i, n := range names {
+		parts[i] = n + ": " + o.attrs[n].String()
+	}
+	return fmt.Sprintf("(%s, [%s])", o.oid, strings.Join(parts, ", "))
+}
+
+// jsonObject is the persistent encoding of an Object.
+type jsonObject struct {
+	OID   string           `json:"oid"`
+	Kind  string           `json:"kind"`
+	Attrs map[string]Value `json:"attrs"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (o *Object) MarshalJSON() ([]byte, error) {
+	return json.Marshal(jsonObject{
+		OID:   string(o.oid),
+		Kind:  o.kind.String(),
+		Attrs: o.attrs,
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (o *Object) UnmarshalJSON(data []byte) error {
+	var j jsonObject
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	var kind Kind
+	switch j.Kind {
+	case "entity":
+		kind = Entity
+	case "interval":
+		kind = GenInterval
+	default:
+		return fmt.Errorf("object: unknown kind %q", j.Kind)
+	}
+	o.oid = OID(j.OID)
+	o.kind = kind
+	o.attrs = j.Attrs
+	if o.attrs == nil {
+		o.attrs = make(map[string]Value)
+	}
+	return nil
+}

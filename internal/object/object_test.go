@@ -1,0 +1,169 @@
+package object
+
+import (
+	"encoding/json"
+	"testing"
+
+	"videodb/internal/interval"
+)
+
+func TestObjectBasics(t *testing.T) {
+	o := NewEntity("id3").
+		Set("name", Str("David")).
+		Set("role", Str("Victim"))
+	if o.OID() != "id3" || o.Kind() != Entity {
+		t.Error("identity/kind")
+	}
+	if v := o.Attr("name"); !v.Equal(Str("David")) {
+		t.Errorf("Attr(name) = %v", v)
+	}
+	if !o.Attr("missing").IsNull() {
+		t.Error("missing attribute should be null")
+	}
+	if !o.Has("role") || o.Has("missing") {
+		t.Error("Has")
+	}
+	if got := o.NumAttrs(); got != 2 {
+		t.Errorf("NumAttrs = %d", got)
+	}
+	names := o.Attrs()
+	if len(names) != 2 || names[0] != "name" || names[1] != "role" {
+		t.Errorf("Attrs = %v", names)
+	}
+	// Setting null deletes.
+	o.Set("role", Null())
+	if o.Has("role") {
+		t.Error("Set(Null) should delete")
+	}
+}
+
+func TestIntervalObject(t *testing.T) {
+	dur := interval.FromPairs(10, 20, 30, 40)
+	gi := NewInterval("id1", dur).
+		Set(AttrEntities, RefSet("o1", "o2")).
+		Set("subject", Str("murder"))
+	if gi.Kind() != GenInterval {
+		t.Error("kind")
+	}
+	if !gi.Duration().Equal(dur) {
+		t.Errorf("Duration = %v", gi.Duration())
+	}
+	ents := gi.Entities()
+	if len(ents) != 2 || ents[0] != "o1" || ents[1] != "o2" {
+		t.Errorf("Entities = %v", ents)
+	}
+	// Scalar entities value tolerated.
+	gi2 := NewInterval("id2", dur).Set(AttrEntities, Ref("solo"))
+	if ents := gi2.Entities(); len(ents) != 1 || ents[0] != "solo" {
+		t.Errorf("scalar Entities = %v", ents)
+	}
+	// Entity objects have empty duration.
+	if !NewEntity("e").Duration().IsEmpty() {
+		t.Error("entity should have empty duration")
+	}
+}
+
+func TestObjectCloneAndEqual(t *testing.T) {
+	o := NewEntity("id4").Set("name", Str("Philip")).Set("score", Num(7))
+	c := o.Clone()
+	if !o.Equal(c) {
+		t.Error("clone should be equal")
+	}
+	c.Set("score", Num(8))
+	if o.Equal(c) {
+		t.Error("mutating clone must not affect original")
+	}
+	if v := o.Attr("score"); !v.Equal(Num(7)) {
+		t.Error("original changed by clone mutation")
+	}
+	// Different kind, oid, attr count, attr value.
+	if NewEntity("id4").Equal(New("id4", GenInterval)) {
+		t.Error("kind should matter")
+	}
+	if NewEntity("a").Equal(NewEntity("b")) {
+		t.Error("oid should matter")
+	}
+	p := o.Clone()
+	p.Set("extra", Num(1))
+	if o.Equal(p) {
+		t.Error("attr count should matter")
+	}
+}
+
+func TestObjectMerge(t *testing.T) {
+	// Concatenation semantics of §6.1: attrs union, values union.
+	g1 := NewInterval("id1", interval.FromPairs(0, 10)).
+		Set(AttrEntities, RefSet("o1", "o2")).
+		Set("subject", Str("murder"))
+	g2 := NewInterval("id2", interval.FromPairs(20, 30)).
+		Set(AttrEntities, RefSet("o2", "o3")).
+		Set("host", RefSet("o2"))
+
+	m := g1.Merge(g2, "id1+id2")
+	if m.OID() != "id1+id2" || m.Kind() != GenInterval {
+		t.Error("merge identity/kind")
+	}
+	if !m.Duration().Equal(interval.FromPairs(0, 10, 20, 30)) {
+		t.Errorf("merged duration = %v", m.Duration())
+	}
+	if got := m.Attr(AttrEntities); !got.Equal(RefSet("o1", "o2", "o3")) {
+		t.Errorf("merged entities = %v", got)
+	}
+	if got := m.Attr("subject"); !got.Equal(Str("murder")) {
+		t.Errorf("subject should survive: %v", got)
+	}
+	if got := m.Attr("host"); !got.Equal(RefSet("o2")) {
+		t.Errorf("host should survive: %v", got)
+	}
+	// Merge with itself reproduces the same attribute tuple (idempotence).
+	self := g1.Merge(g1, "x")
+	for _, a := range g1.Attrs() {
+		if !self.Attr(a).Equal(g1.Attr(a)) {
+			t.Errorf("self-merge changed %s: %v -> %v", a, g1.Attr(a), self.Attr(a))
+		}
+	}
+}
+
+func TestObjectString(t *testing.T) {
+	o := NewEntity("id3").Set("name", Str("David")).Set("role", Str("Victim"))
+	want := `(id3, [name: "David", role: "Victim"])`
+	if got := o.String(); got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+}
+
+func TestObjectJSONRoundTrip(t *testing.T) {
+	objs := []*Object{
+		NewEntity("id3").Set("name", Str("David")).Set("n", Num(2)),
+		NewInterval("id1", interval.FromPairs(0, 10, 20, 30)).
+			Set(AttrEntities, RefSet("o1", "o2")).
+			Set("subject", Str("murder")),
+		NewEntity("empty"),
+	}
+	for _, o := range objs {
+		data, err := json.Marshal(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Object
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("unmarshal %s: %v", data, err)
+		}
+		if !back.Equal(o) {
+			t.Errorf("round trip: %v -> %s -> %v", o, data, &back)
+		}
+	}
+	var bad Object
+	if err := json.Unmarshal([]byte(`{"oid":"x","kind":"weird"}`), &bad); err == nil {
+		t.Error("expected error for unknown kind")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Entity.String() != "entity" || GenInterval.String() != "interval" {
+		t.Error("kind names")
+	}
+	if Kind(9).String() == "" {
+		t.Error("unknown kind should still stringify")
+	}
+}

@@ -1,0 +1,124 @@
+package object
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"videodb/internal/interval"
+)
+
+// The attribute-merge semantics of concatenation (§6.1: e.Ai = e1.Ai ∪
+// e2.Ai) is only well-defined because Union is associative, commutative
+// and idempotent — otherwise (a⊕b)⊕c and a⊕(b⊕c) would carry different
+// attribute tuples. These properties are load-bearing; check them over
+// random values.
+
+func genValue(r *rand.Rand, depth int) Value {
+	switch n := r.Intn(6); {
+	case n == 0:
+		return Str([]string{"a", "b", "c"}[r.Intn(3)])
+	case n == 1:
+		return Num(float64(r.Intn(4)))
+	case n == 2:
+		return Ref(OID([]string{"o1", "o2"}[r.Intn(2)]))
+	case n == 3:
+		lo := float64(r.Intn(10))
+		return Temporal(interval.FromPairs(lo, lo+float64(r.Intn(5))))
+	case n == 4 && depth > 0:
+		k := r.Intn(3)
+		elems := make([]Value, k)
+		for i := range elems {
+			elems[i] = genValue(r, depth-1)
+		}
+		return Set(elems...)
+	default:
+		return Null()
+	}
+}
+
+type quickValue struct{ V Value }
+
+func (quickValue) Generate(r *rand.Rand, _ int) reflect.Value {
+	return reflect.ValueOf(quickValue{V: genValue(r, 2)})
+}
+
+func TestPropUnionLaws(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 500}
+	f := func(a, b, c quickValue) bool {
+		// Idempotent.
+		if !a.V.Union(a.V).Equal(a.V) {
+			return false
+		}
+		// Commutative.
+		if !a.V.Union(b.V).Equal(b.V.Union(a.V)) {
+			return false
+		}
+		// Associative (set canonicalization merges temporal elements, so
+		// this holds across mixed kinds — it is what makes the attribute
+		// tuples of ⊕-created objects independent of association order).
+		left := a.V.Union(b.V).Union(c.V)
+		right := a.V.Union(b.V.Union(c.V))
+		if !left.Equal(right) {
+			t.Logf("assoc failed: a=%v b=%v c=%v left=%v right=%v", a.V, b.V, c.V, left, right)
+			return false
+		}
+		// Null is the identity.
+		if !a.V.Union(Null()).Equal(a.V) || !Null().Union(a.V).Equal(a.V) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropSetMembershipConsistency(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 500}
+	f := func(a, b quickValue) bool {
+		u := a.V.Union(b.V)
+		// Every element of each operand is contained in the union
+		// (temporal values may merge, so check only non-temporal
+		// elements).
+		check := func(v Value) bool {
+			if v.Kind() == KindTemporal {
+				return true
+			}
+			if v.Kind() == KindSet {
+				for _, e := range v.Elems() {
+					if e.Kind() != KindTemporal && !u.ContainsElem(e) {
+						return false
+					}
+				}
+				return true
+			}
+			if v.IsNull() {
+				return true
+			}
+			return u.ContainsElem(v)
+		}
+		return check(a.V) && check(b.V)
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropCompareConsistentWithEqual(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 500}
+	f := func(a, b, c quickValue) bool {
+		// Antisymmetry and transitivity of the canonical order.
+		if (a.V.Compare(b.V) == 0) != a.V.Equal(b.V) {
+			return false
+		}
+		if a.V.Compare(b.V) <= 0 && b.V.Compare(c.V) <= 0 && a.V.Compare(c.V) > 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,183 @@
+package object
+
+import (
+	"encoding/json"
+	"testing"
+
+	"videodb/internal/interval"
+)
+
+func TestValueConstructorsAndAccessors(t *testing.T) {
+	if !Null().IsNull() || Null().Kind() != KindNull {
+		t.Error("Null basics")
+	}
+	if s, ok := Str("abc").AsString(); !ok || s != "abc" {
+		t.Error("Str basics")
+	}
+	if n, ok := Num(3.5).AsNumber(); !ok || n != 3.5 {
+		t.Error("Num basics")
+	}
+	if r, ok := Ref("id1").AsRef(); !ok || r != OID("id1") {
+		t.Error("Ref basics")
+	}
+	g := interval.FromPairs(0, 10)
+	if tv, ok := Temporal(g).AsTemporal(); !ok || !tv.Equal(g) {
+		t.Error("Temporal basics")
+	}
+	if _, ok := Str("x").AsNumber(); ok {
+		t.Error("cross-kind accessor should fail")
+	}
+	if _, ok := Num(1).AsRef(); ok {
+		t.Error("cross-kind accessor should fail")
+	}
+}
+
+func TestSetCanonicalization(t *testing.T) {
+	a := Set(Num(2), Num(1), Num(2), Str("x"), Null())
+	b := Set(Str("x"), Num(1), Num(2))
+	if !a.Equal(b) {
+		t.Errorf("canonical sets should be equal: %v vs %v", a, b)
+	}
+	if a.Len() != 3 {
+		t.Errorf("Len = %d, want 3 (nulls dropped, dups merged)", a.Len())
+	}
+	if !Set().Equal(Set(Null())) {
+		t.Error("empty set should equal set of nulls")
+	}
+	if Set().IsNull() {
+		t.Error("empty set is not null")
+	}
+}
+
+func TestValueCompareTotalOrder(t *testing.T) {
+	vals := []Value{
+		Null(), Str("a"), Str("b"), Num(1), Num(2), Ref("id1"), Ref("id2"),
+		Temporal(interval.FromPairs(0, 1)), Set(), Set(Num(1)), Set(Num(1), Num(2)),
+	}
+	for i, v := range vals {
+		for j, w := range vals {
+			c, cr := v.Compare(w), w.Compare(v)
+			if c != -cr {
+				t.Errorf("Compare(%v,%v)=%d but reverse=%d", v, w, c, cr)
+			}
+			if (i == j) != (c == 0) {
+				t.Errorf("Compare(%v,%v)=%d, equality mismatch", v, w, c)
+			}
+		}
+	}
+	// Transitivity spot check on a sorted triple.
+	if !(Num(1).Compare(Num(2)) < 0 && Num(2).Compare(Num(3)) < 0 && Num(1).Compare(Num(3)) < 0) {
+		t.Error("number order broken")
+	}
+}
+
+func TestContainsElemAndSubsetOf(t *testing.T) {
+	s := RefSet("o1", "o2", "o3")
+	if !s.ContainsElem(Ref("o2")) {
+		t.Error("ContainsElem should find o2")
+	}
+	if s.ContainsElem(Ref("o9")) {
+		t.Error("ContainsElem should not find o9")
+	}
+	if !RefSet("o1", "o2").SubsetOf(s) {
+		t.Error("subset should hold")
+	}
+	if RefSet("o1", "o9").SubsetOf(s) {
+		t.Error("subset should fail")
+	}
+	// Scalars behave as singletons.
+	if !Ref("o1").SubsetOf(s) {
+		t.Error("scalar subset should hold")
+	}
+	if !Num(5).ContainsElem(Num(5)) {
+		t.Error("scalar contains itself")
+	}
+	if Num(5).ContainsElem(Num(6)) {
+		t.Error("scalar does not contain others")
+	}
+	if Null().ContainsElem(Num(5)) {
+		t.Error("null contains nothing")
+	}
+	if !Null().SubsetOf(Num(5)) {
+		t.Error("null (empty) is subset of everything")
+	}
+	if !Set().SubsetOf(Set()) {
+		t.Error("empty subset of empty")
+	}
+}
+
+func TestValueUnion(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b Value
+		want Value
+	}{
+		{"null identity left", Null(), Num(1), Num(1)},
+		{"null identity right", Num(1), Null(), Num(1)},
+		{"equal scalars", Str("x"), Str("x"), Str("x")},
+		{"distinct scalars", Str("x"), Str("y"), Set(Str("x"), Str("y"))},
+		{"scalar with set", Ref("a"), RefSet("b", "c"), RefSet("a", "b", "c")},
+		{"set with set", RefSet("a", "b"), RefSet("b", "c"), RefSet("a", "b", "c")},
+		{"temporal", Temporal(interval.FromPairs(0, 1)), Temporal(interval.FromPairs(2, 3)),
+			Temporal(interval.FromPairs(0, 1, 2, 3))},
+		{"temporal overlap", Temporal(interval.FromPairs(0, 5)), Temporal(interval.FromPairs(3, 8)),
+			Temporal(interval.FromPairs(0, 8))},
+	}
+	for _, tc := range cases {
+		if got := tc.a.Union(tc.b); !got.Equal(tc.want) {
+			t.Errorf("%s: %v ∪ %v = %v, want %v", tc.name, tc.a, tc.b, got, tc.want)
+		}
+	}
+	// Union is commutative and idempotent.
+	a, b := RefSet("x", "y"), Str("z")
+	if !a.Union(b).Equal(b.Union(a)) {
+		t.Error("union not commutative")
+	}
+	if !a.Union(a).Equal(a) {
+		t.Error("union not idempotent")
+	}
+}
+
+func TestValueString(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{Null(), "null"},
+		{Str("a"), `"a"`},
+		{Num(1.5), "1.5"},
+		{Ref("id3"), "id3"},
+		{Set(Num(2), Num(1)), "{1, 2}"},
+		{Temporal(interval.FromPairs(0, 1)), "[0,1]"},
+	}
+	for _, tc := range cases {
+		if got := tc.v.String(); got != tc.want {
+			t.Errorf("String(%#v) = %q, want %q", tc.v, got, tc.want)
+		}
+	}
+}
+
+func TestValueJSONRoundTrip(t *testing.T) {
+	vals := []Value{
+		Null(), Str("hello"), Num(-2.5), Ref("id42"),
+		Temporal(interval.New(interval.Open(0, 10), interval.Point(20))),
+		Set(), Set(Num(1), Str("x"), RefSet("a", "b"), Temporal(interval.FromPairs(1, 2))),
+	}
+	for _, v := range vals {
+		data, err := json.Marshal(v)
+		if err != nil {
+			t.Fatalf("marshal %v: %v", v, err)
+		}
+		var back Value
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("unmarshal %s: %v", data, err)
+		}
+		if !back.Equal(v) {
+			t.Errorf("round trip %v -> %s -> %v", v, data, back)
+		}
+	}
+	var bad Value
+	if err := json.Unmarshal([]byte(`{"t":"[broken"}`), &bad); err == nil {
+		t.Error("expected error for malformed temporal payload")
+	}
+}

@@ -1,0 +1,62 @@
+package parser
+
+import (
+	"testing"
+
+	"videodb/internal/datalog"
+)
+
+// FuzzParse checks that the parser never panics and that whatever parses
+// successfully round-trips through the printed rule form. Run with
+// `go test -fuzz=FuzzParse ./internal/parser` for a real fuzzing session;
+// the seed corpus runs as an ordinary test.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		ropeScript,
+		"q(G) :- Interval(G), o1 in G.entities.",
+		"cat(G1 + G2) :- Interval(G1), Interval(G2).",
+		"absent(O) :- Object(O), not appears(O, gi1).",
+		`interval g { duration: (t > 0 and t < 30 or t = 50), entities: {a} }.`,
+		`object o { s: "str \" esc", n: -2.5e3, set: {1, {2, x}} }.`,
+		"?- Interval(G), {o1, o2} subset G.entities, G.duration => [0, 10].",
+		"p(a, b). q(X) :- p(X, Y), X.a >= Y.b.",
+		"% comment\n// comment\np(x).",
+		"?- q(X), X != y.",
+		"", "....", "q(", ")(", "\x00", "interval { }.", "object X {}.",
+		"q(X) :- p(X), X => [1,2].",
+		"cut(X, Y) :- Interval(X), Interval(Y), X.duration meets Y.duration.",
+		"lonely(O) :- Object(O), not appears(O, g2).",
+		"scored(O, S) :- Object(O), O.score = S.",
+		"q(G) :- Interval(G), G.duration => (0 < t and t < 100).",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		script, err := Parse(src)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		// Whatever parsed must print and re-parse to the same rendering.
+		for _, r := range script.Rules {
+			printed := r.String()
+			r2, err := ParseRule(printed)
+			if err != nil {
+				t.Fatalf("re-parse of %q failed: %v", printed, err)
+			}
+			if r2.String() != printed {
+				t.Fatalf("print∘parse unstable: %q vs %q", printed, r2.String())
+			}
+		}
+		for _, o := range script.Objects {
+			if o.OID() == "" {
+				t.Fatal("parsed object with empty oid")
+			}
+		}
+		// Validated rules must be accepted by the engine layer.
+		if err := script.Program().Validate(); err != nil {
+			t.Fatalf("parsed program fails validation: %v", err)
+		}
+		_ = datalog.NewProgram(script.Rules...)
+	})
+}

@@ -1,0 +1,78 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"videodb/internal/datalog"
+	"videodb/internal/store"
+)
+
+func TestParseNegation(t *testing.T) {
+	r, err := ParseRule("absent(O) :- Object(O), not appears(O, gi1)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Body) != 2 {
+		t.Fatalf("body = %v", r.Body)
+	}
+	neg, ok := r.Body[1].(datalog.NotAtom)
+	if !ok {
+		t.Fatalf("second literal = %T", r.Body[1])
+	}
+	if neg.Atom.Pred != "appears" || len(neg.Atom.Args) != 2 {
+		t.Errorf("negated atom = %v", neg)
+	}
+	// Print∘parse stability.
+	printed := r.String()
+	r2, err := ParseRule(printed)
+	if err != nil || r2.String() != printed {
+		t.Errorf("round trip %q -> %q (%v)", printed, r2.String(), err)
+	}
+}
+
+func TestParseNegationErrors(t *testing.T) {
+	// Unsafe: variable only under negation.
+	if _, err := ParseRule("q(X) :- p(X), not r(Y)"); err == nil ||
+		!strings.Contains(err.Error(), "range-restricted") {
+		t.Error("negation must not bind variables")
+	}
+	// "not" as a relation name still works when called directly.
+	r, err := ParseRule("q(X) :- not(X)")
+	if err != nil {
+		t.Fatalf("relation named not: %v", err)
+	}
+	if rel, ok := r.Body[0].(datalog.RelAtom); !ok || rel.Pred != "not" {
+		t.Errorf("body = %v", r.Body)
+	}
+}
+
+func TestNegationEndToEndScript(t *testing.T) {
+	script, err := Parse(`
+interval g1 { duration: [0, 10], entities: {a, b} }.
+interval g2 { duration: [20, 30], entities: {b} }.
+object a { name: "Reporter" }.
+object b { name: "Minister" }.
+appears(O, G) :- Interval(G), Object(O), O in G.entities.
+lonely(O) :- Object(O), not appears(O, g2).
+?- lonely(O).
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := store.New()
+	if err := script.Apply(st); err != nil {
+		t.Fatal(err)
+	}
+	e, err := datalog.NewEngine(st, script.Program())
+	if err != nil {
+		t.Fatal(err)
+	}
+	oids, err := e.QueryOIDs(script.Queries[0].Atom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(oids) != 1 || oids[0] != "a" {
+		t.Errorf("lonely = %v", oids)
+	}
+}

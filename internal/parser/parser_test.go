@@ -1,0 +1,353 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"videodb/internal/datalog"
+	"videodb/internal/interval"
+	"videodb/internal/object"
+	"videodb/internal/store"
+)
+
+const ropeScript = `
+// The worked example of Section 5.2: "The Rope".
+interval gi1 {
+    duration: (t > 0 and t < 30),
+    entities: {o1, o2, o3, o4},
+    subject: "murder",
+    victim: o1,
+    murderer: {o2, o3}
+}.
+interval gi2 {
+    duration: (t > 40 and t < 80),
+    entities: {o1, o2, o3, o4, o5, o6, o7, o8, o9},
+    subject: "Giving a party",
+    host: {o2, o3},
+    guest: {o5, o6, o7, o8, o9}
+}.
+object o1 { name: "David", role: "Victim" }.
+object o2 { name: "Philip", realname: "Farley Granger", role: "Murderer" }.
+object o3 { name: "Brandon", realname: "John Dall", role: "Murderer" }.
+object o4 { identification: "Chest" }.
+object o5 { name: "Janet", realname: "Joan Chandler" }.
+object o6 { name: "Kenneth", realname: "Douglas Dick" }.
+object o7 { name: "Mr_Kentley", realname: "Cedric Hardwicke" }.
+object o8 { name: "Mrs_Atwater", realname: "Constance Collier" }.
+object o9 { name: "Rupert_Cadell", realname: "James Stewart" }.
+
+in(o1, o4, gi1).
+in(o1, o4, gi2).
+
+% Derived relations of Section 6.2.
+contains(G1, G2) :- Interval(G1), Interval(G2), G2.duration => G1.duration.
+same_object_in(G1, G2, O) :- Interval(G1), Interval(G2), Object(O),
+                             O in G1.entities, O in G2.entities.
+
+?- Interval(G), Object(O), O in G.entities, O.name = "David".
+?- contains(G1, G2).
+`
+
+func TestParseRopeScript(t *testing.T) {
+	script, err := Parse(ropeScript)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(script.Objects) != 11 {
+		t.Errorf("objects = %d, want 11", len(script.Objects))
+	}
+	if len(script.Facts) != 2 {
+		t.Errorf("facts = %d, want 2", len(script.Facts))
+	}
+	if len(script.Rules) != 2 {
+		t.Errorf("rules = %d, want 2", len(script.Rules))
+	}
+	if len(script.Queries) != 2 {
+		t.Errorf("queries = %d, want 2", len(script.Queries))
+	}
+
+	// gi1's duration must be the open interval (0,30).
+	var gi1 *object.Object
+	for _, o := range script.Objects {
+		if o.OID() == "gi1" {
+			gi1 = o
+		}
+	}
+	if gi1 == nil {
+		t.Fatal("gi1 missing")
+	}
+	if gi1.Kind() != object.GenInterval {
+		t.Error("gi1 should be an interval object")
+	}
+	if !gi1.Duration().Equal(interval.New(interval.Open(0, 30))) {
+		t.Errorf("gi1 duration = %v", gi1.Duration())
+	}
+	ents := gi1.Entities()
+	if len(ents) != 4 || ents[0] != "o1" || ents[3] != "o4" {
+		t.Errorf("gi1 entities = %v", ents)
+	}
+	if !gi1.Attr("murderer").Equal(object.RefSet("o2", "o3")) {
+		t.Errorf("gi1 murderer = %v", gi1.Attr("murderer"))
+	}
+
+	// End-to-end: apply + run the first query.
+	st := store.New()
+	if err := script.Apply(st); err != nil {
+		t.Fatal(err)
+	}
+	e, err := datalog.NewEngine(st, script.Program())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Query(script.Queries[0].Atom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Columns are (G, O) in first-occurrence order; David (o1) appears in
+	// gi1 and gi2.
+	if len(res) != 2 {
+		t.Fatalf("query results = %v", res)
+	}
+	g0, _ := res[0].Values[0].AsRef()
+	g1, _ := res[1].Values[0].AsRef()
+	if g0 != "gi1" || g1 != "gi2" {
+		t.Errorf("results = %v", res)
+	}
+
+	// Second query: direct predicate query over the derived contains.
+	res, err = e.Query(script.Queries[1].Atom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 { // (gi1,gi1), (gi2,gi2): reflexive only, durations disjoint
+		t.Errorf("contains = %v", res)
+	}
+}
+
+func TestParseValues(t *testing.T) {
+	script, err := Parse(`object x {
+		n: 42,
+		f: -2.5,
+		s: "hello\nworld",
+		r: someoid,
+		set: {1, 2, "a", inner},
+		span: [0, 30],
+		openspan: (0, 30),
+		multi: [0, 10] + (20, 30],
+		con: (t > 5 and t < 10 or t = 50)
+	}.`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := script.Objects[0]
+	checks := []struct {
+		attr string
+		want object.Value
+	}{
+		{"n", object.Num(42)},
+		{"f", object.Num(-2.5)},
+		{"s", object.Str("hello\nworld")},
+		{"r", object.Ref("someoid")},
+		{"set", object.Set(object.Num(1), object.Num(2), object.Str("a"), object.Ref("inner"))},
+		{"span", object.Temporal(interval.FromPairs(0, 30))},
+		{"openspan", object.Temporal(interval.New(interval.Open(0, 30)))},
+		{"multi", object.Temporal(interval.New(interval.Closed(0, 10), interval.OpenClosed(20, 30)))},
+		{"con", object.Temporal(interval.New(interval.Open(5, 10), interval.Point(50)))},
+	}
+	for _, c := range checks {
+		if got := o.Attr(c.attr); !got.Equal(c.want) {
+			t.Errorf("%s = %v, want %v", c.attr, got, c.want)
+		}
+	}
+}
+
+func TestParseRuleForms(t *testing.T) {
+	cases := []string{
+		"q(O) :- Interval(gi1), Object(O), O in gi1.entities",
+		"q(G) :- Interval(G), Object(o1), o1 in G.entities",
+		"q(o1) :- Interval(G), o1 in G.entities, G.duration => (t > 0 and t < 35)",
+		"q(G) :- Interval(G), {o1, o2} subset G.entities",
+		"q(O1, O2, G) :- Interval(G), Object(O1), Object(O2), rel(O1, O2, G)",
+		"q(G) :- Interval(G), Object(O), O in G.entities, O.a = 5",
+		"contains(G1, G2) :- Interval(G1), Interval(G2), G2.duration => G1.duration",
+		"cat(G1 + G2) :- Interval(G1), Interval(G2), {o1, o2} subset G1.entities",
+		"named: q(X) :- p(X)",
+		"q(X, Y) :- p(X), r(Y), X.a < Y.b",
+		"q(X) :- p(X), X != other",
+		`q(X) :- p(X), X.name >= "m"`,
+		"q(G) :- Interval(G), G.duration => [0, 100]",
+		"q(G) :- Interval(G), [5, 6] => G.duration",
+	}
+	for _, src := range cases {
+		r, err := ParseRule(src)
+		if err != nil {
+			t.Errorf("ParseRule(%q): %v", src, err)
+			continue
+		}
+		// The printed form must parse back to the same string (fixpoint of
+		// print∘parse).
+		printed := r.String()
+		r2, err := ParseRule(printed)
+		if err != nil {
+			t.Errorf("round trip of %q failed to parse %q: %v", src, printed, err)
+			continue
+		}
+		if r2.String() != printed {
+			t.Errorf("print∘parse not stable:\n  %q\n  %q", printed, r2.String())
+		}
+	}
+}
+
+func TestParseRuleTrailingDot(t *testing.T) {
+	r1, err := ParseRule("q(X) :- p(X).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := ParseRule("q(X) :- p(X)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.String() != r2.String() {
+		t.Error("trailing dot should not matter")
+	}
+}
+
+func TestParseQueryForms(t *testing.T) {
+	q, err := ParseQuery("?- q(X).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Rule != nil || q.Atom.Pred != "q" {
+		t.Errorf("direct query = %+v", q)
+	}
+	q, err = ParseQuery("Interval(G), o1 in G.entities")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Rule == nil {
+		t.Fatal("conjunctive query should synthesize a rule")
+	}
+	if len(q.Atom.Args) != 1 || q.Atom.Args[0].Name() != "G" {
+		t.Errorf("query atom = %v", q.Atom)
+	}
+	// A query over a built-in class is conjunctive even if single.
+	q, err = ParseQuery("?- Interval(G).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Rule == nil {
+		t.Error("class-atom query should synthesize a rule")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		src     string
+		wantSub string
+	}{
+		{"q(X :- p(X).", "expected"},
+		{"q(X) :- p(X)", "expected '.'"},
+		{"q(X) :- .", "expected a value"},
+		{"?- .", "expected a value"},
+		{"q(X).", "ground"},
+		{"Q(X) :- p(X).", "upper-case"},
+		{"interval Gi { }.", "upper-case"},
+		{"q(X) :- p(Y).", "range-restricted"},
+		{`object x { s: "unterminated }.`, "unterminated"},
+		{"object x { n: 1e }.", "expected '}'"},
+		{"object x { d: (t > 1 and u < 2) }.", "single time variable"},
+		{"object x { d: [5, 2] }.", "empty time interval"},
+		{"q(X) :- p(X), X ~ 3.", "unexpected character"},
+		{"fact(o1) extra.", "expected"},
+		{"q(X) :- p(X), {X} union G.entities.", "subset"},
+	}
+	for _, tc := range cases {
+		_, err := Parse(tc.src)
+		if err == nil {
+			t.Errorf("Parse(%q): expected error containing %q", tc.src, tc.wantSub)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantSub) {
+			t.Errorf("Parse(%q) error = %q, want substring %q", tc.src, err, tc.wantSub)
+		}
+		var pe *Error
+		if !errorsAs(err, &pe) {
+			t.Errorf("Parse(%q) error %T should be *parser.Error", tc.src, err)
+		} else if pe.Line < 1 || pe.Col < 1 {
+			t.Errorf("Parse(%q) error has bad position: %+v", tc.src, pe)
+		}
+	}
+}
+
+func errorsAs(err error, target **Error) bool {
+	e, ok := err.(*Error)
+	if ok {
+		*target = e
+	}
+	return ok
+}
+
+func TestParseComments(t *testing.T) {
+	script, err := Parse(`
+% percent comment
+// slash comment
+p(a, b). // trailing comment
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(script.Facts) != 1 {
+		t.Errorf("facts = %v", script.Facts)
+	}
+}
+
+func TestConstructiveRuleEndToEnd(t *testing.T) {
+	src := `
+interval g1 { duration: [0, 10], entities: {x} }.
+interval g2 { duration: [20, 30], entities: {x} }.
+merged(G1 + G2) :- Interval(G1), Interval(G2), x in G1.entities, x in G2.entities.
+?- merged(G).
+`
+	script, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := store.New()
+	if err := script.Apply(st); err != nil {
+		t.Fatal(err)
+	}
+	e, err := datalog.NewEngine(st, script.Program())
+	if err != nil {
+		t.Fatal(err)
+	}
+	oids, err := e.QueryOIDs(script.Queries[0].Atom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(oids) != 3 { // g1, g2, g1+g2
+		t.Errorf("merged = %v", oids)
+	}
+	obj := e.Object("g1+g2")
+	if obj == nil || !obj.Duration().Equal(interval.FromPairs(0, 10, 20, 30)) {
+		t.Errorf("created object = %v", obj)
+	}
+}
+
+func TestConstraintStartingWithConstant(t *testing.T) {
+	script, err := Parse(`object x { d: (5 < t and t < 10) }.`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := object.Temporal(interval.New(interval.Open(5, 10)))
+	if got := script.Objects[0].Attr("d"); !got.Equal(want) {
+		t.Errorf("d = %v, want %v", got, want)
+	}
+	// And as an entailment right-hand side.
+	r, err := ParseRule("q(G) :- Interval(G), G.duration => (0 < t and t < 100)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Body) != 2 {
+		t.Errorf("body = %v", r.Body)
+	}
+}

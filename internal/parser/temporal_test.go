@@ -1,0 +1,93 @@
+package parser
+
+import (
+	"testing"
+
+	"videodb/internal/datalog"
+	"videodb/internal/store"
+)
+
+func TestParseTemporalAtoms(t *testing.T) {
+	cases := []string{
+		"q(X, Y) :- Interval(X), Interval(Y), X.duration before Y.duration",
+		"q(X, Y) :- Interval(X), Interval(Y), X.duration overlaps Y.duration",
+		"q(X) :- Interval(X), X.duration during [0, 100]",
+		"q(X) :- Interval(X), X.duration meets (t > 10 and t < 20)",
+		"q(X, Y) :- Interval(X), Interval(Y), X.duration contains Y.duration",
+		"q(X, Y) :- Interval(X), Interval(Y), X.duration equals Y.duration",
+		"q(X, Y) :- Interval(X), Interval(Y), X.duration after Y.duration",
+		"q(X, Y) :- Interval(X), Interval(Y), X.duration metby Y.duration",
+	}
+	for _, src := range cases {
+		r, err := ParseRule(src)
+		if err != nil {
+			t.Errorf("ParseRule(%q): %v", src, err)
+			continue
+		}
+		found := false
+		for _, l := range r.Body {
+			if _, ok := l.(datalog.TemporalAtom); ok {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%q: no temporal atom parsed", src)
+			continue
+		}
+		printed := r.String()
+		r2, err := ParseRule(printed)
+		if err != nil || r2.String() != printed {
+			t.Errorf("round trip %q -> %q: %v", printed, r2.String(), err)
+		}
+	}
+}
+
+func TestTemporalAtomEndToEnd(t *testing.T) {
+	script, err := Parse(`
+interval morning { duration: [6, 12) }.
+interval noon    { duration: [12, 14) }.
+interval evening { duration: [18, 24) }.
+sequence_cut(X, Y) :- Interval(X), Interval(Y), X.duration meets Y.duration.
+gap_after(X, Y) :- Interval(X), Interval(Y), X.duration before Y.duration,
+                   not sequence_cut(X, Y).
+?- sequence_cut(X, Y).
+?- gap_after(X, Y).
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := store.New()
+	if err := script.Apply(st); err != nil {
+		t.Fatal(err)
+	}
+	e, err := datalog.NewEngine(st, script.Program())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cuts, err := e.Query(script.Queries[0].Atom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cuts) != 1 { // morning meets noon
+		t.Errorf("cuts = %v", cuts)
+	}
+	gaps, err := e.Query(script.Queries[1].Atom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gaps) != 2 { // morning->evening, noon->evening (before but not meets)
+		t.Errorf("gaps = %v", gaps)
+	}
+}
+
+func TestTemporalKeywordAsRelationName(t *testing.T) {
+	// The keywords stay usable as ordinary predicate names in call
+	// position.
+	r, err := ParseRule("q(X) :- before(X), contains(X, X)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel, ok := r.Body[0].(datalog.RelAtom); !ok || rel.Pred != "before" {
+		t.Errorf("body[0] = %v", r.Body[0])
+	}
+}

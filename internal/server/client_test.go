@@ -1,0 +1,95 @@
+package server
+
+import (
+	"errors"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"videodb/internal/core"
+)
+
+func testClient(t *testing.T) *Client {
+	t.Helper()
+	db := core.New()
+	_, err := db.LoadScript(`
+interval gi1 { duration: [0, 30], entities: {o1, o2} }.
+object o1 { name: "David" }.
+object o2 { name: "Philip" }.
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(db))
+	t.Cleanup(ts.Close)
+	return NewClient(ts.URL, nil)
+}
+
+func TestClientRoundTrip(t *testing.T) {
+	c := testClient(t)
+
+	res, err := c.Query("?- Interval(G), o1 in G.entities.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Columns[0] != "G" {
+		t.Errorf("query result = %+v", res)
+	}
+
+	if err := c.DefineRule("named(O) :- Object(O), O.name != \"\""); err != nil {
+		t.Fatal(err)
+	}
+	rules, err := c.Rules()
+	if err != nil || len(rules) != 1 {
+		t.Errorf("rules = %v, %v", rules, err)
+	}
+
+	results, err := c.LoadScript(`object o3 { name: "Brandon" }. ?- named(O).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 || len(results[0].Rows) != 3 {
+		t.Errorf("script results = %+v", results)
+	}
+
+	objs, err := c.Objects()
+	if err != nil || len(objs) != 4 {
+		t.Errorf("objects = %v, %v", objs, err)
+	}
+	o, err := c.Object("o1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name, _ := o.Attr("name").AsString(); name != "David" {
+		t.Errorf("o1 = %v", o)
+	}
+
+	stats, err := c.Stats()
+	if err != nil || stats["Objects"] != 4 {
+		t.Errorf("stats = %v, %v", stats, err)
+	}
+
+	plan, err := c.Explain("?- named(O).")
+	if err != nil || !strings.Contains(plan, "stratum") {
+		t.Errorf("plan = %q, %v", plan, err)
+	}
+}
+
+func TestClientErrors(t *testing.T) {
+	c := testClient(t)
+	_, err := c.Query("?- broken(")
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("err = %v", err)
+	}
+	if apiErr.Status != 422 || !strings.Contains(apiErr.Message, "parse error") {
+		t.Errorf("apiErr = %+v", apiErr)
+	}
+	if _, err := c.Object("nope"); err == nil {
+		t.Error("missing object should error")
+	}
+	bad := NewClient("http://127.0.0.1:1", nil)
+	if _, err := bad.Query("?- p(X)."); err == nil {
+		t.Error("unreachable server should error")
+	}
+}

@@ -1,0 +1,275 @@
+// Package server exposes a video database over HTTP with a small JSON
+// API — the "openness to the external world" the paper counts among the
+// advantages of building video archives on database technology
+// (Section 1). The handler wraps a core.DB; queries run concurrently,
+// while statements that change the rule program or the stored data are
+// serialized.
+//
+// Endpoints:
+//
+//	POST /v1/query    {"query": "?- Interval(G), o1 in G.entities."}
+//	POST /v1/explain  {"query": "…"}
+//	POST /v1/script   {"script": "interval gi1 { … }. fact(a,b)."}
+//	POST /v1/rules    {"rule": "q(G) :- Interval(G)."}
+//	GET  /v1/rules
+//	GET  /v1/objects
+//	GET  /v1/objects/{oid}
+//	GET  /v1/stats
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+
+	"videodb/internal/core"
+	"videodb/internal/object"
+)
+
+// MaxRequestBytes bounds request bodies (scripts included).
+const MaxRequestBytes = 8 << 20
+
+// Server is an http.Handler serving a video database.
+type Server struct {
+	mu  sync.RWMutex
+	db  *core.DB
+	mux *http.ServeMux
+}
+
+// New wraps the database in an HTTP handler.
+func New(db *core.DB) *Server {
+	s := &Server{db: db, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/v1/query", s.handleQuery)
+	s.mux.HandleFunc("/v1/explain", s.handleExplain)
+	s.mux.HandleFunc("/v1/script", s.handleScript)
+	s.mux.HandleFunc("/v1/rules", s.handleRules)
+	s.mux.HandleFunc("/v1/objects", s.handleObjects)
+	s.mux.HandleFunc("/v1/objects/", s.handleObject)
+	s.mux.HandleFunc("/v1/stats", s.handleStats)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, MaxRequestBytes)
+	s.mux.ServeHTTP(w, r)
+}
+
+// --- Wire types -----------------------------------------------------------------
+
+type queryRequest struct {
+	Query string `json:"query"`
+}
+
+type scriptRequest struct {
+	Script string `json:"script"`
+}
+
+type ruleRequest struct {
+	Rule string `json:"rule"`
+}
+
+// ResultJSON is the wire form of one query result.
+type ResultJSON struct {
+	Columns []string         `json:"columns"`
+	Rows    [][]object.Value `json:"rows"`
+	Created []*object.Object `json:"created,omitempty"`
+	Stats   statsJSON        `json:"stats"`
+}
+
+type statsJSON struct {
+	Rounds         int `json:"rounds"`
+	Derived        int `json:"derived"`
+	CreatedObjects int `json:"createdObjects"`
+}
+
+func resultJSON(rs *core.ResultSet) ResultJSON {
+	out := ResultJSON{
+		Columns: rs.Columns,
+		Rows:    rs.Rows,
+		Created: rs.Created,
+		Stats: statsJSON{
+			Rounds:         rs.Stats.Rounds,
+			Derived:        rs.Stats.Derived,
+			CreatedObjects: rs.Stats.Created,
+		},
+	}
+	if out.Rows == nil {
+		out.Rows = [][]object.Value{}
+	}
+	return out
+}
+
+type errorJSON struct {
+	Error string `json:"error"`
+}
+
+// --- Handlers -------------------------------------------------------------------
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	if !s.post(w, r, &req) {
+		return
+	}
+	if strings.TrimSpace(req.Query) == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("missing query"))
+		return
+	}
+	s.mu.RLock()
+	rs, err := s.db.Query(req.Query)
+	s.mu.RUnlock()
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resultJSON(rs))
+}
+
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	if !s.post(w, r, &req) {
+		return
+	}
+	s.mu.RLock()
+	plan, err := s.db.Explain(req.Query)
+	s.mu.RUnlock()
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"plan": plan})
+}
+
+func (s *Server) handleScript(w http.ResponseWriter, r *http.Request) {
+	var req scriptRequest
+	if !s.post(w, r, &req) {
+		return
+	}
+	s.mu.Lock()
+	results, err := s.db.LoadScript(req.Script)
+	s.mu.Unlock()
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	out := make([]ResultJSON, len(results))
+	for i, rs := range results {
+		out[i] = resultJSON(rs)
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{"results": out})
+}
+
+func (s *Server) handleRules(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		s.mu.RLock()
+		prog := s.db.Rules()
+		s.mu.RUnlock()
+		rules := make([]string, len(prog.Rules))
+		for i, rule := range prog.Rules {
+			rules[i] = rule.String()
+		}
+		writeJSON(w, http.StatusOK, map[string][]string{"rules": rules})
+	case http.MethodPost:
+		var req ruleRequest
+		if !decode(w, r, &req) {
+			return
+		}
+		s.mu.Lock()
+		err := s.db.DefineRule(req.Rule)
+		s.mu.Unlock()
+		if err != nil {
+			writeError(w, http.StatusUnprocessableEntity, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+	default:
+		methodNotAllowed(w, "GET, POST")
+	}
+}
+
+func (s *Server) handleObjects(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		methodNotAllowed(w, "GET")
+		return
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	type entry struct {
+		OID  string `json:"oid"`
+		Kind string `json:"kind"`
+	}
+	var out []entry
+	for _, oid := range s.db.Store().OIDs() {
+		out = append(out, entry{OID: string(oid), Kind: s.db.Object(oid).Kind().String()})
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{"objects": out})
+}
+
+func (s *Server) handleObject(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		methodNotAllowed(w, "GET")
+		return
+	}
+	oid := strings.TrimPrefix(r.URL.Path, "/v1/objects/")
+	if oid == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("missing oid"))
+		return
+	}
+	s.mu.RLock()
+	o := s.db.Object(object.OID(oid))
+	s.mu.RUnlock()
+	if o == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no object %q", oid))
+		return
+	}
+	writeJSON(w, http.StatusOK, o)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		methodNotAllowed(w, "GET")
+		return
+	}
+	s.mu.RLock()
+	st := s.db.Store().Stats()
+	s.mu.RUnlock()
+	writeJSON(w, http.StatusOK, st)
+}
+
+// --- Plumbing -------------------------------------------------------------------
+
+func (s *Server) post(w http.ResponseWriter, r *http.Request, dst interface{}) bool {
+	if r.Method != http.MethodPost {
+		methodNotAllowed(w, "POST")
+		return false
+	}
+	return decode(w, r, dst)
+}
+
+func decode(w http.ResponseWriter, r *http.Request, dst interface{}) bool {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return false
+	}
+	return true
+}
+
+func methodNotAllowed(w http.ResponseWriter, allow string) {
+	w.Header().Set("Allow", allow)
+	writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("method not allowed"))
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v) // headers are sent; nothing left to do on error
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorJSON{Error: err.Error()})
+}

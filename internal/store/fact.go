@@ -1,0 +1,155 @@
+package store
+
+import (
+	"sort"
+	"strings"
+
+	"videodb/internal/object"
+)
+
+// Fact is a ground relational fact R(v1, …, vn), the R component of the
+// video sequence tuple (relations on O × I, e.g. in(o1, o4, gi1)).
+type Fact struct {
+	Name string
+	Args []object.Value
+}
+
+// NewFact builds a fact.
+func NewFact(name string, args ...object.Value) Fact {
+	return Fact{Name: name, Args: args}
+}
+
+// RefFact builds the common all-references fact, e.g.
+// RefFact("in", "o1", "o4", "gi1").
+func RefFact(name string, oids ...object.OID) Fact {
+	args := make([]object.Value, len(oids))
+	for i, id := range oids {
+		args[i] = object.Ref(id)
+	}
+	return Fact{Name: name, Args: args}
+}
+
+// Key returns a canonical string identifying the fact (used for
+// de-duplication).
+func (f Fact) Key() string {
+	var b strings.Builder
+	b.WriteString(f.Name)
+	b.WriteByte('(')
+	for i, a := range f.Args {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(a.String())
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// String renders the fact in predicate notation.
+func (f Fact) String() string { return f.Key() }
+
+// Equal reports structural equality.
+func (f Fact) Equal(g Fact) bool {
+	if f.Name != g.Name || len(f.Args) != len(g.Args) {
+		return false
+	}
+	for i := range f.Args {
+		if !f.Args[i].Equal(g.Args[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// AddFact inserts the fact if not already present; it reports whether the
+// store changed. Facts with empty names are rejected (no change).
+func (s *Store) AddFact(f Fact) bool {
+	if f.Name == "" {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	key := f.Key()
+	set := s.factSet[f.Name]
+	if set == nil {
+		set = make(map[string]bool)
+		s.factSet[f.Name] = set
+	}
+	if set[key] {
+		return false
+	}
+	set[key] = true
+	// Store a private copy of the args slice (values are immutable).
+	args := make([]object.Value, len(f.Args))
+	copy(args, f.Args)
+	s.facts[f.Name] = append(s.facts[f.Name], Fact{Name: f.Name, Args: args})
+	_ = s.log(walRecord{Op: walAddFact, Fact: &jsonFact{Name: f.Name, Args: args}})
+	return true
+}
+
+// HasFact reports whether the exact fact is present.
+func (s *Store) HasFact(f Fact) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.factSet[f.Name][f.Key()]
+}
+
+// DeleteFact removes the exact fact; it reports whether it was present.
+func (s *Store) DeleteFact(f Fact) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	key := f.Key()
+	set := s.factSet[f.Name]
+	if set == nil || !set[key] {
+		return false
+	}
+	delete(set, key)
+	fs := s.facts[f.Name]
+	for i := range fs {
+		if fs[i].Key() == key {
+			s.facts[f.Name] = append(fs[:i], fs[i+1:]...)
+			break
+		}
+	}
+	if len(s.facts[f.Name]) == 0 {
+		delete(s.facts, f.Name)
+		delete(s.factSet, f.Name)
+	}
+	_ = s.log(walRecord{Op: walDeleteFact, Fact: &jsonFact{Name: f.Name, Args: f.Args}})
+	return true
+}
+
+// Facts returns a copy of all facts of the relation, in insertion order.
+func (s *Store) Facts(name string) []Fact {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	fs := s.facts[name]
+	out := make([]Fact, len(fs))
+	copy(out, fs)
+	return out
+}
+
+// Relations returns the sorted names of all relations with at least one
+// fact.
+func (s *Store) Relations() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.facts))
+	for n := range s.facts {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ForEachFact calls fn for every fact of the relation until fn returns
+// false.
+func (s *Store) ForEachFact(name string, fn func(Fact) bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, f := range s.facts[name] {
+		if !fn(f) {
+			return
+		}
+	}
+}

@@ -1,0 +1,131 @@
+package store
+
+import (
+	"math"
+	"sort"
+
+	"videodb/internal/interval"
+	"videodb/internal/object"
+)
+
+// A classic centered interval tree over the hull spans of generalized
+// interval durations. Built in O(n log n), answers overlap queries in
+// O(log n + k). The tree is static; the store rebuilds it lazily after
+// writes (ensureTree).
+
+type treeItem struct {
+	span interval.Span
+	oid  object.OID
+}
+
+type itreeNode struct {
+	center      float64
+	left, right *itreeNode
+	// Items whose span contains center, sorted two ways for pruned scans.
+	byLo []treeItem // ascending Lo
+	byHi []treeItem // descending Hi
+}
+
+type intervalTree struct {
+	root *itreeNode
+	size int
+}
+
+func buildIntervalTree(items []treeItem) *intervalTree {
+	t := &intervalTree{size: len(items)}
+	t.root = buildNode(items)
+	return t
+}
+
+func buildNode(items []treeItem) *itreeNode {
+	if len(items) == 0 {
+		return nil
+	}
+	// Center on the median of the finite endpoints for balance.
+	var points []float64
+	for _, it := range items {
+		if !math.IsInf(it.span.Lo, 0) {
+			points = append(points, it.span.Lo)
+		}
+		if !math.IsInf(it.span.Hi, 0) {
+			points = append(points, it.span.Hi)
+		}
+	}
+	var center float64
+	if len(points) > 0 {
+		sort.Float64s(points)
+		center = points[len(points)/2]
+	}
+	node := &itreeNode{center: center}
+	var leftItems, rightItems []treeItem
+	for _, it := range items {
+		switch {
+		case it.span.Hi < center:
+			leftItems = append(leftItems, it)
+		case it.span.Lo > center:
+			rightItems = append(rightItems, it)
+		default: // span contains (or touches) center
+			node.byLo = append(node.byLo, it)
+		}
+	}
+	// Degenerate split (all items at the center and none strictly aside)
+	// terminates because children receive strictly fewer items.
+	node.byHi = append(node.byHi, node.byLo...)
+	sort.Slice(node.byLo, func(i, j int) bool { return node.byLo[i].span.Lo < node.byLo[j].span.Lo })
+	sort.Slice(node.byHi, func(i, j int) bool { return node.byHi[i].span.Hi > node.byHi[j].span.Hi })
+	node.left = buildNode(leftItems)
+	node.right = buildNode(rightItems)
+	return node
+}
+
+// overlapping returns the oids of items whose span shares at least one
+// point with the query (endpoint openness honoured).
+func (t *intervalTree) overlapping(q interval.Span) []object.OID {
+	if t == nil || q.IsEmpty() {
+		return nil
+	}
+	var out []object.OID
+	var walk func(n *itreeNode)
+	walk = func(n *itreeNode) {
+		if n == nil {
+			return
+		}
+		switch {
+		case q.Hi < n.center:
+			// Only items starting before q.Hi can overlap; byLo is sorted
+			// ascending on Lo, so stop at the first Lo > q.Hi.
+			for _, it := range n.byLo {
+				if it.span.Lo > q.Hi {
+					break
+				}
+				if it.span.Overlaps(q) {
+					out = append(out, it.oid)
+				}
+			}
+			walk(n.left)
+		case q.Lo > n.center:
+			for _, it := range n.byHi {
+				if it.span.Hi < q.Lo {
+					break
+				}
+				if it.span.Overlaps(q) {
+					out = append(out, it.oid)
+				}
+			}
+			walk(n.right)
+		default:
+			// The query straddles the center: all stored items here may
+			// overlap (they all contain the center region boundary); check
+			// each, then descend both sides.
+			for _, it := range n.byLo {
+				if it.span.Overlaps(q) {
+					out = append(out, it.oid)
+				}
+			}
+			walk(n.left)
+			walk(n.right)
+		}
+	}
+	walk(t.root)
+	return out
+}

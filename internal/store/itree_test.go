@@ -1,0 +1,91 @@
+package store
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"videodb/internal/interval"
+	"videodb/internal/object"
+)
+
+func TestIntervalTreeMatchesScan(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	var items []treeItem
+	for i := 0; i < 500; i++ {
+		lo := float64(r.Intn(1000))
+		hi := lo + float64(r.Intn(50))
+		items = append(items, treeItem{
+			span: interval.Span{Lo: lo, Hi: hi, LoOpen: r.Intn(2) == 0, HiOpen: r.Intn(2) == 0},
+			oid:  object.OID(fmt.Sprintf("i%d", i)),
+		})
+	}
+	tree := buildIntervalTree(items)
+	if tree.size != len(items) {
+		t.Fatalf("size = %d", tree.size)
+	}
+	for q := 0; q < 200; q++ {
+		lo := float64(r.Intn(1000))
+		hi := lo + float64(r.Intn(80))
+		query := interval.Span{Lo: lo, Hi: hi, LoOpen: q%2 == 0, HiOpen: q%3 == 0}
+		got := tree.overlapping(query)
+		var want []object.OID
+		for _, it := range items {
+			if it.span.Overlaps(query) {
+				want = append(want, it.oid)
+			}
+		}
+		sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		if len(got) != len(want) {
+			t.Fatalf("query %v: got %d, want %d", query, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("query %v: mismatch at %d: %v vs %v", query, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestIntervalTreeEdgeCases(t *testing.T) {
+	if got := buildIntervalTree(nil).overlapping(interval.Closed(0, 1)); got != nil {
+		t.Errorf("empty tree = %v", got)
+	}
+	var tree *intervalTree
+	if got := tree.overlapping(interval.Closed(0, 1)); got != nil {
+		t.Errorf("nil tree = %v", got)
+	}
+	// All items identical (degenerate split must terminate).
+	var same []treeItem
+	for i := 0; i < 50; i++ {
+		same = append(same, treeItem{span: interval.Closed(5, 5), oid: object.OID(fmt.Sprintf("p%d", i))})
+	}
+	tr := buildIntervalTree(same)
+	if got := tr.overlapping(interval.Closed(5, 5)); len(got) != 50 {
+		t.Errorf("point stab = %d, want 50", len(got))
+	}
+	if got := tr.overlapping(interval.Open(5, 6)); len(got) != 0 {
+		t.Errorf("open miss = %v", got)
+	}
+	// Empty query returns nothing.
+	if got := tr.overlapping(interval.Span{Lo: 1, Hi: 0}); got != nil {
+		t.Errorf("empty query = %v", got)
+	}
+	// Unbounded items.
+	unb := buildIntervalTree([]treeItem{
+		{span: interval.Above(100), oid: "above"},
+		{span: interval.Below(0), oid: "below"},
+		{span: interval.Full(), oid: "full"},
+	})
+	got := unb.overlapping(interval.Closed(50, 60))
+	if len(got) != 1 || got[0] != "full" {
+		t.Errorf("unbounded middle = %v", got)
+	}
+	got = unb.overlapping(interval.Closed(150, 160))
+	sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+	if len(got) != 2 || got[0] != "above" || got[1] != "full" {
+		t.Errorf("unbounded high = %v", got)
+	}
+}

@@ -1,0 +1,162 @@
+package store
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"videodb/internal/interval"
+	"videodb/internal/object"
+)
+
+// Model-based test: a random sequence of mutations is applied in parallel
+// to a durable store (closed and reopened several times mid-sequence, so
+// WAL replay is exercised) and to a plain in-memory store acting as the
+// oracle. After every reopen and at the end, the two must agree on
+// objects, facts and index-backed query results.
+
+type storeOp struct {
+	kind string // put-entity, put-interval, update, delete, addfact, delfact, checkpoint
+	oid  object.OID
+	attr string
+	val  float64
+	fact Fact
+}
+
+func randomOps(r *rand.Rand, n int) []storeOp {
+	oids := []object.OID{"a", "b", "c", "d", "e", "f"}
+	var ops []storeOp
+	for i := 0; i < n; i++ {
+		oid := oids[r.Intn(len(oids))]
+		switch r.Intn(10) {
+		case 0, 1:
+			ops = append(ops, storeOp{kind: "put-entity", oid: oid, val: float64(r.Intn(10))})
+		case 2, 3:
+			ops = append(ops, storeOp{kind: "put-interval", oid: oid, val: float64(r.Intn(50))})
+		case 4:
+			ops = append(ops, storeOp{kind: "update", oid: oid, val: float64(r.Intn(10))})
+		case 5:
+			ops = append(ops, storeOp{kind: "delete", oid: oid})
+		case 6, 7:
+			ops = append(ops, storeOp{kind: "addfact",
+				fact: RefFact(fmt.Sprintf("r%d", r.Intn(3)), oid, oids[r.Intn(len(oids))])})
+		case 8:
+			ops = append(ops, storeOp{kind: "delfact",
+				fact: RefFact(fmt.Sprintf("r%d", r.Intn(3)), oid, oids[r.Intn(len(oids))])})
+		default:
+			ops = append(ops, storeOp{kind: "checkpoint"})
+		}
+	}
+	return ops
+}
+
+func applyOp(t *testing.T, s *Store, op storeOp, durable bool) {
+	t.Helper()
+	switch op.kind {
+	case "put-entity":
+		if err := s.Put(object.NewEntity(op.oid).Set("v", object.Num(op.val))); err != nil {
+			t.Fatal(err)
+		}
+	case "put-interval":
+		o := object.NewInterval(op.oid, interval.FromPairs(op.val, op.val+5)).
+			Set(object.AttrEntities, object.RefSet("x"))
+		if err := s.Put(o); err != nil {
+			t.Fatal(err)
+		}
+	case "update":
+		// Missing objects are allowed to fail identically on both sides.
+		_ = s.Update(op.oid, func(o *object.Object) error {
+			o.Set("v", object.Num(op.val))
+			return nil
+		})
+	case "delete":
+		s.Delete(op.oid)
+	case "addfact":
+		s.AddFact(op.fact)
+	case "delfact":
+		s.DeleteFact(op.fact)
+	case "checkpoint":
+		if durable {
+			if err := s.Checkpoint(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+func assertStoresEqual(t *testing.T, got, want *Store) {
+	t.Helper()
+	if g, w := got.OIDs(), want.OIDs(); len(g) != len(w) {
+		t.Fatalf("object count: %v vs %v", g, w)
+	}
+	for _, oid := range want.OIDs() {
+		a, b := got.Get(oid), want.Get(oid)
+		if a == nil || !a.Equal(b) {
+			t.Fatalf("object %s: %v vs %v", oid, a, b)
+		}
+	}
+	if g, w := got.Relations(), want.Relations(); len(g) != len(w) {
+		t.Fatalf("relations: %v vs %v", g, w)
+	}
+	for _, rel := range want.Relations() {
+		gf, wf := got.Facts(rel), want.Facts(rel)
+		if len(gf) != len(wf) {
+			t.Fatalf("%s: %d vs %d facts", rel, len(gf), len(wf))
+		}
+		for i := range wf {
+			if !gf[i].Equal(wf[i]) {
+				t.Fatalf("%s fact %d: %v vs %v", rel, i, gf[i], wf[i])
+			}
+		}
+	}
+	// Index-backed queries agree too.
+	if g, w := got.IntervalsContaining("x"), want.IntervalsContaining("x"); len(g) != len(w) {
+		t.Fatalf("IntervalsContaining: %v vs %v", g, w)
+	}
+	gw := got.IntervalsOverlapping(interval.Closed(0, 60))
+	ww := want.IntervalsOverlapping(interval.Closed(0, 60))
+	if len(gw) != len(ww) {
+		t.Fatalf("IntervalsOverlapping: %v vs %v", gw, ww)
+	}
+}
+
+func TestDurableStoreMatchesOracle(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			r := rand.New(rand.NewSource(seed))
+			dir := t.TempDir()
+			durable, err := OpenDurable(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			oracle := New()
+
+			ops := randomOps(r, 120)
+			for i, op := range ops {
+				applyOp(t, durable, op, true)
+				applyOp(t, oracle, op, false)
+				// Periodically crash-cycle the durable store.
+				if i%37 == 36 {
+					if err := durable.Close(); err != nil {
+						t.Fatal(err)
+					}
+					durable, err = OpenDurable(dir)
+					if err != nil {
+						t.Fatal(err)
+					}
+					assertStoresEqual(t, durable, oracle)
+				}
+			}
+			if err := durable.Close(); err != nil {
+				t.Fatal(err)
+			}
+			reopened, err := OpenDurable(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer reopened.Close()
+			assertStoresEqual(t, reopened, oracle)
+		})
+	}
+}

@@ -1,0 +1,190 @@
+package store
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"videodb/internal/object"
+)
+
+// Snapshot persistence: a single JSON document with a format version and
+// a SHA-256 checksum over the payload, so corrupted or truncated files are
+// detected on load rather than silently yielding a partial database.
+
+const snapshotVersion = 1
+
+type snapshot struct {
+	Version  int              `json:"version"`
+	Objects  []*object.Object `json:"objects"`
+	Facts    []jsonFact       `json:"facts"`
+	Checksum string           `json:"checksum"` // hex SHA-256 of payload
+}
+
+type jsonFact struct {
+	Name string         `json:"name"`
+	Args []object.Value `json:"args"`
+}
+
+// payload is the checksummed portion (everything except the checksum).
+type payload struct {
+	Version int              `json:"version"`
+	Objects []*object.Object `json:"objects"`
+	Facts   []jsonFact       `json:"facts"`
+}
+
+func (s *Store) buildPayload() payload {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.buildPayloadLocked()
+}
+
+func (s *Store) buildPayloadLocked() payload {
+	p := payload{Version: snapshotVersion}
+	// Deterministic object order for reproducible snapshots.
+	oids := make([]object.OID, 0, len(s.objects))
+	for id := range s.objects {
+		oids = append(oids, id)
+	}
+	sort.Slice(oids, func(i, j int) bool { return oids[i] < oids[j] })
+	for _, id := range oids {
+		p.Objects = append(p.Objects, s.objects[id])
+	}
+	names := make([]string, 0, len(s.facts))
+	for n := range s.facts {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		for _, f := range s.facts[n] {
+			p.Facts = append(p.Facts, jsonFact{Name: f.Name, Args: f.Args})
+		}
+	}
+	return p
+}
+
+// Save writes a snapshot of the store to w.
+func (s *Store) Save(w io.Writer) error {
+	return savePayload(w, s.buildPayload())
+}
+
+func savePayload(w io.Writer, p payload) error {
+	body, err := json.Marshal(p)
+	if err != nil {
+		return fmt.Errorf("store: encoding snapshot: %w", err)
+	}
+	sum := sha256.Sum256(body)
+	snap := snapshot{
+		Version:  p.Version,
+		Objects:  p.Objects,
+		Facts:    p.Facts,
+		Checksum: hex.EncodeToString(sum[:]),
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(snap)
+}
+
+// Load replaces the contents of the store with a snapshot read from r. On
+// any error the store is left unchanged. Durable stores refuse Load:
+// replacing state behind the write-ahead log would desynchronize
+// recovery — use Checkpoint-managed directories instead.
+func (s *Store) Load(r io.Reader) error {
+	s.mu.RLock()
+	durable := s.wal != nil
+	s.mu.RUnlock()
+	if durable {
+		return fmt.Errorf("store: Load is not supported on a durable store")
+	}
+	var snap snapshot
+	dec := json.NewDecoder(bufio.NewReader(r))
+	if err := dec.Decode(&snap); err != nil {
+		return fmt.Errorf("store: decoding snapshot: %w", err)
+	}
+	if snap.Version != snapshotVersion {
+		return fmt.Errorf("store: unsupported snapshot version %d (want %d)", snap.Version, snapshotVersion)
+	}
+	body, err := json.Marshal(payload{Version: snap.Version, Objects: snap.Objects, Facts: snap.Facts})
+	if err != nil {
+		return fmt.Errorf("store: re-encoding snapshot: %w", err)
+	}
+	sum := sha256.Sum256(body)
+	if got := hex.EncodeToString(sum[:]); got != snap.Checksum {
+		return fmt.Errorf("store: snapshot checksum mismatch (corrupted file?)")
+	}
+
+	// Build fresh state, then swap in atomically.
+	fresh := NewWith()
+	fresh.disableEntityIdx = s.disableEntityIdx
+	fresh.disableTreeIdx = s.disableTreeIdx
+	fresh.disableAttrIdx = s.disableAttrIdx
+	for _, o := range snap.Objects {
+		if err := fresh.Put(o); err != nil {
+			return err
+		}
+	}
+	for _, f := range snap.Facts {
+		fresh.AddFact(Fact{Name: f.Name, Args: f.Args})
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.objects = fresh.objects
+	s.facts = fresh.facts
+	s.factSet = fresh.factSet
+	s.entityIdx = fresh.entityIdx
+	s.attrIdx = fresh.attrIdx
+	s.itreeOK = false
+	s.numIdxOK = false
+	return nil
+}
+
+// SaveFile writes a snapshot to the named file atomically (write to a
+// temporary file in the same directory, then rename).
+func (s *Store) SaveFile(path string) error {
+	return writeSnapshotFile(path, s.buildPayload())
+}
+
+// saveFileLocked is SaveFile for callers already holding s.mu.
+func (s *Store) saveFileLocked(path string) error {
+	return writeSnapshotFile(path, s.buildPayloadLocked())
+}
+
+func writeSnapshotFile(path string, p payload) error {
+	tmp, err := os.CreateTemp(dirOf(path), ".videodb-*.tmp")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if err := savePayload(tmp, p); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// LoadFile reads a snapshot from the named file.
+func (s *Store) LoadFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return s.Load(f)
+}
+
+func dirOf(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			return path[:i]
+		}
+	}
+	return "."
+}

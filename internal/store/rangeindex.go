@@ -1,0 +1,72 @@
+package store
+
+import (
+	"sort"
+
+	"videodb/internal/interval"
+	"videodb/internal/object"
+)
+
+// Numeric attribute range scans. The hash index of FindByAttr answers
+// equality only; FindByAttrRange answers "attr within [lo, hi]" over a
+// sorted per-attribute index that is rebuilt lazily after writes, like
+// the interval tree. Applications use it for feature-valued attributes
+// (scores, screen coordinates, histogram distances).
+
+type numEntry struct {
+	value float64
+	oid   object.OID
+}
+
+// FindByAttrRange returns the sorted oids of objects whose attribute attr
+// holds a numeric value within the span (endpoint openness honoured).
+// Objects whose attribute is missing or non-numeric never match.
+func (s *Store) FindByAttrRange(attr string, within interval.Span) []object.OID {
+	if within.IsEmpty() {
+		return nil
+	}
+	s.mu.Lock()
+	entries := s.numericIndexLocked(attr)
+	s.mu.Unlock()
+
+	// Binary-search the first candidate, then walk while within range.
+	start := sort.Search(len(entries), func(i int) bool { return entries[i].value >= within.Lo })
+	var out []object.OID
+	for _, e := range entries[start:] {
+		if e.value > within.Hi {
+			break
+		}
+		if within.Contains(e.value) {
+			out = append(out, e.oid)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// numericIndexLocked returns the sorted numeric entries for the
+// attribute, rebuilding the per-attribute index if writes invalidated it.
+// Caller holds s.mu.
+func (s *Store) numericIndexLocked(attr string) []numEntry {
+	if !s.numIdxOK {
+		s.numIdx = make(map[string][]numEntry)
+		s.numIdxOK = true
+	}
+	if entries, ok := s.numIdx[attr]; ok {
+		return entries
+	}
+	var entries []numEntry
+	for oid, o := range s.objects {
+		if n, ok := o.Attr(attr).AsNumber(); ok {
+			entries = append(entries, numEntry{value: n, oid: oid})
+		}
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].value != entries[j].value {
+			return entries[i].value < entries[j].value
+		}
+		return entries[i].oid < entries[j].oid
+	})
+	s.numIdx[attr] = entries
+	return entries
+}

@@ -1,0 +1,308 @@
+package store
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+
+	"videodb/internal/object"
+)
+
+// Durability: an append-only write-ahead log of mutations with a CRC per
+// record, plus periodic checkpoints into the snapshot format. A durable
+// store opened with OpenDurable recovers by loading the latest snapshot
+// and replaying the log. A torn final record (crash mid-append) is
+// detected and truncated; corruption anywhere earlier is reported as an
+// error rather than silently skipped.
+
+const (
+	walFileName      = "db.wal"
+	snapshotFileName = "db.snapshot"
+)
+
+type walOp string
+
+const (
+	walPut        walOp = "put"
+	walDelete     walOp = "delete"
+	walAddFact    walOp = "addfact"
+	walDeleteFact walOp = "delfact"
+)
+
+type walRecord struct {
+	Seq    uint64         `json:"seq"`
+	Op     walOp          `json:"op"`
+	Object *object.Object `json:"object,omitempty"`
+	OID    string         `json:"oid,omitempty"`
+	Fact   *jsonFact      `json:"fact,omitempty"`
+	CRC    uint32         `json:"crc"`
+}
+
+func (r walRecord) checksum() (uint32, error) {
+	c := r
+	c.CRC = 0
+	body, err := json.Marshal(c)
+	if err != nil {
+		return 0, err
+	}
+	return crc32.ChecksumIEEE(body), nil
+}
+
+type wal struct {
+	f    *os.File
+	w    *bufio.Writer
+	seq  uint64
+	sync bool
+}
+
+func (w *wal) append(rec walRecord) error {
+	w.seq++
+	rec.Seq = w.seq
+	crc, err := rec.checksum()
+	if err != nil {
+		return err
+	}
+	rec.CRC = crc
+	body, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	if _, err := w.w.Write(append(body, '\n')); err != nil {
+		return err
+	}
+	if err := w.w.Flush(); err != nil {
+		return err
+	}
+	if w.sync {
+		return w.f.Sync()
+	}
+	return nil
+}
+
+func (w *wal) close() error {
+	if w.f == nil {
+		return nil
+	}
+	if err := w.w.Flush(); err != nil {
+		w.f.Close()
+		return err
+	}
+	err := w.f.Close()
+	w.f = nil
+	return err
+}
+
+// DurableOption configures OpenDurable.
+type DurableOption func(*durableConfig)
+
+type durableConfig struct {
+	storeOpts []Option
+	sync      bool
+}
+
+// WithStoreOptions forwards index options to the underlying store.
+func WithStoreOptions(opts ...Option) DurableOption {
+	return func(c *durableConfig) { c.storeOpts = append(c.storeOpts, opts...) }
+}
+
+// WithSyncEveryWrite fsyncs the log after every record (slow, maximally
+// durable). The default flushes to the OS per record without fsync.
+func WithSyncEveryWrite() DurableOption {
+	return func(c *durableConfig) { c.sync = true }
+}
+
+// OpenDurable opens (or creates) a durable store in dir: it loads the
+// latest checkpoint snapshot if present, replays the write-ahead log on
+// top, truncates a torn tail if the process previously crashed
+// mid-append, and attaches the log so every subsequent mutation is
+// persisted. Call Close when done and Checkpoint to compact.
+func OpenDurable(dir string, opts ...DurableOption) (*Store, error) {
+	var cfg durableConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	s := NewWith(cfg.storeOpts...)
+
+	snapPath := filepath.Join(dir, snapshotFileName)
+	if _, err := os.Stat(snapPath); err == nil {
+		if err := s.LoadFile(snapPath); err != nil {
+			return nil, fmt.Errorf("store: loading checkpoint: %w", err)
+		}
+	}
+
+	walPath := filepath.Join(dir, walFileName)
+	lastSeq, err := s.replayWAL(walPath)
+	if err != nil {
+		return nil, err
+	}
+
+	f, err := os.OpenFile(walPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	s.wal = &wal{f: f, w: bufio.NewWriter(f), seq: lastSeq, sync: cfg.sync}
+	s.walDir = dir
+	return s, nil
+}
+
+// replayWAL applies the log to the store and returns the last applied
+// sequence number. A torn final record is truncated away; earlier
+// corruption is an error.
+func (s *Store) replayWAL(path string) (uint64, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+
+	var (
+		lastSeq    uint64
+		goodOffset int64
+		r          = bufio.NewReader(f)
+	)
+	for lineNo := 1; ; lineNo++ {
+		line, err := r.ReadBytes('\n')
+		atEOF := err == io.EOF
+		if err != nil && !atEOF {
+			return 0, err
+		}
+		trimmed := bytes.TrimSpace(line)
+		if len(trimmed) > 0 {
+			var rec walRecord
+			bad := json.Unmarshal(trimmed, &rec) != nil
+			if !bad {
+				want, cerr := rec.checksum()
+				bad = cerr != nil || want != rec.CRC
+			}
+			if bad {
+				// Torn tail if nothing but whitespace follows; otherwise
+				// real corruption.
+				rest, rerr := io.ReadAll(r)
+				if rerr != nil {
+					return 0, rerr
+				}
+				if len(bytes.TrimSpace(rest)) > 0 || !endsLog(line, atEOF) {
+					return 0, fmt.Errorf("store: corrupt WAL record at line %d", lineNo)
+				}
+				if err := os.Truncate(path, goodOffset); err != nil {
+					return 0, fmt.Errorf("store: truncating torn WAL tail: %w", err)
+				}
+				return lastSeq, nil
+			}
+			if err := s.applyWALRecord(rec); err != nil {
+				return 0, fmt.Errorf("store: replaying WAL record %d: %w", rec.Seq, err)
+			}
+			lastSeq = rec.Seq
+			goodOffset += int64(len(line))
+		} else {
+			goodOffset += int64(len(line))
+		}
+		if atEOF {
+			return lastSeq, nil
+		}
+	}
+}
+
+// endsLog reports whether the bad line plausibly ends the log (a torn
+// append): it is the final line, complete or not.
+func endsLog(line []byte, atEOF bool) bool {
+	return atEOF || len(line) == 0 || line[len(line)-1] == '\n'
+}
+
+func (s *Store) applyWALRecord(rec walRecord) error {
+	switch rec.Op {
+	case walPut:
+		if rec.Object == nil {
+			return fmt.Errorf("put record without object")
+		}
+		return s.Put(rec.Object)
+	case walDelete:
+		s.Delete(object.OID(rec.OID))
+		return nil
+	case walAddFact:
+		if rec.Fact == nil {
+			return fmt.Errorf("addfact record without fact")
+		}
+		s.AddFact(Fact{Name: rec.Fact.Name, Args: rec.Fact.Args})
+		return nil
+	case walDeleteFact:
+		if rec.Fact == nil {
+			return fmt.Errorf("delfact record without fact")
+		}
+		s.DeleteFact(Fact{Name: rec.Fact.Name, Args: rec.Fact.Args})
+		return nil
+	default:
+		return fmt.Errorf("unknown op %q", rec.Op)
+	}
+}
+
+// log appends a mutation record if the store is durable. Callers hold
+// s.mu, so records are totally ordered with the mutations they describe.
+// The first failure is remembered and surfaced by Close and Checkpoint,
+// so mutations through bool-returning APIs cannot silently lose
+// durability.
+func (s *Store) log(rec walRecord) error {
+	if s.wal == nil {
+		return nil
+	}
+	err := s.wal.append(rec)
+	if err != nil && s.walErr == nil {
+		s.walErr = err
+	}
+	return err
+}
+
+// Checkpoint writes a snapshot of the current state and truncates the
+// log. After a crash, recovery loads the snapshot and replays only the
+// records appended since.
+func (s *Store) Checkpoint() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.wal == nil {
+		return fmt.Errorf("store: Checkpoint requires a durable store (OpenDurable)")
+	}
+	if s.walErr != nil {
+		return fmt.Errorf("store: earlier WAL append failed: %w", s.walErr)
+	}
+	if err := s.saveFileLocked(filepath.Join(s.walDir, snapshotFileName)); err != nil {
+		return err
+	}
+	if err := s.wal.w.Flush(); err != nil {
+		return err
+	}
+	if err := s.wal.f.Truncate(0); err != nil {
+		return err
+	}
+	if _, err := s.wal.f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	s.wal.w.Reset(s.wal.f)
+	return nil
+}
+
+// Close flushes and closes the write-ahead log (no-op for non-durable
+// stores).
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.wal == nil {
+		return nil
+	}
+	err := s.wal.close()
+	s.wal = nil
+	if s.walErr != nil {
+		return fmt.Errorf("store: a WAL append failed during the session: %w", s.walErr)
+	}
+	return err
+}

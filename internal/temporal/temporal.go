@@ -1,0 +1,137 @@
+// Package temporal provides two interchangeable evaluators for temporal
+// relationships between generalized intervals, mirroring the discussion
+// in Sections 1–2 of the paper (and Toman's PODS'96 point-vs-interval
+// comparison, reference [39]):
+//
+//   - Algebraic evaluates relations directly on the canonical
+//     generalized-interval representation (the interval-based approach of
+//     related systems such as VideoStar, with explicit operators like
+//     equals/before/overlaps);
+//   - Constraint evaluates the same relations by translating intervals to
+//     dense-order constraint formulas and using satisfiability and
+//     entailment (the paper's point-based approach).
+//
+// The two must agree on every input; experiment E8 measures their
+// relative cost, and the property tests in this package verify the
+// agreement.
+package temporal
+
+import (
+	"videodb/internal/constraint"
+	"videodb/internal/interval"
+)
+
+// Comparer decides temporal relationships between generalized intervals.
+type Comparer interface {
+	// Before reports whether every instant of g strictly precedes every
+	// instant of h (vacuously true if either is empty).
+	Before(g, h interval.Generalized) bool
+	// Overlaps reports whether g and h share an instant.
+	Overlaps(g, h interval.Generalized) bool
+	// Contains reports whether g contains every instant of h — the
+	// paper's contains rule (h.duration ⇒ g.duration).
+	Contains(g, h interval.Generalized) bool
+	// Equals reports whether g and h contain the same instants.
+	Equals(g, h interval.Generalized) bool
+	// Within reports whether g lies entirely inside the window w.
+	Within(g interval.Generalized, w interval.Span) bool
+}
+
+// Algebraic is the interval-based evaluator: relations computed on the
+// normalized span representation.
+type Algebraic struct{}
+
+// Before implements Comparer.
+func (Algebraic) Before(g, h interval.Generalized) bool {
+	if g.IsEmpty() || h.IsEmpty() {
+		return true
+	}
+	last := g.Spans()[len(g.Spans())-1]
+	first := h.Spans()[0]
+	if last.Hi < first.Lo {
+		return true
+	}
+	// Touching bound: strict precedence unless both endpoints include the
+	// touching instant.
+	return last.Hi == first.Lo && (last.HiOpen || first.LoOpen)
+}
+
+// Overlaps implements Comparer.
+func (Algebraic) Overlaps(g, h interval.Generalized) bool { return g.Overlaps(h) }
+
+// Contains implements Comparer.
+func (Algebraic) Contains(g, h interval.Generalized) bool { return g.ContainsGen(h) }
+
+// Equals implements Comparer.
+func (Algebraic) Equals(g, h interval.Generalized) bool { return g.Equal(h) }
+
+// Within implements Comparer.
+func (Algebraic) Within(g interval.Generalized, w interval.Span) bool {
+	return interval.New(w).ContainsGen(g)
+}
+
+// Constraint is the point-based evaluator: intervals become dense-order
+// formulas over time variables and relations become satisfiability or
+// entailment questions for the constraint solver.
+type Constraint struct{}
+
+// Before implements Comparer: F_g(x) ∧ F_h(y) ⇒ x < y, a genuinely
+// two-variable entailment decided by the point-algebra solver.
+func (Constraint) Before(g, h interval.Generalized) bool {
+	fg := constraint.FromInterval("x", g)
+	fh := constraint.FromInterval("y", h)
+	lt := constraint.FromAtom(constraint.NewAtom(constraint.V("x"), constraint.Lt, constraint.V("y")))
+	return fg.And(fh).Entails(lt)
+}
+
+// Overlaps implements Comparer: F_g(t) ∧ F_h(t) satisfiable.
+func (Constraint) Overlaps(g, h interval.Generalized) bool {
+	fg := constraint.FromInterval("t", g)
+	fh := constraint.FromInterval("t", h)
+	return fg.And(fh).Satisfiable()
+}
+
+// Contains implements Comparer: F_h ⇒ F_g.
+func (Constraint) Contains(g, h interval.Generalized) bool {
+	fg := constraint.FromInterval("t", g)
+	fh := constraint.FromInterval("t", h)
+	return fh.Entails(fg)
+}
+
+// Equals implements Comparer: mutual entailment.
+func (Constraint) Equals(g, h interval.Generalized) bool {
+	fg := constraint.FromInterval("t", g)
+	fh := constraint.FromInterval("t", h)
+	return fg.Equivalent(fh)
+}
+
+// Within implements Comparer: F_g ⇒ F_w, the exact query shape of the
+// paper's "does the object appear in the temporal frame [a,b]".
+func (Constraint) Within(g interval.Generalized, w interval.Span) bool {
+	fg := constraint.FromInterval("t", g)
+	fw := constraint.FromInterval("t", interval.New(w))
+	return fg.Entails(fw)
+}
+
+// Meets reports whether g ends exactly where h begins: they share no
+// instant, there is no gap between g's last fragment and h's first, and
+// every instant of g precedes every instant of h. Empty operands never
+// meet anything.
+func Meets(g, h interval.Generalized) bool {
+	if g.IsEmpty() || h.IsEmpty() || g.Overlaps(h) {
+		return false
+	}
+	if !(Algebraic{}).Before(g, h) {
+		return false
+	}
+	last := g.Spans()[len(g.Spans())-1]
+	first := h.Spans()[0]
+	return interval.Meets(last, first)
+}
+
+// HullRelation classifies the Allen relation between the hulls of two
+// generalized intervals (the coarse interval-based summary related
+// systems expose when intervals must be convex).
+func HullRelation(g, h interval.Generalized) interval.Relation {
+	return interval.Classify(g.Hull(), h.Hull())
+}

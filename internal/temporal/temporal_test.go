@@ -1,0 +1,173 @@
+package temporal
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"videodb/internal/interval"
+)
+
+func TestBeforeCases(t *testing.T) {
+	cases := []struct {
+		name string
+		g, h interval.Generalized
+		want bool
+	}{
+		{"gap", interval.FromPairs(0, 1), interval.FromPairs(3, 4), true},
+		{"touch closed-closed", interval.FromPairs(0, 1), interval.FromPairs(1, 2), false},
+		{"touch open right", interval.New(interval.ClosedOpen(0, 1)), interval.FromPairs(1, 2), true},
+		{"touch open left", interval.FromPairs(0, 1), interval.New(interval.OpenClosed(1, 2)), true},
+		{"overlap", interval.FromPairs(0, 5), interval.FromPairs(3, 8), false},
+		{"interleaved fragments", interval.FromPairs(0, 1, 10, 11), interval.FromPairs(5, 6), false},
+		{"multi before", interval.FromPairs(0, 1, 2, 3), interval.FromPairs(5, 6, 8, 9), true},
+		{"empty left", interval.Empty(), interval.FromPairs(0, 1), true},
+		{"empty right", interval.FromPairs(0, 1), interval.Empty(), true},
+		{"same", interval.FromPairs(0, 1), interval.FromPairs(0, 1), false},
+	}
+	for _, tc := range cases {
+		for name, c := range map[string]Comparer{"algebraic": Algebraic{}, "constraint": Constraint{}} {
+			if got := c.Before(tc.g, tc.h); got != tc.want {
+				t.Errorf("%s/%s: Before(%v, %v) = %v, want %v", tc.name, name, tc.g, tc.h, got, tc.want)
+			}
+		}
+	}
+}
+
+func TestWithinCases(t *testing.T) {
+	g := interval.FromPairs(10, 20, 30, 40)
+	cases := []struct {
+		w    interval.Span
+		want bool
+	}{
+		{interval.Closed(0, 50), true},
+		{interval.Closed(10, 40), true},
+		{interval.Open(10, 40), false}, // endpoints 10 and 40 escape
+		{interval.Closed(10, 35), false},
+		{interval.Closed(15, 50), false},
+	}
+	for _, tc := range cases {
+		for name, c := range map[string]Comparer{"algebraic": Algebraic{}, "constraint": Constraint{}} {
+			if got := c.Within(g, tc.w); got != tc.want {
+				t.Errorf("%s: Within(%v, %v) = %v, want %v", name, g, tc.w, got, tc.want)
+			}
+		}
+	}
+}
+
+func genG(r *rand.Rand) interval.Generalized {
+	n := r.Intn(4)
+	spans := make([]interval.Span, n)
+	for i := range spans {
+		lo := float64(r.Intn(15) - 5)
+		spans[i] = interval.Span{
+			Lo: lo, Hi: lo + float64(r.Intn(6)),
+			LoOpen: r.Intn(2) == 0, HiOpen: r.Intn(2) == 0,
+		}
+	}
+	return interval.New(spans...)
+}
+
+// TestEvaluatorsAgree is the E8 correctness property: the point-based
+// (constraint) and interval-based (algebraic) evaluators coincide on all
+// relations.
+func TestEvaluatorsAgree(t *testing.T) {
+	a, c := Algebraic{}, Constraint{}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g, h := genG(r), genG(r)
+		w := interval.Span{Lo: float64(r.Intn(10) - 5), Hi: float64(r.Intn(10)), LoOpen: r.Intn(2) == 0, HiOpen: r.Intn(2) == 0}
+		if a.Before(g, h) != c.Before(g, h) {
+			t.Logf("Before disagreement: %v vs %v", g, h)
+			return false
+		}
+		if a.Overlaps(g, h) != c.Overlaps(g, h) {
+			t.Logf("Overlaps disagreement: %v vs %v", g, h)
+			return false
+		}
+		if a.Contains(g, h) != c.Contains(g, h) {
+			t.Logf("Contains disagreement: %v vs %v", g, h)
+			return false
+		}
+		if a.Equals(g, h) != c.Equals(g, h) {
+			t.Logf("Equals disagreement: %v vs %v", g, h)
+			return false
+		}
+		if a.Within(g, w) != c.Within(g, w) {
+			t.Logf("Within disagreement: %v in %v", g, w)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBeforeAgainstPointSemantics(t *testing.T) {
+	// Before means: for all x ∈ g, y ∈ h: x < y. Check against sampling.
+	a := Algebraic{}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g, h := genG(r), genG(r)
+		claim := a.Before(g, h)
+		for x := -6.0; x <= 12; x += 0.5 {
+			if !g.Contains(x) {
+				continue
+			}
+			for y := -6.0; y <= 12; y += 0.5 {
+				if h.Contains(y) && x >= y && claim {
+					return false // counterexample to claimed Before
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHullRelation(t *testing.T) {
+	g := interval.FromPairs(0, 1, 5, 6)
+	h := interval.FromPairs(2, 3)
+	// Hull of g is [0,6], which contains [2,3] even though g's exact
+	// point set does not — the convex coarsening interval-only systems
+	// are stuck with.
+	if got := HullRelation(g, h); got != interval.RelContains {
+		t.Errorf("HullRelation = %v, want contains", got)
+	}
+	if (Algebraic{}).Contains(g, h) {
+		t.Error("exact containment must be false: h sits in g's gap")
+	}
+	if got := HullRelation(interval.Empty(), h); got != interval.RelInvalid {
+		t.Errorf("empty hull relation = %v", got)
+	}
+}
+
+func TestMeets(t *testing.T) {
+	cases := []struct {
+		name string
+		g, h interval.Generalized
+		want bool
+	}{
+		{"seamless half-open", interval.New(interval.ClosedOpen(0, 10)),
+			interval.New(interval.ClosedOpen(10, 20)), true},
+		{"closed touch shares a point", interval.FromPairs(0, 10), interval.FromPairs(10, 20), false},
+		{"gap", interval.FromPairs(0, 5), interval.FromPairs(10, 20), false},
+		{"overlap", interval.FromPairs(0, 15), interval.FromPairs(10, 20), false},
+		{"uncovered touching point", interval.New(interval.ClosedOpen(0, 10)),
+			interval.New(interval.OpenClosed(10, 20)), false},
+		{"fragmented left", interval.New(interval.Closed(0, 1), interval.ClosedOpen(5, 10)),
+			interval.New(interval.ClosedOpen(10, 20)), true},
+		{"empty left", interval.Empty(), interval.FromPairs(0, 1), false},
+		{"empty right", interval.FromPairs(0, 1), interval.Empty(), false},
+		{"wrong order", interval.New(interval.ClosedOpen(10, 20)),
+			interval.New(interval.ClosedOpen(0, 10)), false},
+	}
+	for _, tc := range cases {
+		if got := Meets(tc.g, tc.h); got != tc.want {
+			t.Errorf("%s: Meets(%v, %v) = %v, want %v", tc.name, tc.g, tc.h, got, tc.want)
+		}
+	}
+}

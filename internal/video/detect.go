@@ -1,0 +1,68 @@
+package video
+
+import "math"
+
+// HistogramDistance returns the L1 distance between two frame
+// histograms, the classic shot-boundary signal.
+func HistogramDistance(a, b [HistogramBins]float64) float64 {
+	var d float64
+	for i := range a {
+		d += math.Abs(a[i] - b[i])
+	}
+	return d
+}
+
+// DefaultCutThreshold separates within-shot jitter from shot changes for
+// the generator's default noise level.
+const DefaultCutThreshold = 0.25
+
+// DetectShots performs shot-change detection over frame signatures: a
+// cut is declared wherever the histogram distance between consecutive
+// frames exceeds the threshold. This is the "machine derived index" of
+// Section 5.1 — the raw feature layer on top of which semantic indexing
+// sits.
+func DetectShots(frames []Frame, threshold float64) []Shot {
+	if len(frames) == 0 {
+		return nil
+	}
+	var shots []Shot
+	start := 0
+	for i := 1; i < len(frames); i++ {
+		if HistogramDistance(frames[i-1].Histogram, frames[i].Histogram) > threshold {
+			shots = append(shots, Shot{Start: start, End: i})
+			start = i
+		}
+	}
+	return append(shots, Shot{Start: start, End: len(frames)})
+}
+
+// ShotDetectionAccuracy compares detected against ground-truth shots and
+// returns precision and recall of the cut positions.
+func ShotDetectionAccuracy(detected, truth []Shot) (precision, recall float64) {
+	cutSet := func(shots []Shot) map[int]bool {
+		cuts := make(map[int]bool)
+		for i := 1; i < len(shots); i++ {
+			cuts[shots[i].Start] = true
+		}
+		return cuts
+	}
+	dc, tc := cutSet(detected), cutSet(truth)
+	if len(dc) == 0 && len(tc) == 0 {
+		return 1, 1
+	}
+	var hit int
+	for c := range dc {
+		if tc[c] {
+			hit++
+		}
+	}
+	if len(dc) > 0 {
+		precision = float64(hit) / float64(len(dc))
+	}
+	if len(tc) > 0 {
+		recall = float64(hit) / float64(len(tc))
+	} else {
+		recall = 1
+	}
+	return precision, recall
+}

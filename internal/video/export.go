@@ -1,0 +1,63 @@
+package video
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteVQL renders the sequence as a VideoQL script using the
+// generalized-interval model: entities, per-object occurrence intervals,
+// per-shot scene intervals, and appears_with facts. The output parses
+// back with internal/parser and loads into an equivalent database.
+func WriteVQL(w io.Writer, seq *Sequence) error {
+	ew := &errWriter{w: w}
+	ew.printf("// synthetic sequence %q: %.0fs, %d shots, %d objects\n\n",
+		seq.Name, seq.Duration(), len(seq.Shots), len(seq.Objects()))
+	for _, name := range seq.Objects() {
+		ew.printf("object %s { name: %q }.\n", name, name)
+	}
+	ew.printf("\n")
+	for _, name := range seq.Objects() {
+		occ := seq.Occurrences[name]
+		if occ.IsEmpty() {
+			continue
+		}
+		ew.printf("interval occ_%s { duration: %s, entities: {%s}, kind: \"occurrence\" }.\n",
+			name, vqlInterval(occ.String()), name)
+	}
+	ew.printf("\n")
+	for si := range seq.Shots {
+		objs := seq.ShotObjects(si)
+		span := seq.ShotSpan(si)
+		ew.printf("interval shot%04d { duration: %s, entities: {%s}, kind: \"shot\" }.\n",
+			si, vqlInterval(span.String()), strings.Join(objs, ", "))
+	}
+	ew.printf("\n")
+	for si := range seq.Shots {
+		objs := seq.ShotObjects(si)
+		for i := 0; i < len(objs); i++ {
+			for j := i + 1; j < len(objs); j++ {
+				ew.printf("appears_with(%s, %s, shot%04d).\n", objs[i], objs[j], si)
+			}
+		}
+	}
+	return ew.err
+}
+
+// vqlInterval converts interval String notation to VideoQL's span-union
+// syntax (∪ is accepted by the parser, but "+" keeps scripts ASCII).
+func vqlInterval(s string) string {
+	return strings.ReplaceAll(s, " ∪ ", " + ")
+}
+
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) printf(format string, args ...interface{}) {
+	if e.err == nil {
+		_, e.err = fmt.Fprintf(e.w, format, args...)
+	}
+}

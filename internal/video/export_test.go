@@ -1,0 +1,77 @@
+package video
+
+import (
+	"bytes"
+	"testing"
+
+	"videodb/internal/core"
+	"videodb/internal/object"
+	"videodb/internal/parser"
+)
+
+func TestWriteVQLRoundTrip(t *testing.T) {
+	seq := Generate(GenConfig{Seed: 5, DurationSec: 90, NumObjects: 5})
+	var buf bytes.Buffer
+	if err := WriteVQL(&buf, seq); err != nil {
+		t.Fatal(err)
+	}
+	script, err := parser.Parse(buf.String())
+	if err != nil {
+		t.Fatalf("exported script does not parse: %v\n%s", err, buf.String())
+	}
+
+	// The parsed script loads into a database equivalent to Populate's.
+	fromScript := core.New()
+	if err := script.Apply(fromScript.Store()); err != nil {
+		t.Fatal(err)
+	}
+	fromAPI := core.New()
+	if err := Populate(fromAPI, seq); err != nil {
+		t.Fatal(err)
+	}
+
+	a, b := fromScript.Store(), fromAPI.Store()
+	if a.Len() != b.Len() {
+		t.Fatalf("object counts differ: %d vs %d", a.Len(), b.Len())
+	}
+	for _, oid := range b.OIDs() {
+		x, y := a.Get(oid), b.Get(oid)
+		if x == nil {
+			t.Fatalf("missing %s in script-loaded store", oid)
+		}
+		// Durations and entities must match exactly; the textual round
+		// trip must not perturb interval bounds.
+		if !x.Duration().Equal(y.Duration()) {
+			t.Errorf("%s: duration %v vs %v", oid, x.Duration(), y.Duration())
+		}
+		if !x.Attr(object.AttrEntities).Equal(y.Attr(object.AttrEntities)) {
+			t.Errorf("%s: entities differ", oid)
+		}
+	}
+	// Facts survive.
+	if len(a.Facts("appears_with")) != len(b.Facts("appears_with")) {
+		t.Errorf("appears_with: %d vs %d facts",
+			len(a.Facts("appears_with")), len(b.Facts("appears_with")))
+	}
+}
+
+func TestWriteVQLPropagatesWriteErrors(t *testing.T) {
+	seq := Generate(GenConfig{Seed: 5, DurationSec: 30, NumObjects: 2})
+	w := &failWriter{failAfter: 10}
+	if err := WriteVQL(w, seq); err == nil {
+		t.Error("expected write error")
+	}
+}
+
+type failWriter struct {
+	n         int
+	failAfter int
+}
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	f.n++
+	if f.n > f.failAfter {
+		return 0, bytes.ErrTooLarge
+	}
+	return len(p), nil
+}

@@ -1,0 +1,60 @@
+package video
+
+import (
+	"fmt"
+
+	"videodb/internal/core"
+	"videodb/internal/interval"
+	"videodb/internal/object"
+)
+
+// Populate loads a synthetic sequence into a video database using the
+// paper's model: one semantic object per entity of interest, one
+// generalized interval object per entity tracing all its occurrences
+// (λ1, λ2), one scene interval per shot listing the entities visible in
+// it, and appears_with facts relating entities that share a shot.
+func Populate(db *core.DB, seq *Sequence) error {
+	for _, name := range seq.Objects() {
+		if err := db.PutEntity(object.OID(name), map[string]object.Value{
+			"name": object.Str(name),
+		}); err != nil {
+			return err
+		}
+	}
+	// Per-object generalized intervals (the Figure 3 indexing).
+	for _, name := range seq.Objects() {
+		occ := seq.Occurrences[name]
+		if occ.IsEmpty() {
+			continue
+		}
+		oid := object.OID("occ_" + name)
+		if err := db.PutInterval(oid, occ, map[string]object.Value{
+			object.AttrEntities: object.RefSet(object.OID(name)),
+			"kind":              object.Str("occurrence"),
+		}); err != nil {
+			return err
+		}
+	}
+	// Scene intervals (shots) with their visible entities.
+	for si := range seq.Shots {
+		objs := seq.ShotObjects(si)
+		oids := make([]object.OID, len(objs))
+		for i, o := range objs {
+			oids[i] = object.OID(o)
+		}
+		oid := object.OID(fmt.Sprintf("shot%04d", si))
+		if err := db.PutInterval(oid, interval.New(seq.ShotSpan(si)), map[string]object.Value{
+			object.AttrEntities: object.RefSet(oids...),
+			"kind":              object.Str("shot"),
+		}); err != nil {
+			return err
+		}
+		// Entities sharing a shot are related pairwise.
+		for i := 0; i < len(oids); i++ {
+			for j := i + 1; j < len(oids); j++ {
+				db.Relate("appears_with", oids[i], oids[j], oid)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,63 @@
+package video
+
+import "sort"
+
+// Query by visual example over the machine-derived index (Section 5.1's
+// "raw features", in the style of the QBIC/VIOLONE systems the paper
+// surveys): shots are summarized by their mean color histogram and
+// ranked by histogram distance to an example.
+
+// ShotSignature is the mean histogram of a shot's frames.
+func (s *Sequence) ShotSignature(shot int) [HistogramBins]float64 {
+	var sig [HistogramBins]float64
+	sh := s.Shots[shot]
+	n := float64(sh.End - sh.Start)
+	if n == 0 {
+		return sig
+	}
+	for f := sh.Start; f < sh.End; f++ {
+		for i, v := range s.Frames[f].Histogram {
+			sig[i] += v
+		}
+	}
+	for i := range sig {
+		sig[i] /= n
+	}
+	return sig
+}
+
+// ShotMatch is one ranked result of SimilarShots.
+type ShotMatch struct {
+	Shot     int
+	Distance float64
+}
+
+// SimilarShots ranks all shots by histogram distance to the example
+// signature and returns the k closest (all shots if k ≤ 0 or exceeds the
+// shot count). Ties break toward earlier shots, so results are
+// deterministic.
+func (s *Sequence) SimilarShots(example [HistogramBins]float64, k int) []ShotMatch {
+	matches := make([]ShotMatch, len(s.Shots))
+	for i := range s.Shots {
+		matches[i] = ShotMatch{Shot: i, Distance: HistogramDistance(s.ShotSignature(i), example)}
+	}
+	sort.SliceStable(matches, func(i, j int) bool { return matches[i].Distance < matches[j].Distance })
+	if k > 0 && k < len(matches) {
+		matches = matches[:k]
+	}
+	return matches
+}
+
+// QueryByExample finds the k shots most similar to the shot containing
+// the given frame (the frame's own shot ranks first, distance ≈ 0).
+func (s *Sequence) QueryByExample(frame int, k int) []ShotMatch {
+	if frame < 0 || frame >= len(s.Frames) {
+		return nil
+	}
+	for i, sh := range s.Shots {
+		if frame >= sh.Start && frame < sh.End {
+			return s.SimilarShots(s.ShotSignature(i), k)
+		}
+	}
+	return nil
+}

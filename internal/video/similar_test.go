@@ -1,0 +1,66 @@
+package video
+
+import "testing"
+
+func TestSimilarShots(t *testing.T) {
+	seq := Generate(GenConfig{Seed: 21, DurationSec: 200, NumObjects: 3})
+	if len(seq.Shots) < 5 {
+		t.Fatalf("need several shots, got %d", len(seq.Shots))
+	}
+
+	// Querying with a shot's own signature ranks it first with ~zero
+	// distance.
+	for shot := 0; shot < 5; shot++ {
+		matches := seq.SimilarShots(seq.ShotSignature(shot), 3)
+		if len(matches) != 3 {
+			t.Fatalf("k=3 returned %d", len(matches))
+		}
+		if matches[0].Shot != shot {
+			t.Errorf("shot %d: best match = %d (distance %g)", shot, matches[0].Shot, matches[0].Distance)
+		}
+		if matches[0].Distance > 0.05 {
+			t.Errorf("self distance = %g", matches[0].Distance)
+		}
+		// Distances ascend.
+		for i := 1; i < len(matches); i++ {
+			if matches[i].Distance < matches[i-1].Distance {
+				t.Errorf("ranking not sorted: %v", matches)
+			}
+		}
+	}
+
+	// k handling.
+	if got := seq.SimilarShots(seq.ShotSignature(0), 0); len(got) != len(seq.Shots) {
+		t.Errorf("k=0 should return all shots, got %d", len(got))
+	}
+	if got := seq.SimilarShots(seq.ShotSignature(0), 10_000); len(got) != len(seq.Shots) {
+		t.Errorf("huge k should clamp, got %d", len(got))
+	}
+}
+
+func TestQueryByExample(t *testing.T) {
+	seq := Generate(GenConfig{Seed: 22, DurationSec: 120, NumObjects: 2})
+	midShot := len(seq.Shots) / 2
+	frame := seq.Shots[midShot].Start + 1
+	matches := seq.QueryByExample(frame, 1)
+	if len(matches) != 1 || matches[0].Shot != midShot {
+		t.Errorf("QueryByExample = %v, want shot %d", matches, midShot)
+	}
+	if seq.QueryByExample(-1, 3) != nil || seq.QueryByExample(len(seq.Frames), 3) != nil {
+		t.Error("out-of-range frames should return nil")
+	}
+}
+
+func TestShotSignatureStability(t *testing.T) {
+	// Within-shot signatures are much closer to their own shot's frames
+	// than to other shots' signatures (that is what makes detection and
+	// retrieval work).
+	seq := Generate(GenConfig{Seed: 23, DurationSec: 120, NumObjects: 2})
+	a, b := seq.ShotSignature(0), seq.ShotSignature(1)
+	frame := seq.Frames[seq.Shots[0].Start]
+	dOwn := HistogramDistance(frame.Histogram, a)
+	dOther := HistogramDistance(frame.Histogram, b)
+	if dOwn >= dOther {
+		t.Errorf("frame closer to foreign shot: own %g vs other %g", dOwn, dOther)
+	}
+}

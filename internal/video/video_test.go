@@ -1,0 +1,218 @@
+package video
+
+import (
+	"testing"
+
+	"videodb/internal/core"
+	"videodb/internal/interval"
+	"videodb/internal/object"
+)
+
+func testSeq(t testing.TB) *Sequence {
+	t.Helper()
+	return Generate(GenConfig{Seed: 7, DurationSec: 120, NumObjects: 6})
+}
+
+func TestGenerateStructure(t *testing.T) {
+	seq := testSeq(t)
+	if seq.Duration() != 120 {
+		t.Errorf("Duration = %v", seq.Duration())
+	}
+	if len(seq.Frames) != 120*25 {
+		t.Errorf("frames = %d", len(seq.Frames))
+	}
+	if len(seq.Shots) < 10 {
+		t.Errorf("shots = %d, expected a reasonable cut rate", len(seq.Shots))
+	}
+	// Shots tile the frame range exactly.
+	at := 0
+	for _, sh := range seq.Shots {
+		if sh.Start != at || sh.End <= sh.Start {
+			t.Fatalf("shot %+v does not tile at %d", sh, at)
+		}
+		at = sh.End
+	}
+	if at != len(seq.Frames) {
+		t.Errorf("shots end at %d, want %d", at, len(seq.Frames))
+	}
+	if len(seq.Objects()) != 6 {
+		t.Errorf("objects = %v", seq.Objects())
+	}
+	// Occurrences stay within the sequence and are shot-aligned unions.
+	whole := interval.New(interval.ClosedOpen(0, seq.Duration()))
+	for obj, occ := range seq.Occurrences {
+		if !whole.ContainsGen(occ) {
+			t.Errorf("%s occurrences %v escape the timeline", obj, occ)
+		}
+	}
+	// Determinism.
+	seq2 := Generate(GenConfig{Seed: 7, DurationSec: 120, NumObjects: 6})
+	for obj := range seq.Occurrences {
+		if !seq.Occurrences[obj].Equal(seq2.Occurrences[obj]) {
+			t.Errorf("generation not deterministic for %s", obj)
+		}
+	}
+	// Different seeds should (almost surely) produce different content.
+	other := Generate(GenConfig{Seed: 8, DurationSec: 120, NumObjects: 6})
+	if other.Occurrences["obj000"].Equal(seq.Occurrences["obj000"]) &&
+		!seq.Occurrences["obj000"].IsEmpty() {
+		t.Error("different seeds produced identical occurrences")
+	}
+}
+
+func TestShotDetection(t *testing.T) {
+	seq := testSeq(t)
+	detected := DetectShots(seq.Frames, DefaultCutThreshold)
+	precision, recall := ShotDetectionAccuracy(detected, seq.Shots)
+	if precision < 0.95 || recall < 0.95 {
+		t.Errorf("shot detection precision=%v recall=%v", precision, recall)
+	}
+	if got := DetectShots(nil, DefaultCutThreshold); got != nil {
+		t.Error("no frames, no shots")
+	}
+	one := DetectShots(seq.Frames[:10], DefaultCutThreshold)
+	if len(one) != 1 {
+		t.Errorf("a within-shot clip should be one shot, got %v", one)
+	}
+	// Degenerate threshold: everything is a cut.
+	all := DetectShots(seq.Frames[:50], 0)
+	if len(all) < 25 {
+		t.Errorf("zero threshold should over-segment, got %d shots", len(all))
+	}
+}
+
+func TestSchemesAnswerQuality(t *testing.T) {
+	seq := testSeq(t)
+	strat := NewStratification(seq)
+	gen := NewGeneralizedIndexing(seq)
+	segFine := NewSegmentation(seq, 1)
+	segCoarse := NewSegmentation(seq, 30)
+
+	for _, obj := range seq.Objects() {
+		truth := seq.Occurrences[obj]
+
+		// Stratification and generalized indexing are exact.
+		if !strat.Occurrences(obj).Equal(truth) {
+			t.Errorf("stratification inexact for %s", obj)
+		}
+		if !gen.Occurrences(obj).Equal(truth) {
+			t.Errorf("generalized indexing inexact for %s", obj)
+		}
+
+		// Segmentation over-approximates: recall 1, precision ≤ 1, and
+		// coarser segments are never more precise.
+		for _, seg := range []*Segmentation{segFine, segCoarse} {
+			ans := seg.Occurrences(obj)
+			if !ans.ContainsGen(truth) {
+				t.Errorf("%s: segmentation missed true occurrences of %s", seg.Name(), obj)
+			}
+			p, r := AnswerQuality(ans, truth)
+			if r != 1 {
+				t.Errorf("segmentation recall = %v", r)
+			}
+			if p > 1.0001 {
+				t.Errorf("precision = %v > 1", p)
+			}
+		}
+		pFine, _ := AnswerQuality(segFine.Occurrences(obj), truth)
+		pCoarse, _ := AnswerQuality(segCoarse.Occurrences(obj), truth)
+		if !truth.IsEmpty() && pCoarse > pFine+1e-9 {
+			t.Errorf("%s: coarse segmentation more precise (%v) than fine (%v)", obj, pCoarse, pFine)
+		}
+	}
+}
+
+func TestSchemesAnnotationCounts(t *testing.T) {
+	seq := testSeq(t)
+	gen := NewGeneralizedIndexing(seq)
+	strat := NewStratification(seq)
+	seg := NewSegmentation(seq, 5)
+
+	// Figure 3's point: one annotation per object.
+	if gen.Annotations() != len(seq.Objects()) {
+		t.Errorf("generalized annotations = %d, want %d", gen.Annotations(), len(seq.Objects()))
+	}
+	// Stratification: one per fragment — at least one per object with
+	// occurrences, normally many more.
+	totalFragments := 0
+	for _, occ := range seq.Occurrences {
+		totalFragments += occ.NumSpans()
+	}
+	if strat.Annotations() != totalFragments {
+		t.Errorf("strata = %d, want %d", strat.Annotations(), totalFragments)
+	}
+	if strat.Annotations() <= gen.Annotations() {
+		t.Errorf("stratification (%d) should need more annotations than generalized (%d)",
+			strat.Annotations(), gen.Annotations())
+	}
+	if seg.Annotations() != 24 { // 120s / 5s
+		t.Errorf("segments = %d", seg.Annotations())
+	}
+	for _, idx := range []Indexer{gen, strat, seg} {
+		if idx.StorageBytes() <= 0 {
+			t.Errorf("%s: storage bytes = %d", idx.Name(), idx.StorageBytes())
+		}
+		if idx.Name() == "" {
+			t.Error("empty scheme name")
+		}
+	}
+}
+
+func TestAnswerQualityEdgeCases(t *testing.T) {
+	empty := interval.Empty()
+	some := interval.FromPairs(0, 10)
+	if p, r := AnswerQuality(empty, empty); p != 1 || r != 1 {
+		t.Errorf("empty/empty = %v, %v", p, r)
+	}
+	if p, r := AnswerQuality(empty, some); p != 0 || r != 0 {
+		t.Errorf("empty answer = %v, %v", p, r)
+	}
+	if p, r := AnswerQuality(some, empty); p != 0 || r != 1 {
+		t.Errorf("spurious answer = %v, %v", p, r)
+	}
+	if p, r := AnswerQuality(some, some); p != 1 || r != 1 {
+		t.Errorf("exact answer = %v, %v", p, r)
+	}
+}
+
+func TestPopulateAndQuery(t *testing.T) {
+	seq := Generate(GenConfig{Seed: 3, DurationSec: 60, NumObjects: 4})
+	db := core.New()
+	if err := Populate(db, seq); err != nil {
+		t.Fatal(err)
+	}
+	// Every object with occurrences has its occurrence interval, and its
+	// duration matches ground truth.
+	for _, name := range seq.Objects() {
+		truth := seq.Occurrences[name]
+		o := db.Object(object.OID("occ_" + name))
+		if truth.IsEmpty() {
+			if o != nil {
+				t.Errorf("%s: unexpected occurrence object", name)
+			}
+			continue
+		}
+		if o == nil {
+			t.Fatalf("%s: missing occurrence object", name)
+		}
+		if !o.Duration().Equal(truth) {
+			t.Errorf("%s: duration %v != truth %v", name, o.Duration(), truth)
+		}
+	}
+	// The canonical retrieval query runs through VideoQL.
+	rs, err := db.Query("?- Interval(G), obj000 in G.entities.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Rows) == 0 {
+		t.Error("obj000 should appear somewhere")
+	}
+	// appears_with facts are queryable.
+	rs, err = db.Query("?- appears_with(X, Y, S).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Rows) == 0 {
+		t.Error("expected appears_with facts")
+	}
+}
