@@ -1,0 +1,32 @@
+GO ?= go
+
+.PHONY: all tier1 build vet test race bench bench-json clean
+
+all: tier1
+
+# tier1 is the acceptance gate: everything must build, vet clean, and pass.
+tier1: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# race exercises the parallel evaluator and the shared EDB/memo caches
+# under the race detector.
+race:
+	$(GO) test -race ./internal/datalog/...
+
+bench:
+	$(GO) test -bench . -benchmem -run '^$$' .
+
+# bench-json regenerates the machine-readable acceptance benchmark report.
+bench-json:
+	$(GO) run ./cmd/bench -json -out BENCH_PR1.json
+
+clean:
+	$(GO) clean ./...

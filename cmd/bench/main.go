@@ -7,6 +7,12 @@
 //
 //	bench [-experiment all|figures|rope|arith|setorder|constructive|pointinterval|seminaive|indexes]
 //	      [-quick]
+//	bench -json [-out BENCH_PR1.json]
+//
+// With -json the binary skips the tables and instead re-measures the
+// acceptance benchmarks (E5, E8, E13 workloads) under the default engine
+// configuration and each ablation, writing machine-readable ns/op,
+// allocs/op and solver-memo hit rates to the -out file.
 package main
 
 import (
@@ -20,7 +26,14 @@ var quick = flag.Bool("quick", false, "smaller sizes for a fast smoke run")
 
 func main() {
 	exp := flag.String("experiment", "all", "which experiment to run")
+	jsonMode := flag.Bool("json", false, "write machine-readable acceptance benchmarks and exit")
+	jsonOut := flag.String("out", "BENCH_PR1.json", "output path for -json")
 	flag.Parse()
+
+	if *jsonMode {
+		runJSON(*jsonOut)
+		return
+	}
 
 	experiments := []struct {
 		name string

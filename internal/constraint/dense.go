@@ -342,6 +342,21 @@ func (f Formula) Satisfiable() bool {
 // tries the exact single-variable interval route and falls back to the
 // general procedure only for multi-variable formulas.
 func (f Formula) Entails(g Formula) bool {
+	if !memoEnabled.Load() {
+		return f.entailsUncached(g)
+	}
+	dst := formulaKeyTo(make([]byte, 0, 96), f)
+	dst = append(dst, '\x02')
+	key := string(formulaKeyTo(dst, g))
+	if v, ok := entailMemo.get(key); ok {
+		return v
+	}
+	v := f.entailsUncached(g)
+	entailMemo.put(key, v)
+	return v
+}
+
+func (f Formula) entailsUncached(g Formula) bool {
 	if fg, ok := f.singleVar(); ok {
 		if gg, ok2 := g.singleVarCompatible(fg); ok2 {
 			fi, err1 := f.ToInterval(fg)

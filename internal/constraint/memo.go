@@ -1,0 +1,333 @@
+package constraint
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Solver memoization. Video-database workloads re-solve structurally
+// identical constraint checks over and over: every evaluation round of the
+// rule engine re-derives the same dense-order entailments ("G.duration ⇒
+// frame") and the same set-order closures, and continuous queries repeat
+// them across requests. The memo caches solver verdicts keyed by a
+// canonical rendering of the input, so a repeated check is a map lookup
+// instead of a graph construction + SCC pass (dense order) or a
+// bound-propagation fixpoint (set order).
+//
+// Invariant: memoization must be invisible — a cached verdict is exactly
+// the verdict the solver would compute. Keys are canonical (atom order
+// within a conjunction and disjunct order within a formula do not matter),
+// and cached closures are immutable after construction. The property test
+// TestMemoNeverChangesVerdict checks this against a memo-free run.
+//
+// The cache is bounded and generation-cleared: when a table reaches its
+// entry limit it is dropped wholesale, which keeps the hot path free of
+// LRU bookkeeping while bounding memory.
+
+// MemoStats is a snapshot of the memo cache counters.
+type MemoStats struct {
+	Hits    uint64 // verdicts served from the cache
+	Misses  uint64 // verdicts computed and inserted
+	Entries int    // entries currently cached (all tables)
+	Flushes uint64 // generation clears triggered by the size bound
+}
+
+// HitRate returns Hits / (Hits + Misses), or 0 when nothing was looked up.
+func (s MemoStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+const defaultMemoLimit = 1 << 16
+
+var (
+	memoEnabled atomic.Bool
+	memoHits    atomic.Uint64
+	memoMisses  atomic.Uint64
+	memoFlushes atomic.Uint64
+
+	satMemo     = newMemoTable() // conjunction key -> satisfiable?
+	entailMemo  = newMemoTable() // f key + g key -> entails?
+	closureMemo = &closureTable{m: make(map[string]*setClosure), limit: defaultMemoLimit}
+)
+
+func init() { memoEnabled.Store(true) }
+
+// SetMemoEnabled switches the solver memo on or off process-wide and
+// returns the previous setting. Intended for ablation benchmarks and
+// differential tests; leave it on otherwise.
+func SetMemoEnabled(on bool) bool { return memoEnabled.Swap(on) }
+
+// MemoEnabled reports whether the solver memo is active.
+func MemoEnabled() bool { return memoEnabled.Load() }
+
+// SetMemoLimit bounds the number of entries each memo table may hold
+// before being generation-cleared. Non-positive restores the default.
+func SetMemoLimit(n int) {
+	if n <= 0 {
+		n = defaultMemoLimit
+	}
+	satMemo.setLimit(n)
+	entailMemo.setLimit(n)
+	closureMemo.setLimit(n)
+}
+
+// ResetMemo drops every cached verdict and zeroes the counters.
+func ResetMemo() {
+	satMemo.clear()
+	entailMemo.clear()
+	closureMemo.clear()
+	memoHits.Store(0)
+	memoMisses.Store(0)
+	memoFlushes.Store(0)
+}
+
+// MemoSnapshot returns the current memo counters.
+func MemoSnapshot() MemoStats {
+	return MemoStats{
+		Hits:    memoHits.Load(),
+		Misses:  memoMisses.Load(),
+		Entries: satMemo.len() + entailMemo.len() + closureMemo.len(),
+		Flushes: memoFlushes.Load(),
+	}
+}
+
+// memoTable is a bounded map from canonical keys to boolean verdicts.
+type memoTable struct {
+	mu    sync.Mutex
+	m     map[string]bool
+	limit int
+}
+
+func newMemoTable() *memoTable {
+	return &memoTable{m: make(map[string]bool), limit: defaultMemoLimit}
+}
+
+func (t *memoTable) get(key string) (verdict, ok bool) {
+	t.mu.Lock()
+	v, ok := t.m[key]
+	t.mu.Unlock()
+	if ok {
+		memoHits.Add(1)
+	} else {
+		memoMisses.Add(1)
+	}
+	return v, ok
+}
+
+func (t *memoTable) put(key string, v bool) {
+	t.mu.Lock()
+	if len(t.m) >= t.limit {
+		t.m = make(map[string]bool)
+		memoFlushes.Add(1)
+	}
+	t.m[key] = v
+	t.mu.Unlock()
+}
+
+func (t *memoTable) len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.m)
+}
+
+func (t *memoTable) clear() {
+	t.mu.Lock()
+	t.m = make(map[string]bool)
+	t.mu.Unlock()
+}
+
+func (t *memoTable) setLimit(n int) {
+	t.mu.Lock()
+	t.limit = n
+	t.mu.Unlock()
+}
+
+// closureTable caches set-order closures. A cached *setClosure is shared
+// between callers and never mutated after closeConj returns.
+type closureTable struct {
+	mu    sync.Mutex
+	m     map[string]*setClosure
+	limit int
+}
+
+func (t *closureTable) get(key string) (*setClosure, bool) {
+	t.mu.Lock()
+	cl, ok := t.m[key]
+	t.mu.Unlock()
+	if ok {
+		memoHits.Add(1)
+	} else {
+		memoMisses.Add(1)
+	}
+	return cl, ok
+}
+
+func (t *closureTable) put(key string, cl *setClosure) {
+	t.mu.Lock()
+	if len(t.m) >= t.limit {
+		t.m = make(map[string]*setClosure)
+		memoFlushes.Add(1)
+	}
+	t.m[key] = cl
+	t.mu.Unlock()
+}
+
+func (t *closureTable) len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.m)
+}
+
+func (t *closureTable) clear() {
+	t.mu.Lock()
+	t.m = make(map[string]*setClosure)
+	t.mu.Unlock()
+}
+
+func (t *closureTable) setLimit(n int) {
+	t.mu.Lock()
+	t.limit = n
+	t.mu.Unlock()
+}
+
+// --- Canonical keys ---------------------------------------------------------
+
+// Keys embed unit separators so that distinct inputs cannot collide, and
+// sort the component keys so that order-insensitive inputs (atoms of a
+// conjunction, disjuncts of a formula) share one cache entry.
+
+// The key builders are allocation-conscious: a memo hit must cost less
+// than the solve it skips, and the dense-order solver has fast paths
+// (single-variable interval entailment) in the low microseconds. Keys are
+// appended into caller-provided buffers, floats are formatted with
+// strconv.AppendFloat into scratch space, and the canonical sort is
+// special-cased for the 1- and 2-component shapes that dominate interval
+// workloads.
+
+func termKeyTo(dst []byte, t Term) []byte {
+	if t.IsVar() {
+		dst = append(dst, 'v')
+		return append(dst, t.Var...)
+	}
+	v := t.Const
+	if v == 0 {
+		v = 0 // normalize -0
+	}
+	dst = append(dst, 'c')
+	return strconv.AppendFloat(dst, v, 'g', -1, 64)
+}
+
+func atomKeyTo(dst []byte, a Atom) []byte {
+	dst = termKeyTo(dst, a.Left)
+	dst = append(dst, '\x1b', byte(a.Op)+'0', '\x1b')
+	return termKeyTo(dst, a.Right)
+}
+
+// conjKeyTo appends the canonical key of a conjunction: sorted atom keys,
+// each prefixed (not joined) with the separator so that an empty
+// component list and a list of one empty component cannot collide.
+func conjKeyTo(dst []byte, c Conj) []byte {
+	switch len(c) {
+	case 0:
+		return dst
+	case 1:
+		dst = append(dst, '\x1f')
+		return atomKeyTo(dst, c[0])
+	case 2:
+		mark := len(dst)
+		dst = append(dst, '\x1f')
+		dst = atomKeyTo(dst, c[0])
+		mid := len(dst)
+		dst = append(dst, '\x1f')
+		dst = atomKeyTo(dst, c[1])
+		if string(dst[mid:]) < string(dst[mark:mid]) {
+			k0 := append([]byte(nil), dst[mark:mid]...)
+			k1 := append([]byte(nil), dst[mid:]...)
+			dst = append(dst[:mark], k1...)
+			dst = append(dst, k0...)
+		}
+		return dst
+	}
+	keys := make([]string, len(c))
+	for i, a := range c {
+		keys[i] = string(atomKeyTo(nil, a))
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		dst = append(dst, '\x1f')
+		dst = append(dst, k...)
+	}
+	return dst
+}
+
+func conjKey(c Conj) string { return string(conjKeyTo(nil, c)) }
+
+// formulaKeyTo appends the canonical key of a DNF formula: sorted
+// disjunct keys, separator-prefixed. The prefix matters here: the empty
+// formula (false) and the formula of one empty conjunct (true) must key
+// apart.
+func formulaKeyTo(dst []byte, f Formula) []byte {
+	switch len(f) {
+	case 0:
+		return dst
+	case 1:
+		dst = append(dst, '\x1e')
+		return conjKeyTo(dst, f[0])
+	}
+	keys := make([]string, len(f))
+	for i, c := range f {
+		keys[i] = conjKey(c)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		dst = append(dst, '\x1e')
+		dst = append(dst, k...)
+	}
+	return dst
+}
+
+func setTermKey(b *strings.Builder, t SetTerm) {
+	if t.IsVar() {
+		b.WriteByte('v')
+		b.WriteString(t.Var)
+		return
+	}
+	b.WriteByte('l')
+	for i, e := range t.Lit {
+		if i > 0 {
+			b.WriteByte('\x1d')
+		}
+		b.WriteString(e)
+	}
+}
+
+func setAtomKey(a SetAtom) string {
+	var b strings.Builder
+	setTermKey(&b, a.Left)
+	b.WriteByte('\x1c')
+	setTermKey(&b, a.Right)
+	return b.String()
+}
+
+// setConjKey returns the canonical key of a set-order conjunction,
+// separator-prefixed like conjKey.
+func setConjKey(c SetConj) string {
+	keys := make([]string, len(c))
+	for i, a := range c {
+		keys[i] = setAtomKey(a)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		b.WriteByte('\x1f')
+		b.WriteString(k)
+	}
+	return b.String()
+}

@@ -1,0 +1,157 @@
+package constraint
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// Property tests for the solver memo. The single invariant that matters:
+// memoization is invisible — every verdict with the memo on (first call,
+// a miss, and second call, a hit) equals the verdict with the memo off.
+
+func randTerm(r *rand.Rand) Term {
+	if r.Intn(2) == 0 {
+		return Term{Var: fmt.Sprintf("x%d", r.Intn(3))}
+	}
+	return Term{Const: float64(r.Intn(4))}
+}
+
+func randAtom(r *rand.Rand) Atom {
+	ops := []Op{Lt, Le, Eq, Ne, Ge, Gt}
+	return Atom{Left: randTerm(r), Op: ops[r.Intn(len(ops))], Right: randTerm(r)}
+}
+
+func randConj(r *rand.Rand, maxAtoms int) Conj {
+	c := make(Conj, r.Intn(maxAtoms+1))
+	for i := range c {
+		c[i] = randAtom(r)
+	}
+	return c
+}
+
+func randFormula(r *rand.Rand) Formula {
+	f := make(Formula, r.Intn(3))
+	for i := range f {
+		f[i] = randConj(r, 3)
+	}
+	return f
+}
+
+func randSetConj(r *rand.Rand) SetConj {
+	elems := []string{"a", "b", "c"}
+	vars := []string{"X", "Y", "Z"}
+	randSetTerm := func() SetTerm {
+		if r.Intn(2) == 0 {
+			return SetVar(vars[r.Intn(len(vars))])
+		}
+		lit := make([]string, r.Intn(3))
+		for i := range lit {
+			lit[i] = elems[r.Intn(len(elems))]
+		}
+		return SetLit(lit...)
+	}
+	c := make(SetConj, r.Intn(4))
+	for i := range c {
+		c[i] = Subset(randSetTerm(), randSetTerm())
+	}
+	return c
+}
+
+// TestMemoNeverChangesVerdict compares Satisfiable and Entails verdicts
+// (dense order and set order) across memo-off, memo-miss, and memo-hit
+// evaluations of the same random inputs.
+func TestMemoNeverChangesVerdict(t *testing.T) {
+	defer SetMemoEnabled(SetMemoEnabled(true))
+	ResetMemo()
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 2000; i++ {
+		f, g := randFormula(r), randFormula(r)
+		sc, sg := randSetConj(r), randSetConj(r)
+
+		SetMemoEnabled(false)
+		wantSat := f.Satisfiable()
+		wantEnt := f.Entails(g)
+		wantSetSat := sc.Satisfiable()
+		wantSetEnt := sc.Entails(sg)
+
+		SetMemoEnabled(true)
+		for pass, label := range []string{"miss", "hit"} {
+			if got := f.Satisfiable(); got != wantSat {
+				t.Fatalf("case %d (%s): Satisfiable(%s) = %v with memo, %v without", i, label, f, got, wantSat)
+			}
+			if got := f.Entails(g); got != wantEnt {
+				t.Fatalf("case %d (%s): (%s) Entails (%s) = %v with memo, %v without", i, label, f, g, got, wantEnt)
+			}
+			if got := sc.Satisfiable(); got != wantSetSat {
+				t.Fatalf("case %d (%s): set Satisfiable(%s) = %v with memo, %v without", i, label, sc, got, wantSetSat)
+			}
+			if got := sc.Entails(sg); got != wantSetEnt {
+				t.Fatalf("case %d (%s): set (%s) Entails (%s) = %v with memo, %v without", i, label, sc, sg, got, wantSetEnt)
+			}
+			_ = pass
+		}
+	}
+	if s := MemoSnapshot(); s.Hits == 0 {
+		t.Fatal("property test never hit the memo — keys are not stable")
+	}
+}
+
+// TestMemoKeyCanonical checks that keys are order-insensitive where the
+// semantics are (atoms within a conjunction, disjuncts within a formula)
+// and collision-free where they must be (true vs false, variables whose
+// names embed digits or separator-adjacent characters).
+func TestMemoKeyCanonical(t *testing.T) {
+	a := Atom{Left: Term{Var: "x"}, Op: Lt, Right: Term{Const: 1}}
+	b := Atom{Left: Term{Var: "y"}, Op: Ge, Right: Term{Const: 2}}
+	if conjKey(Conj{a, b}) != conjKey(Conj{b, a}) {
+		t.Error("conjKey is order-sensitive")
+	}
+	c1, c2 := Conj{a}, Conj{b}
+	if k1, k2 := string(formulaKeyTo(nil, Formula{c1, c2})), string(formulaKeyTo(nil, Formula{c2, c1})); k1 != k2 {
+		t.Error("formulaKey is order-sensitive")
+	}
+
+	// Regression: the empty formula (false) and the formula of one empty
+	// conjunct (true) must not share a key.
+	kFalse := string(formulaKeyTo(nil, Formula{}))
+	kTrue := string(formulaKeyTo(nil, Formula{Conj{}}))
+	if kFalse == kTrue {
+		t.Fatal("true and false collide in formulaKey")
+	}
+
+	// One conjunction of two atoms must not collide with two single-atom
+	// disjuncts of the same atoms.
+	kConj := string(formulaKeyTo(nil, Formula{Conj{a, b}}))
+	kDisj := string(formulaKeyTo(nil, Formula{Conj{a}, Conj{b}}))
+	if kConj == kDisj {
+		t.Fatal("conjunction and disjunction of the same atoms collide")
+	}
+
+	// Sorted 2-atom fast path agrees with the general sorted path.
+	c3 := Conj{a, b, Atom{Left: Term{Var: "z"}, Op: Ne, Right: Term{Const: 3}}}
+	if conjKey(c3) != conjKey(Conj{c3[2], c3[0], c3[1]}) {
+		t.Error("3-atom conjKey is order-sensitive")
+	}
+}
+
+// TestMemoBounded checks the generation-clear: the tables never exceed
+// the configured limit and clearing is counted.
+func TestMemoBounded(t *testing.T) {
+	defer SetMemoEnabled(SetMemoEnabled(true))
+	defer SetMemoLimit(0)
+	ResetMemo()
+	SetMemoLimit(64)
+	SetMemoEnabled(true)
+	for i := 0; i < 1000; i++ {
+		c := Conj{{Left: Term{Var: "x"}, Op: Lt, Right: Term{Const: float64(i)}}}
+		Formula{c}.Satisfiable()
+	}
+	s := MemoSnapshot()
+	if s.Flushes == 0 {
+		t.Fatalf("expected generation clears, got stats %+v", s)
+	}
+	if s.Entries > 3*64 {
+		t.Fatalf("tables exceed limit: %+v", s)
+	}
+}

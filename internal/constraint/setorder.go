@@ -146,8 +146,23 @@ type setClosure struct {
 	sat  bool
 }
 
-// closeConj computes the bound-propagation closure of the conjunction.
+// closeConj computes the bound-propagation closure of the conjunction,
+// consulting the solver memo first. Cached closures are immutable after
+// construction: Satisfiable and entailsAtom only read them.
 func closeConj(c SetConj) *setClosure {
+	if !memoEnabled.Load() {
+		return closeConjUncached(c)
+	}
+	key := setConjKey(c)
+	if cl, ok := closureMemo.get(key); ok {
+		return cl
+	}
+	cl := closeConjUncached(c)
+	closureMemo.put(key, cl)
+	return cl
+}
+
+func closeConjUncached(c SetConj) *setClosure {
 	cl := &setClosure{
 		vars: make(map[string]*bounds),
 		succ: make(map[string]map[string]bool),

@@ -189,8 +189,26 @@ func (g *pointGraph) scc() []int {
 }
 
 // conjSatisfiable reports whether the conjunction has a solution over a
-// dense linear order.
+// dense linear order, consulting the solver memo first. Every caller —
+// Formula.Satisfiable, Entails' negation search, Simplify — funnels
+// through here, so one memo table covers them all.
 func conjSatisfiable(c Conj) bool {
+	if !memoEnabled.Load() {
+		return conjSatisfiableUncached(c)
+	}
+	key := conjKey(c)
+	if v, ok := satMemo.get(key); ok {
+		return v
+	}
+	v := conjSatisfiableUncached(c)
+	satMemo.put(key, v)
+	return v
+}
+
+// conjSatisfiableUncached is the memo-free solver: build the point graph,
+// collapse strongly connected components, check the three realizability
+// conditions.
+func conjSatisfiableUncached(c Conj) bool {
 	g := newPointGraph()
 	for _, a := range c {
 		// Ground atoms are decided immediately.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"videodb/internal/constraint"
 	"videodb/internal/interval"
@@ -25,8 +26,15 @@ type Engine struct {
 	eager          bool
 	useMemberIndex bool
 	useJoinIndex   bool
+	usePlanCache   bool
+	memoOff        bool
 	maxRounds      int
 	maxCreated     int
+
+	// Compiled execution forms, aligned with prog.Rules. Populated at
+	// NewEngine time; nil entries (WithoutPlanCache ablation) are
+	// recompiled on every evaluation.
+	compiled []*compiledRule
 
 	derived map[string]*relation
 
@@ -43,8 +51,14 @@ type Engine struct {
 
 	baseIntervals []object.OID
 	baseEntities  []object.OID
+	allIntervals  []object.OID // baseIntervals + activeCreated, rebuilt at round boundaries
 	edbCache      map[string]*relation
 	edbKeys       map[string]map[string]bool // negation membership for EDB preds
+
+	// Query-goal predicates registered before Run so warmEDBCaches covers
+	// them: no worker or concurrent reader ever lazily writes edbCache.
+	goalMu    *sync.Mutex
+	goalPreds map[string]bool
 
 	// Stratification (negation extension): each rule runs in the stratum
 	// of its head predicate; lower strata are complete before a negated
@@ -56,7 +70,8 @@ type Engine struct {
 	curStratum int
 
 	intervalsGrow bool
-	ran           bool
+	runOnce       *sync.Once
+	runErr        error
 	stats         RunStats
 
 	// Provenance tracing (TraceProvenance).
@@ -75,6 +90,12 @@ type RunStats struct {
 	Derived int // derived tuples (excluding EDB seeds)
 	Created int // generalized interval objects created by ⊕
 	Firings int // successful rule head instantiations (incl. duplicates)
+
+	// Constraint-solver memo traffic observed during this run (deltas of
+	// the process-wide counters; concurrent engines sharing the memo both
+	// count the same events).
+	MemoHits   uint64
+	MemoMisses uint64
 }
 
 // Option configures an Engine.
@@ -102,6 +123,17 @@ func WithoutMemberIndex() Option { return func(e *Engine) { e.useMemberIndex = f
 // ablation).
 func WithoutJoinIndex() Option { return func(e *Engine) { e.useJoinIndex = false } }
 
+// WithoutPlanCache disables the compiled-rule plan cache: every (rule,
+// delta) task re-plans and re-classifies the rule body, as the seed
+// evaluator did. Ablation knob for benchmarking the cache's contribution.
+func WithoutPlanCache() Option { return func(e *Engine) { e.usePlanCache = false } }
+
+// WithoutConstraintMemo turns the constraint-solver memo off for the
+// duration of this engine's Run. The memo is process-wide, so this also
+// affects other engines running concurrently — it is an ablation knob for
+// benchmarks, not a per-engine isolation mechanism.
+func WithoutConstraintMemo() Option { return func(e *Engine) { e.memoOff = true } }
+
 // MaxRounds bounds the number of TP iterations (a safety net; the
 // language guarantees termination, so hitting the bound is reported as an
 // error).
@@ -125,6 +157,7 @@ func NewEngine(st *store.Store, prog Program, opts ...Option) (*Engine, error) {
 		idb:            make(map[string]bool),
 		useMemberIndex: true,
 		useJoinIndex:   true,
+		usePlanCache:   true,
 		maxRounds:      1 << 20,
 		maxCreated:     1 << 20,
 		derived:        make(map[string]*relation),
@@ -133,6 +166,9 @@ func NewEngine(st *store.Store, prog Program, opts ...Option) (*Engine, error) {
 		concatKey:      make(map[string]object.OID),
 		edbCache:       make(map[string]*relation),
 		edbKeys:        make(map[string]map[string]bool),
+		goalMu:         &sync.Mutex{},
+		goalPreds:      make(map[string]bool),
+		runOnce:        &sync.Once{},
 		prov:           make(map[string]*Derivation),
 		predStrata:     strata,
 		maxStratum:     maxStratum,
@@ -157,6 +193,18 @@ func NewEngine(st *store.Store, prog Program, opts ...Option) (*Engine, error) {
 		e.intervalsGrow = true
 		e.growsAt[0] = true
 	}
+	// Compile every rule once. A rule that fails to compile (e.g. a
+	// constraint atom over variables no body literal binds) keeps a nil
+	// entry so the error surfaces at evaluation time, exactly as the
+	// per-evaluation planner reported it.
+	e.compiled = make([]*compiledRule, len(prog.Rules))
+	if e.usePlanCache {
+		for i, r := range prog.Rules {
+			if cr, err := e.compileRule(r, e.ruleStrata[i]); err == nil {
+				e.compiled[i] = cr
+			}
+		}
+	}
 	return e, nil
 }
 
@@ -164,39 +212,69 @@ func NewEngine(st *store.Store, prog Program, opts ...Option) (*Engine, error) {
 func (e *Engine) Stats() RunStats { return e.stats }
 
 // Run computes the least fixpoint (for programs with negation: the
-// perfect model, stratum by stratum). It is idempotent: subsequent calls
-// return immediately.
+// perfect model, stratum by stratum). It is idempotent and safe for
+// concurrent callers: the fixpoint runs exactly once and subsequent or
+// concurrent calls wait for it, then return its result.
 func (e *Engine) Run() error {
-	if e.ran {
-		return nil
+	e.runOnce.Do(func() { e.runErr = e.runFixpoint() })
+	return e.runErr
+}
+
+func (e *Engine) runFixpoint() error {
+	if e.memoOff {
+		prev := constraint.SetMemoEnabled(false)
+		defer constraint.SetMemoEnabled(prev)
 	}
+	before := constraint.MemoSnapshot()
+	defer func() {
+		after := constraint.MemoSnapshot()
+		e.stats.MemoHits = after.Hits - before.Hits
+		e.stats.MemoMisses = after.Misses - before.Misses
+	}()
 	e.snapshotEDB()
 	e.seedEDB()
+	e.warmGoalPreds()
 	for s := 0; s <= e.maxStratum; s++ {
 		if err := e.runStratum(s); err != nil {
 			return err
 		}
 	}
-	e.ran = true
 	return nil
+}
+
+// warmGoalPreds pre-fills the EDB caches for predicates registered as
+// query goals before Run, so concurrent post-Run queries read a complete
+// cache instead of lazily writing a shared map.
+func (e *Engine) warmGoalPreds() {
+	e.goalMu.Lock()
+	goals := make([]string, 0, len(e.goalPreds))
+	for p := range e.goalPreds {
+		goals = append(goals, p)
+	}
+	e.goalMu.Unlock()
+	for _, p := range goals {
+		if !e.idb[p] {
+			e.edbRows(p)
+		}
+	}
 }
 
 // runStratum computes the fixpoint of the rules whose head lives in
 // stratum s, with all lower strata complete and fixed.
 func (e *Engine) runStratum(s int) error {
 	e.curStratum = s
-	var rules []Rule
-	for i, r := range e.prog.Rules {
+	var rules []int
+	for i := range e.prog.Rules {
 		if e.ruleStrata[i] == s {
-			rules = append(rules, r)
+			rules = append(rules, i)
 		}
 	}
 
 	// Round 1 of the stratum: every rule against the current extent.
 	e.stats.Rounds++
 	round1 := make([]evalTask, len(rules))
-	for i, r := range rules {
-		round1[i] = evalTask{rule: r, delta: -1}
+	for i, ri := range rules {
+		round1[i] = evalTask{ruleIdx: ri, delta: -1}
 	}
 	if err := e.runTasks(round1); err != nil {
 		return err
@@ -217,13 +295,13 @@ func (e *Engine) runStratum(s int) error {
 		}
 		var tasks []evalTask
 		if e.naive {
-			for _, r := range rules {
-				tasks = append(tasks, evalTask{rule: r, delta: -1})
+			for _, ri := range rules {
+				tasks = append(tasks, evalTask{ruleIdx: ri, delta: -1})
 			}
 		} else {
-			for _, r := range rules {
-				for _, p := range e.deltaPositions(r) {
-					tasks = append(tasks, evalTask{rule: r, delta: p})
+			for _, ri := range rules {
+				for _, p := range e.deltaPositions(e.prog.Rules[ri]) {
+					tasks = append(tasks, evalTask{ruleIdx: ri, delta: p})
 				}
 			}
 		}
@@ -245,6 +323,7 @@ func (e *Engine) runStratum(s int) error {
 func (e *Engine) snapshotEDB() {
 	e.baseIntervals = e.st.Intervals()
 	e.baseEntities = e.st.Entities()
+	e.allIntervals = append([]object.OID(nil), e.baseIntervals...)
 }
 
 // seedEDB loads extensional facts of IDB predicates into their relations
@@ -280,23 +359,31 @@ func (e *Engine) applyCreatedBoundary() {
 	e.deltaCreated = e.pendingCreated
 	e.pendingCreated = nil
 	e.activeCreated = append(e.activeCreated, e.deltaCreated...)
+	// The full interval candidate list is rebuilt only here, at the round
+	// boundary; class-atom generators read it without re-allocating.
+	e.allIntervals = append(e.allIntervals, e.deltaCreated...)
 }
 
 // deltaPositions returns the body literal indices that must take the
-// delta role in semi-naive evaluation: relational atoms over IDB
-// predicates of the current stratum (lower strata are complete and never
-// produce deltas), and Interval class atoms when the interval domain can
-// still grow in this stratum.
-func (e *Engine) deltaPositions(r Rule) []int {
+// delta role in semi-naive evaluation for the current stratum.
+func (e *Engine) deltaPositions(r Rule) []int { return e.deltaPositionsIn(r, e.curStratum) }
+
+// deltaPositionsIn returns the delta positions a rule can take when run
+// in the given stratum: relational atoms over IDB predicates of that
+// stratum (lower strata are complete and never produce deltas), and
+// Interval class atoms when the interval domain can still grow there.
+// The result depends only on the program and options, so compiled plans
+// for these positions are built once at NewEngine time.
+func (e *Engine) deltaPositionsIn(r Rule, stratum int) []int {
 	var out []int
 	for i, l := range r.Body {
 		switch a := l.(type) {
 		case RelAtom:
-			if e.idb[a.Pred] && e.predStrata[a.Pred] == e.curStratum {
+			if e.idb[a.Pred] && e.predStrata[a.Pred] == stratum {
 				out = append(out, i)
 			}
 		case ClassAtom:
-			if a.Kind == object.GenInterval && e.intervalsGrow && e.growsAt[e.curStratum] {
+			if a.Kind == object.GenInterval && e.intervalsGrow && e.growsAt[stratum] {
 				out = append(out, i)
 			}
 		}
@@ -379,143 +466,143 @@ func (e *Engine) Created() []*object.Object {
 
 type bindings map[string]object.Value
 
-func (e *Engine) evalRule(r Rule, deltaPos int) error {
-	plan, err := planBody(r.Body, deltaPos)
-	if err != nil {
-		return fmt.Errorf("datalog: rule %s: %w", r.label(), err)
+// evalRule evaluates one (rule, delta) task with the rule's compiled plan.
+// With the plan cache disabled (or when compilation failed at NewEngine
+// time), the rule is recompiled here and the compilation error, if any,
+// surfaces exactly where the per-evaluation planner reported it.
+func (e *Engine) evalRule(ruleIdx, deltaPos int) error {
+	cr := e.compiled[ruleIdx]
+	if cr == nil {
+		var err error
+		cr, err = e.compileRuleOne(e.prog.Rules[ruleIdx], deltaPos)
+		if err != nil {
+			return err
+		}
 	}
-	b := make(bindings)
-	return e.join(r, plan, 0, b, deltaPos)
+	steps, ok := cr.plans[deltaPos]
+	if !ok {
+		// Unplanned delta position (defensive; deltaPositionsIn should have
+		// covered it). Compile locally without mutating the shared plan map.
+		var err error
+		steps, err = e.compilePlan(cr, cr.rule, deltaPos)
+		if err != nil {
+			return fmt.Errorf("datalog: rule %s: %w", cr.rule.label(), err)
+		}
+	}
+	fr := newFrame(cr.nVars)
+	return e.runSteps(cr, steps, 0, fr)
 }
 
-func (e *Engine) join(r Rule, plan []int, i int, b bindings, deltaPos int) error {
-	if i == len(plan) {
-		return e.fireHead(r, b)
+// runSteps executes the compiled plan from step i under the frame: the
+// allocation-lean replacement for the seed's map-based join recursion.
+func (e *Engine) runSteps(cr *compiledRule, steps []planStep, i int, fr *frame) error {
+	if i == len(steps) {
+		return e.fireHead(cr, fr)
 	}
-	pos := plan[i]
-	lit := r.Body[pos]
-	useDelta := pos == deltaPos
-
-	switch a := lit.(type) {
-	case RelAtom:
-		rows, rel := e.relAccess(a.Pred, useDelta)
-		// Join index: when some argument is already determined and the
-		// extent is large, scan only the matching rows.
-		if e.useJoinIndex && rel != nil && len(rows) >= 16 {
-			for pos, t := range a.Args {
-				v, ok := termValue(t, b)
-				if !ok {
-					continue
-				}
-				for _, ri := range rel.lookup(pos, v.String()) {
-					tuple := rows[ri]
-					if len(tuple) != len(a.Args) {
-						continue
-					}
-					undo, ok := unifyArgs(a.Args, tuple, b)
-					if ok {
-						if err := e.join(r, plan, i+1, b, deltaPos); err != nil {
-							return err
-						}
-					}
-					for _, v := range undo {
-						delete(b, v)
+	st := &steps[i]
+	switch st.kind {
+	case stepRel:
+		rows, rel := e.relAccess(st.pred, st.useDelta)
+		// Join index: when some argument is statically determined and the
+		// extent is large, probe every bound position and scan the most
+		// selective (shortest) posting list.
+		if e.useJoinIndex && rel != nil && len(rows) >= 16 && len(st.probes) > 0 {
+			var ids []int
+			for pi, k := range st.probes {
+				cand := rel.lookup(k, st.probeKey(fr, k))
+				if pi == 0 || len(cand) < len(ids) {
+					ids = cand
+					if len(ids) == 0 {
+						break
 					}
 				}
-				return nil
 			}
-		}
-		for _, tuple := range rows {
-			if len(tuple) != len(a.Args) {
-				continue // arity mismatch: the fact cannot unify
-			}
-			undo, ok := unifyArgs(a.Args, tuple, b)
-			if ok {
-				if err := e.join(r, plan, i+1, b, deltaPos); err != nil {
-					return err
+			for _, ri := range ids {
+				if st.match(fr, rows[ri]) {
+					if err := e.runSteps(cr, steps, i+1, fr); err != nil {
+						return err
+					}
 				}
-			}
-			for _, v := range undo {
-				delete(b, v)
-			}
-		}
-		return nil
-
-	case ClassAtom:
-		// Bound argument: a membership test.
-		if v, ok := termValue(a.Arg, b); ok {
-			if e.isKind(v, a.Kind) {
-				return e.join(r, plan, i+1, b, deltaPos)
+				st.clearFresh(fr)
 			}
 			return nil
 		}
-		for _, oid := range e.classCandidates(a, r, plan, i, b, useDelta) {
-			undo, ok := unify(a.Arg, object.Ref(oid), b)
-			if ok {
-				if err := e.join(r, plan, i+1, b, deltaPos); err != nil {
+		for _, tuple := range rows {
+			if st.match(fr, tuple) {
+				if err := e.runSteps(cr, steps, i+1, fr); err != nil {
 					return err
 				}
 			}
-			for _, v := range undo {
-				delete(b, v)
-			}
+			st.clearFresh(fr)
 		}
 		return nil
 
-	default:
-		if cmp, ok := lit.(CmpAtom); ok {
-			handled, err := e.joinAssign(cmp, r, plan, i, b, deltaPos)
-			if handled || err != nil {
+	case stepClassCheck:
+		v := st.classArg.val
+		if st.classArg.slot >= 0 {
+			v = fr.vals[st.classArg.slot]
+		}
+		if e.isKind(v, st.classKind) {
+			return e.runSteps(cr, steps, i+1, fr)
+		}
+		return nil
+
+	case stepClassEnum:
+		slot := st.classArg.slot
+		for _, oid := range e.classEnumCandidates(st, fr) {
+			fr.bind(slot, object.Ref(oid))
+			if err := e.runSteps(cr, steps, i+1, fr); err != nil {
 				return err
 			}
 		}
-		ok, err := e.evalFilter(lit, b)
+		fr.unbind(slot)
+		return nil
+
+	case stepAssign:
+		v, err := e.resolveOp(st.assignSrc, fr)
 		if err != nil {
-			return fmt.Errorf("datalog: rule %s: %w", r.label(), err)
+			return fmt.Errorf("datalog: rule %s: %w", cr.rule.label(), err)
+		}
+		if v.IsNull() {
+			return nil // undefined attribute: the atom cannot hold
+		}
+		fr.bind(st.assignSlot, v)
+		err = e.runSteps(cr, steps, i+1, fr)
+		fr.unbind(st.assignSlot)
+		return err
+
+	default: // stepFilter
+		ok, err := st.filter(e, fr)
+		if err != nil {
+			return fmt.Errorf("datalog: rule %s: %w", cr.rule.label(), err)
 		}
 		if ok {
-			return e.join(r, plan, i+1, b, deltaPos)
+			return e.runSteps(cr, steps, i+1, fr)
 		}
 		return nil
 	}
 }
 
-// joinAssign executes an equality atom in assignment orientation: when
-// one side is an unbound plain variable and the other side resolves, the
-// variable is bound to the resolved value (attribute projection). It
-// reports whether it handled the literal.
-func (e *Engine) joinAssign(cmp CmpAtom, r Rule, plan []int, i int, b bindings, deltaPos int) (bool, error) {
-	for _, as := range cmp.assignments() {
-		if _, isBound := b[as.target]; isBound {
-			continue
-		}
-		v, err := e.resolveOperand(as.src, b)
-		if err != nil {
-			continue // source not determined in this orientation
-		}
-		if v.IsNull() {
-			return true, nil // undefined attribute: the atom cannot hold
-		}
-		b[as.target] = v
-		err = e.join(r, plan, i+1, b, deltaPos)
-		delete(b, as.target)
-		return true, err
-	}
-	return false, nil
-}
-
-// classCandidates enumerates the oids a class atom generator should try.
-// For Interval atoms it may consult the store's inverted index when a
-// later membership constraint pins the entity.
-func (e *Engine) classCandidates(a ClassAtom, r Rule, plan []int, i int, b bindings, useDelta bool) []object.OID {
-	if a.Kind == object.Entity {
+// classEnumCandidates enumerates the oids a class-atom generator should
+// try. For Interval atoms it may consult the store's inverted index when
+// a compiled membership lookahead pins the entity at run time.
+func (e *Engine) classEnumCandidates(st *planStep, fr *frame) []object.OID {
+	if st.classKind == object.Entity {
 		return e.baseEntities
 	}
-	if useDelta {
+	if st.useDelta {
 		return e.deltaCreated
 	}
 	if e.useMemberIndex {
-		if elem, ok := e.indexableMember(a, r, plan, i, b); ok {
+		for _, ms := range st.memberSpecs {
+			v, err := e.resolveOp(ms.elem, fr)
+			if err != nil {
+				continue
+			}
+			elem, isRef := v.AsRef()
+			if !isRef {
+				continue
+			}
 			cands := e.st.IntervalsContaining(elem)
 			// Created intervals are not in the store index; filter them here.
 			for _, oid := range e.activeCreated {
@@ -526,39 +613,7 @@ func (e *Engine) classCandidates(a ClassAtom, r Rule, plan []int, i int, b bindi
 			return cands
 		}
 	}
-	out := make([]object.OID, 0, len(e.baseIntervals)+len(e.activeCreated))
-	out = append(out, e.baseIntervals...)
-	out = append(out, e.activeCreated...)
-	return out
-}
-
-// indexableMember looks ahead in the plan for a constraint of the shape
-// "elem ∈ V.entities" where V is the class atom's (unbound) variable and
-// elem is already bound to an object reference.
-func (e *Engine) indexableMember(a ClassAtom, r Rule, plan []int, i int, b bindings) (object.OID, bool) {
-	if !a.Arg.IsVar() {
-		return "", false
-	}
-	v := a.Arg.Name()
-	for _, pos := range plan[i+1:] {
-		m, ok := r.Body[pos].(MemberAtom)
-		if !ok || len(m.Elems) == 0 {
-			continue
-		}
-		if m.Set.Attr != object.AttrEntities || !m.Set.Term.IsVar() || m.Set.Term.Name() != v {
-			continue
-		}
-		elem := m.Elems[0]
-		if elem.Attr != "" {
-			continue
-		}
-		if val, ok := termValue(elem.Term, b); ok {
-			if oid, isRef := val.AsRef(); isRef {
-				return oid, true
-			}
-		}
-	}
-	return "", false
+	return e.allIntervals
 }
 
 func containsOID(ids []object.OID, want object.OID) bool {
@@ -794,24 +849,24 @@ func compareValues(l object.Value, op constraint.Op, r object.Value) bool {
 
 // --- Head instantiation --------------------------------------------------------
 
-func (e *Engine) fireHead(r Rule, b bindings) error {
-	tuple := make(row, len(r.Head.Args))
-	for i, t := range r.Head.Args {
+func (e *Engine) fireHead(cr *compiledRule, fr *frame) error {
+	r := cr.rule
+	tuple := make(row, len(cr.head))
+	for i, h := range cr.head {
 		switch {
-		case t.IsConcat():
-			oid, err := e.concatTerm(t, b)
+		case h.concat != nil:
+			oid, err := e.concatTerm(cr, *h.concat, fr)
 			if err != nil {
 				return fmt.Errorf("datalog: rule %s: %w", r.label(), err)
 			}
 			tuple[i] = object.Ref(oid)
-		case t.IsVar():
-			v, ok := b[t.Name()]
-			if !ok {
-				return fmt.Errorf("datalog: rule %s: head variable %s unbound (range restriction violated)", r.label(), t.Name())
+		case h.slot >= 0:
+			if !fr.bound[h.slot] {
+				return fmt.Errorf("datalog: rule %s: head variable %s unbound (range restriction violated)", r.label(), cr.varNames[h.slot])
 			}
-			tuple[i] = v
+			tuple[i] = fr.vals[h.slot]
 		default:
-			tuple[i] = t.Value()
+			tuple[i] = h.val
 		}
 	}
 	e.stats.Firings++
@@ -824,7 +879,7 @@ func (e *Engine) fireHead(r Rule, b bindings) error {
 	if rel.propose(tuple) {
 		e.stats.Derived++
 		if e.trace {
-			e.recordProvenance(r, b, r.Head.Pred, tuple)
+			e.recordProvenance(r, cr.bindingsOf(fr), r.Head.Pred, tuple)
 		}
 	}
 	return nil
@@ -833,11 +888,17 @@ func (e *Engine) fireHead(r Rule, b bindings) error {
 // concatTerm evaluates a (possibly nested) constructive term to the oid
 // of the resulting generalized interval object, materializing it in the
 // extended active domain if new.
-func (e *Engine) concatTerm(t Term, b bindings) (object.OID, error) {
+func (e *Engine) concatTerm(cr *compiledRule, t Term, fr *frame) (object.OID, error) {
 	if !t.IsConcat() {
-		v, ok := termValue(t, b)
-		if !ok {
-			return "", fmt.Errorf("unbound variable %q in constructive term", t.Name())
+		var v object.Value
+		if t.IsVar() {
+			s, ok := cr.varSlots[t.Name()]
+			if !ok || !fr.bound[s] {
+				return "", fmt.Errorf("unbound variable %q in constructive term", t.Name())
+			}
+			v = fr.vals[s]
+		} else {
+			v = t.Value()
 		}
 		oid, isRef := v.AsRef()
 		if !isRef {
@@ -852,11 +913,11 @@ func (e *Engine) concatTerm(t Term, b bindings) (object.OID, error) {
 		}
 		return oid, nil
 	}
-	l, err := e.concatTerm(*t.left, b)
+	l, err := e.concatTerm(cr, *t.left, fr)
 	if err != nil {
 		return "", err
 	}
-	r, err := e.concatTerm(*t.right, b)
+	r, err := e.concatTerm(cr, *t.right, fr)
 	if err != nil {
 		return "", err
 	}

@@ -23,82 +23,103 @@ type proposal struct {
 	tuple row
 }
 
+// evalTask identifies one unit of round work by rule index (into
+// prog.Rules / compiled) and delta body position (-1 = full extent).
 type evalTask struct {
-	rule  Rule
-	delta int
+	ruleIdx int
+	delta   int
 }
 
-// runTasks evaluates a round's tasks, in parallel when configured.
+// runTasks evaluates a round's tasks, in parallel when configured. On a
+// task error the remaining queued tasks are cancelled, and the error of
+// the earliest task (by queue position) that failed is returned, so the
+// reported error does not depend on goroutine scheduling.
 func (e *Engine) runTasks(tasks []evalTask) error {
 	if e.workers <= 1 || e.trace || len(tasks) < 2 {
 		for _, t := range tasks {
-			if err := e.evalRule(t.rule, t.delta); err != nil {
+			if err := e.evalRule(t.ruleIdx, t.delta); err != nil {
 				return err
 			}
 		}
 		return nil
 	}
 
-	var serial, parallel []evalTask
+	var serial, par []evalTask
 	for _, t := range tasks {
-		if t.rule.IsConstructive() {
+		if e.prog.Rules[t.ruleIdx].IsConstructive() {
 			serial = append(serial, t)
 		} else {
-			parallel = append(parallel, t)
+			par = append(par, t)
 		}
 	}
 	for _, t := range serial {
-		if err := e.evalRule(t.rule, t.delta); err != nil {
+		if err := e.evalRule(t.ruleIdx, t.delta); err != nil {
 			return err
 		}
 	}
-	if len(parallel) == 0 {
+	if len(par) == 0 {
 		return nil
 	}
 
 	e.warmEDBCaches()
 	workers := e.workers
-	if workers > len(parallel) {
-		workers = len(parallel)
+	if workers > len(par) {
+		workers = len(par)
+	}
+	type indexedTask struct {
+		evalTask
+		idx int
 	}
 	type result struct {
 		proposals []proposal
 		firings   int
 		err       error
+		errIdx    int
 	}
-	taskCh := make(chan evalTask)
+	taskCh := make(chan indexedTask)
+	done := make(chan struct{})
+	var cancel sync.Once
 	results := make(chan result, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			// A shallow copy shares the read-only round state; the
-			// collector redirects head firings into a private buffer.
+			// A shallow copy shares the read-only round state (including the
+			// compiled plans); the collector redirects head firings into a
+			// private buffer.
 			local := *e
 			local.collect = &[]proposal{}
 			local.stats = RunStats{}
-			var firstErr error
+			res := result{errIdx: -1}
 			for t := range taskCh {
-				if firstErr != nil {
-					continue // drain
+				if err := local.evalRule(t.ruleIdx, t.delta); err != nil {
+					res.err, res.errIdx = err, t.idx
+					cancel.Do(func() { close(done) })
+					break
 				}
-				firstErr = local.evalRule(t.rule, t.delta)
 			}
-			results <- result{proposals: *local.collect, firings: local.stats.Firings, err: firstErr}
+			res.proposals = *local.collect
+			res.firings = local.stats.Firings
+			results <- res
 		}()
 	}
-	for _, t := range parallel {
-		taskCh <- t
+feed:
+	for i, t := range par {
+		select {
+		case taskCh <- indexedTask{evalTask: t, idx: i}:
+		case <-done:
+			break feed // a worker failed: stop feeding queued tasks
+		}
 	}
 	close(taskCh)
 	wg.Wait()
 	close(results)
 
-	var firstErr error
+	firstErr, firstIdx := error(nil), -1
 	for res := range results {
-		if res.err != nil && firstErr == nil {
-			firstErr = res.err
+		if res.err != nil && (firstIdx < 0 || res.errIdx < firstIdx) {
+			firstErr, firstIdx = res.err, res.errIdx
 		}
 		e.stats.Firings += res.firings
 		for _, p := range res.proposals {
@@ -114,8 +135,10 @@ func (e *Engine) runTasks(tasks []evalTask) error {
 	return firstErr
 }
 
-// warmEDBCaches pre-fills the lazily built EDB caches so worker
-// goroutines never write shared maps.
+// warmEDBCaches pre-fills the lazily built EDB caches — rows for every
+// extensional predicate a rule body or registered query goal reads, and
+// negation key sets for negated extensional predicates — so worker
+// goroutines never write a shared map.
 func (e *Engine) warmEDBCaches() {
 	for _, r := range e.prog.Rules {
 		for _, l := range r.Body {
@@ -129,6 +152,17 @@ func (e *Engine) warmEDBCaches() {
 					e.hasTuple(a.Atom.Pred, nil)
 				}
 			}
+		}
+	}
+	e.goalMu.Lock()
+	goals := make([]string, 0, len(e.goalPreds))
+	for p := range e.goalPreds {
+		goals = append(goals, p)
+	}
+	e.goalMu.Unlock()
+	for _, p := range goals {
+		if !e.idb[p] {
+			e.edbRows(p)
 		}
 	}
 }

@@ -16,10 +16,29 @@ type Result struct {
 // String renders the result tuple.
 func (r Result) String() string { return rowKey(r.Values) }
 
+// noteGoal registers a query-goal predicate. Goals registered before Run
+// are pre-warmed into the EDB cache (warmGoalPreds); goals that appear
+// only later fall back to the locked accessor below.
+func (e *Engine) noteGoal(pred string) {
+	e.goalMu.Lock()
+	e.goalPreds[pred] = true
+	e.goalMu.Unlock()
+}
+
+// edbRowsShared reads EDB rows under the goal lock: queries may run
+// concurrently once Run has completed, and a goal predicate that was not
+// pre-warmed must not lazily write the shared cache unsynchronized.
+func (e *Engine) edbRowsShared(pred string) []row {
+	e.goalMu.Lock()
+	defer e.goalMu.Unlock()
+	return e.edbRows(pred)
+}
+
 // Rows returns every tuple of the predicate (extensional facts plus
 // derived tuples) in canonical order, computing the fixpoint first if
 // necessary.
 func (e *Engine) Rows(pred string) ([][]object.Value, error) {
+	e.noteGoal(pred)
 	if err := e.Run(); err != nil {
 		return nil, err
 	}
@@ -27,7 +46,7 @@ func (e *Engine) Rows(pred string) ([][]object.Value, error) {
 	if rel, ok := e.derived[pred]; ok {
 		rows = rel.sortedRows() // EDB facts were seeded into the relation
 	} else {
-		rows = append([]row(nil), e.edbRows(pred)...)
+		rows = append([]row(nil), e.edbRowsShared(pred)...)
 		sort.Slice(rows, func(i, j int) bool { return rowKey(rows[i]) < rowKey(rows[j]) })
 	}
 	out := make([][]object.Value, len(rows))
@@ -43,6 +62,7 @@ func (e *Engine) Rows(pred string) ([][]object.Value, error) {
 // pattern's variable bindings in first-occurrence order, canonically
 // sorted.
 func (e *Engine) Query(q RelAtom) ([]Result, error) {
+	e.noteGoal(q.Pred)
 	if err := e.Run(); err != nil {
 		return nil, err
 	}
