@@ -3,49 +3,83 @@
 //
 // Usage:
 //
-//	videoserver [-addr :8080] [-data DIR | -db snapshot.json] [script.vql ...]
+//	videoserver [-addr :8080] [-data DIR | -db snapshot.json]
+//	            [-query-timeout 0] [-max-derived N] [script.vql ...]
 //
 // With -data the database is durable (write-ahead log + checkpoints in
 // DIR); with -db a snapshot is loaded into memory. Scripts run before
-// serving (their query output goes to stdout).
+// serving (their query output goes to stdout). -query-timeout bounds
+// each request's evaluation (0 = no bound). On SIGINT/SIGTERM the server
+// drains in-flight requests and closes the database before exiting, so a
+// durable store always gets its final flush.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"videodb/internal/core"
+	"videodb/internal/datalog"
 	"videodb/internal/server"
 )
 
+// shutdownGrace bounds how long a drain may take once a signal arrives.
+const shutdownGrace = 10 * time.Second
+
 func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run owns the whole lifecycle so every cleanup is a defer that actually
+// executes: log.Fatal in main skips defers, which is exactly the bug that
+// used to leave a durable store without its final flush.
+func run() error {
 	addr := flag.String("addr", ":8080", "listen address")
 	dataDir := flag.String("data", "", "durable database directory")
 	snapshot := flag.String("db", "", "snapshot to load (in-memory mode)")
+	queryTimeout := flag.Duration("query-timeout", 0, "per-request query evaluation bound (0 = unlimited)")
+	maxDerived := flag.Int("max-derived", 0, "max derived tuples per query (0 = engine default)")
 	flag.Parse()
 
 	var (
 		db  *core.DB
 		err error
 	)
+	var coreOpts []core.Option
+	if *maxDerived > 0 {
+		coreOpts = append(coreOpts, core.WithEngineOptions(datalog.MaxDerived(*maxDerived)))
+	}
 	switch {
 	case *dataDir != "" && *snapshot != "":
-		log.Fatal("videoserver: -data and -db are mutually exclusive")
+		return errors.New("videoserver: -data and -db are mutually exclusive")
 	case *dataDir != "":
 		db, err = core.Open(*dataDir)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		defer db.Close()
+		for _, o := range coreOpts {
+			o(db)
+		}
+		defer func() {
+			if cerr := db.Close(); cerr != nil {
+				log.Printf("videoserver: close: %v", cerr)
+			}
+		}()
 	default:
-		db = core.New()
+		db = core.New(coreOpts...)
 		if *snapshot != "" {
 			if err := db.LoadFile(*snapshot); err != nil {
-				log.Fatal(err)
+				return err
 			}
 		}
 	}
@@ -53,20 +87,42 @@ func main() {
 	for _, path := range flag.Args() {
 		src, err := os.ReadFile(path)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		results, err := db.LoadScript(string(src))
 		if err != nil {
-			log.Fatalf("%s: %v", path, err)
+			return fmt.Errorf("%s: %w", path, err)
 		}
 		fmt.Printf("loaded %s (%d queries)\n", path, len(results))
 	}
 
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           server.New(db),
+		Handler:           server.New(db, server.WithQueryTimeout(*queryTimeout)),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
 	log.Printf("videoserver listening on %s", *addr)
-	log.Fatal(srv.ListenAndServe())
+
+	select {
+	case err := <-errCh:
+		return err // bind failure or other serve error
+	case <-ctx.Done():
+	}
+	stop()
+	log.Print("videoserver: shutting down")
+	sctx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		return err
+	}
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
 }

@@ -1,0 +1,175 @@
+package constraint
+
+import (
+	"errors"
+	"sync/atomic"
+)
+
+// Solver step budgets. The dense-order negation search (Entails over
+// multi-variable DNF) and the set-order closure are the two procedures in
+// this package whose cost is not polynomial in the input size; a hostile
+// or pathological query can make a single solver call run for a long
+// time. A Budget bounds the number of elementary solver steps one request
+// may spend across all of its solver calls, and doubles as the hook
+// through which request cancellation reaches inside a running solve: the
+// owner installs a check function (typically wrapping context.Err) that
+// the budget consults periodically.
+//
+// A nil *Budget is valid everywhere and never stops anything, so the
+// unbudgeted entry points (Satisfiable, Entails, …) simply pass nil.
+
+// ErrBudget is returned by the budgeted solver entry points when the step
+// budget is exhausted. Callers distinguish it from a cancellation error
+// (whatever the installed check function returns) with errors.Is.
+var ErrBudget = errors.New("constraint: solver step budget exhausted")
+
+// budgetCheckInterval is how many spent steps may elapse between
+// consultations of the cancellation check function.
+const budgetCheckInterval = 256
+
+// A Budget bounds solver work and propagates cancellation. It is safe for
+// concurrent use: parallel evaluation workers may share one budget.
+type Budget struct {
+	remaining atomic.Int64 // meaningful only when limited
+	limited   bool
+	sinceCheck atomic.Int64
+	check      func() error // optional; non-nil error aborts the solve
+}
+
+// NewBudget returns a budget of maxSteps elementary solver steps.
+// maxSteps <= 0 means unlimited steps; check, if non-nil, is consulted at
+// least every budgetCheckInterval steps and its error (e.g. a wrapped
+// context cancellation) aborts the solve.
+func NewBudget(maxSteps int64, check func() error) *Budget {
+	b := &Budget{limited: maxSteps > 0, check: check}
+	b.remaining.Store(maxSteps)
+	return b
+}
+
+// Spend consumes n steps. It returns ErrBudget when the budget is
+// exhausted, the check function's error when cancellation is observed,
+// and nil otherwise. Spend on a nil budget is free and never fails.
+func (b *Budget) Spend(n int64) error {
+	if b == nil {
+		return nil
+	}
+	if b.limited && b.remaining.Add(-n) < 0 {
+		return ErrBudget
+	}
+	if b.check != nil && b.sinceCheck.Add(n) >= budgetCheckInterval {
+		b.sinceCheck.Store(0)
+		return b.check()
+	}
+	return nil
+}
+
+// Remaining reports the steps left; it returns a negative number once the
+// budget is exhausted and math-irrelevant values for unlimited budgets.
+func (b *Budget) Remaining() int64 {
+	if b == nil || !b.limited {
+		return 1<<63 - 1
+	}
+	return b.remaining.Load()
+}
+
+// --- Budgeted entry points (dense order) -------------------------------------
+
+// SatisfiableWithin is Satisfiable under a step budget: it reports the
+// same verdict, or an error when the budget is exhausted or the budget's
+// cancellation check fires mid-solve.
+func (f Formula) SatisfiableWithin(b *Budget) (bool, error) {
+	for _, c := range f {
+		ok, err := conjSatisfiableB(c, b)
+		if err != nil {
+			return false, err
+		}
+		if ok {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// EntailsWithin is Entails under a step budget. The exponential negation
+// search spends one step per branch, so a hostile multi-variable formula
+// cannot run unboundedly.
+func (f Formula) EntailsWithin(g Formula, b *Budget) (bool, error) {
+	if b == nil || !memoEnabled.Load() {
+		return f.entailsBudgeted(g, b)
+	}
+	dst := formulaKeyTo(make([]byte, 0, 96), f)
+	dst = append(dst, '\x02')
+	key := string(formulaKeyTo(dst, g))
+	if v, ok := entailMemo.get(key); ok {
+		return v, nil
+	}
+	v, err := f.entailsBudgeted(g, b)
+	if err != nil {
+		return false, err // incomplete solve: never cache
+	}
+	entailMemo.put(key, v)
+	return v, nil
+}
+
+func (f Formula) entailsBudgeted(g Formula, b *Budget) (bool, error) {
+	if fg, ok := f.singleVar(); ok {
+		if gg, ok2 := g.singleVarCompatible(fg); ok2 {
+			fi, err1 := f.ToInterval(fg)
+			gi, err2 := g.ToInterval(gg)
+			if err1 == nil && err2 == nil {
+				if err := b.Spend(int64(len(fi.Spans()) + len(gi.Spans()) + 1)); err != nil {
+					return false, err
+				}
+				return gi.ContainsGen(fi), nil
+			}
+		}
+	}
+	for _, cf := range f {
+		sat, err := conjSatisfiableB(cf, b)
+		if err != nil {
+			return false, err
+		}
+		if !sat {
+			continue // this disjunct contributes no valuations
+		}
+		unsatNeg, err := negationSatisfiableB(cf, g, 0, b)
+		if err != nil {
+			return false, err
+		}
+		if unsatNeg {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// --- Budgeted entry points (set order) ---------------------------------------
+
+// SatisfiableWithin is SetConj.Satisfiable under a step budget.
+func (c SetConj) SatisfiableWithin(b *Budget) (bool, error) {
+	cl, err := closeConjB(c, b)
+	if err != nil {
+		return false, err
+	}
+	return cl.sat, nil
+}
+
+// EntailsWithin is SetConj.Entails under a step budget.
+func (c SetConj) EntailsWithin(g SetConj, b *Budget) (bool, error) {
+	cl, err := closeConjB(c, b)
+	if err != nil {
+		return false, err
+	}
+	if !cl.sat {
+		return true, nil // false entails everything
+	}
+	for _, a := range g {
+		if err := b.Spend(1); err != nil {
+			return false, err
+		}
+		if !cl.entailsAtom(a) {
+			return false, nil
+		}
+	}
+	return true, nil
+}

@@ -150,19 +150,34 @@ type setClosure struct {
 // consulting the solver memo first. Cached closures are immutable after
 // construction: Satisfiable and entailsAtom only read them.
 func closeConj(c SetConj) *setClosure {
-	if !memoEnabled.Load() {
-		return closeConjUncached(c)
-	}
-	key := setConjKey(c)
-	if cl, ok := closureMemo.get(key); ok {
-		return cl
-	}
-	cl := closeConjUncached(c)
-	closureMemo.put(key, cl)
+	cl, _ := closeConjB(c, nil)
 	return cl
 }
 
-func closeConjUncached(c SetConj) *setClosure {
+// closeConjB is closeConj under a step budget: the closure charges one
+// step per atom up front and one per propagation sweep, so the (input-
+// polynomial but potentially large) bound-propagation fixpoint respects
+// a caller's budget and cancellation check.
+func closeConjB(c SetConj, b *Budget) (*setClosure, error) {
+	if !memoEnabled.Load() {
+		return closeConjUncached(c, b)
+	}
+	key := setConjKey(c)
+	if cl, ok := closureMemo.get(key); ok {
+		return cl, nil
+	}
+	cl, err := closeConjUncached(c, b)
+	if err != nil {
+		return nil, err // incomplete closure: never cache
+	}
+	closureMemo.put(key, cl)
+	return cl, nil
+}
+
+func closeConjUncached(c SetConj, budget *Budget) (*setClosure, error) {
+	if err := budget.Spend(int64(len(c)) + 1); err != nil {
+		return nil, err
+	}
 	cl := &setClosure{
 		vars: make(map[string]*bounds),
 		succ: make(map[string]map[string]bool),
@@ -213,6 +228,9 @@ func closeConjUncached(c SetConj) *setClosure {
 	// Transitive closure of the ⊆ edges (small n in practice).
 	changedSucc := true
 	for changedSucc {
+		if err := budget.Spend(1); err != nil {
+			return nil, err
+		}
 		changedSucc = false
 		for _, e := range incls {
 			for t := range cl.succ[e.to] {
@@ -228,6 +246,9 @@ func closeConjUncached(c SetConj) *setClosure {
 	// finite upper bounds flow backward.
 	changed := true
 	for changed {
+		if err := budget.Spend(1); err != nil {
+			return nil, err
+		}
 		changed = false
 		for _, e := range incls {
 			from, to := cl.vars[e.from], cl.vars[e.to]
@@ -258,7 +279,7 @@ func closeConjUncached(c SetConj) *setClosure {
 			cl.sat = false
 		}
 	}
-	return cl
+	return cl, nil
 }
 
 func copySet(s map[string]bool) map[string]bool {

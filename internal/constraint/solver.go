@@ -193,16 +193,30 @@ func (g *pointGraph) scc() []int {
 // Formula.Satisfiable, Entails' negation search, Simplify — funnels
 // through here, so one memo table covers them all.
 func conjSatisfiable(c Conj) bool {
+	v, _ := conjSatisfiableB(c, nil)
+	return v
+}
+
+// conjSatisfiableB is conjSatisfiable under a step budget: one step per
+// atom plus one for the closure pass. A memo hit is free — a cached
+// verdict costs a map lookup, not a solve.
+func conjSatisfiableB(c Conj, b *Budget) (bool, error) {
 	if !memoEnabled.Load() {
-		return conjSatisfiableUncached(c)
+		if err := b.Spend(int64(len(c)) + 1); err != nil {
+			return false, err
+		}
+		return conjSatisfiableUncached(c), nil
 	}
 	key := conjKey(c)
 	if v, ok := satMemo.get(key); ok {
-		return v
+		return v, nil
+	}
+	if err := b.Spend(int64(len(c)) + 1); err != nil {
+		return false, err
 	}
 	v := conjSatisfiableUncached(c)
 	satMemo.put(key, v)
-	return v
+	return v, nil
 }
 
 // conjSatisfiableUncached is the memo-free solver: build the point graph,
@@ -261,26 +275,41 @@ func conjSatisfiableUncached(c Conj) bool {
 // atom per disjunct, pruning unsatisfiable partial choices.
 func conjEntails(cf Conj, g Formula) bool {
 	// cf ∧ ¬g satisfiable ⇒ entailment fails.
-	return !negationSatisfiable(cf, g, 0)
+	sat, _ := negationSatisfiableB(cf, g, 0, nil)
+	return !sat
 }
 
-func negationSatisfiable(acc Conj, g Formula, i int) bool {
-	if !conjSatisfiable(acc) {
-		return false
+// negationSatisfiableB is the negation search under a step budget: one
+// step per visited branch of the (potentially exponential) choice tree,
+// so a budgeted caller can stop a hostile entailment check.
+func negationSatisfiableB(acc Conj, g Formula, i int, b *Budget) (bool, error) {
+	if err := b.Spend(1); err != nil {
+		return false, err
+	}
+	sat, err := conjSatisfiableB(acc, b)
+	if err != nil {
+		return false, err
+	}
+	if !sat {
+		return false, nil
 	}
 	if i == len(g) {
-		return true
+		return true, nil
 	}
 	disjunct := g[i]
 	if len(disjunct) == 0 {
 		// ¬(true) = false: this branch kills every choice.
-		return false
+		return false, nil
 	}
 	for _, a := range disjunct {
 		neg := Atom{Left: a.Left, Op: a.Op.Negate(), Right: a.Right}
-		if negationSatisfiable(append(acc[:len(acc):len(acc)], neg), g, i+1) {
-			return true
+		ok, err := negationSatisfiableB(append(acc[:len(acc):len(acc)], neg), g, i+1, b)
+		if err != nil {
+			return false, err
+		}
+		if ok {
+			return true, nil
 		}
 	}
-	return false
+	return false, nil
 }

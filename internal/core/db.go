@@ -8,6 +8,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -156,6 +157,14 @@ func (db *DB) Rules() datalog.Program { return datalog.NewProgram(db.rules...) }
 // the database, adds its rules, and returns the result sets of its
 // queries in order.
 func (db *DB) LoadScript(src string) ([]*ResultSet, error) {
+	return db.LoadScriptContext(context.Background(), src)
+}
+
+// LoadScriptContext is LoadScript under a context: the script's queries
+// evaluate with ctx attached, so a cancellation or deadline stops them
+// mid-fixpoint with an error matching datalog.ErrCanceled. Mutations the
+// script already applied are not rolled back.
+func (db *DB) LoadScriptContext(ctx context.Context, src string) ([]*ResultSet, error) {
 	script, err := parser.Parse(src)
 	if err != nil {
 		return nil, err
@@ -168,7 +177,7 @@ func (db *DB) LoadScript(src string) ([]*ResultSet, error) {
 	}
 	var results []*ResultSet
 	for _, q := range script.Queries {
-		rs, err := db.runQuery(q)
+		rs, err := db.runQuery(ctx, q)
 		if err != nil {
 			return nil, err
 		}
@@ -217,21 +226,35 @@ func (rs *ResultSet) Object(oid object.OID) *object.Object {
 // Query parses and evaluates a VideoQL query ("?-" optional) against the
 // database and its current rules.
 func (db *DB) Query(src string) (*ResultSet, error) {
+	return db.QueryContext(context.Background(), src)
+}
+
+// QueryContext is Query under a context: the evaluation observes ctx and
+// stops with an error matching datalog.ErrCanceled (and ctx's own cause)
+// soon after ctx is cancelled or its deadline passes.
+func (db *DB) QueryContext(ctx context.Context, src string) (*ResultSet, error) {
 	q, err := parser.ParseQuery(src)
 	if err != nil {
 		return nil, err
 	}
-	return db.runQuery(q)
+	return db.runQuery(ctx, q)
 }
 
 // QueryAtom evaluates a pre-built query atom against the database.
 func (db *DB) QueryAtom(atom datalog.RelAtom) (*ResultSet, error) {
-	return db.runQuery(parser.Query{Atom: atom})
+	return db.QueryAtomContext(context.Background(), atom)
+}
+
+// QueryAtomContext is QueryAtom under a context.
+func (db *DB) QueryAtomContext(ctx context.Context, atom datalog.RelAtom) (*ResultSet, error) {
+	return db.runQuery(ctx, parser.Query{Atom: atom})
 }
 
 // newEngine builds a fresh engine over the database's rules, the
-// taxonomy's rules, and the query's synthesized rule (if any).
-func (db *DB) newEngine(q parser.Query) (*datalog.Engine, error) {
+// taxonomy's rules, and the query's synthesized rule (if any). A
+// non-Background ctx is attached to the engine so the fixpoint observes
+// cancellation; Background stays off the hot path entirely.
+func (db *DB) newEngine(ctx context.Context, q parser.Query) (*datalog.Engine, error) {
 	rules := append([]datalog.Rule(nil), db.rules...)
 	rules = append(rules, db.taxonomy.Rules()...)
 	if q.Rule != nil {
@@ -241,22 +264,26 @@ func (db *DB) newEngine(q parser.Query) (*datalog.Engine, error) {
 	if !db.noPruning {
 		prog = prog.Reachable(q.Atom.Pred)
 	}
-	return datalog.NewEngine(db.st, prog, db.engOpts...)
+	opts := db.engOpts
+	if ctx != nil && ctx != context.Background() {
+		opts = append(append([]datalog.Option(nil), opts...), datalog.WithContext(ctx))
+	}
+	return datalog.NewEngine(db.st, prog, opts...)
 }
 
 // engineFor parses a query and builds the engine that would answer it,
 // without running it (used by Explain).
-func (db *DB) engineFor(src string) (*datalog.Engine, parser.Query, error) {
+func (db *DB) engineFor(ctx context.Context, src string) (*datalog.Engine, parser.Query, error) {
 	q, err := parser.ParseQuery(src)
 	if err != nil {
 		return nil, parser.Query{}, err
 	}
-	eng, err := db.newEngine(q)
+	eng, err := db.newEngine(ctx, q)
 	return eng, q, err
 }
 
-func (db *DB) runQuery(q parser.Query) (*ResultSet, error) {
-	eng, err := db.newEngine(q)
+func (db *DB) runQuery(ctx context.Context, q parser.Query) (*ResultSet, error) {
+	eng, err := db.newEngine(ctx, q)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"videodb/internal/datalog"
@@ -33,7 +34,14 @@ func (db *DB) Close() error { return db.st.Close() }
 // rules (plus the query's synthesized rule, if any) — strata, body
 // orders, index usage.
 func (db *DB) Explain(query string) (string, error) {
-	eng, _, err := db.engineFor(query)
+	return db.ExplainContext(context.Background(), query)
+}
+
+// ExplainContext is Explain under a context. Explanation itself does not
+// run the fixpoint, but the context keeps the API uniform with
+// QueryContext and lets future plan-time work observe cancellation.
+func (db *DB) ExplainContext(ctx context.Context, query string) (string, error) {
+	eng, _, err := db.engineFor(ctx, query)
 	if err != nil {
 		return "", err
 	}

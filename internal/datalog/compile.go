@@ -489,6 +489,11 @@ func compileFilter(cr *compiledRule, l Literal) filterFunc {
 	case EntailAtom:
 		left, right := compileOperand(cr, a.Left), compileOperand(cr, a.Right)
 		return func(e *Engine, fr *frame) (bool, error) {
+			// Entailment is a constraint-solver step: charge the run budget so
+			// MaxSolverSteps and cancellation reach per-check granularity.
+			if err := e.spendSolver(1); err != nil {
+				return false, err
+			}
 			lv, err := e.resolveOp(left, fr)
 			if err != nil {
 				return false, err
@@ -508,6 +513,9 @@ func compileFilter(cr *compiledRule, l Literal) filterFunc {
 	case TemporalAtom:
 		left, right, rel := compileOperand(cr, a.Left), compileOperand(cr, a.Right), a.Rel
 		return func(e *Engine, fr *frame) (bool, error) {
+			if err := e.spendSolver(1); err != nil {
+				return false, err
+			}
 			lv, err := e.resolveOp(left, fr)
 			if err != nil {
 				return false, err

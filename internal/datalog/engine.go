@@ -1,6 +1,7 @@
 package datalog
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -30,6 +31,18 @@ type Engine struct {
 	memoOff        bool
 	maxRounds      int
 	maxCreated     int
+	maxDerived     int
+
+	// Cancellation (WithContext): ctx is checked once per fixpoint round
+	// and every cancelCheckInterval join-kernel tuples (ticks counts them;
+	// workers tick on their shallow copies, so no sharing). The solver
+	// budget carries both the MaxSolverSteps limit and the cancellation
+	// check into constraint-level evaluation; parallel workers share the
+	// pointer (Budget is internally atomic).
+	ctx            context.Context
+	ticks          uint64
+	maxSolverSteps int64
+	budget         *constraint.Budget
 
 	// Compiled execution forms, aligned with prog.Rules. Populated at
 	// NewEngine time; nil entries (WithoutPlanCache ablation) are
@@ -160,6 +173,7 @@ func NewEngine(st *store.Store, prog Program, opts ...Option) (*Engine, error) {
 		usePlanCache:   true,
 		maxRounds:      1 << 20,
 		maxCreated:     1 << 20,
+		maxDerived:     1 << 20,
 		derived:        make(map[string]*relation),
 		created:        make(map[object.OID]*object.Object),
 		baseIDs:        make(map[object.OID][]object.OID),
@@ -231,6 +245,10 @@ func (e *Engine) runFixpoint() error {
 		e.stats.MemoHits = after.Hits - before.Hits
 		e.stats.MemoMisses = after.Misses - before.Misses
 	}()
+	e.budget = constraint.NewBudget(e.maxSolverSteps, e.checkCancel)
+	if err := e.checkCancel(); err != nil {
+		return err
+	}
 	e.snapshotEDB()
 	e.seedEDB()
 	e.warmGoalPreds()
@@ -271,6 +289,9 @@ func (e *Engine) runStratum(s int) error {
 	}
 
 	// Round 1 of the stratum: every rule against the current extent.
+	if err := e.checkCancel(); err != nil {
+		return err
+	}
 	e.stats.Rounds++
 	round1 := make([]evalTask, len(rules))
 	for i, ri := range rules {
@@ -289,9 +310,12 @@ func (e *Engine) runStratum(s int) error {
 	}
 
 	for changed {
+		if err := e.checkCancel(); err != nil {
+			return err
+		}
 		e.stats.Rounds++
 		if e.stats.Rounds > e.maxRounds {
-			return fmt.Errorf("datalog: fixpoint did not converge within %d rounds", e.maxRounds)
+			return fmt.Errorf("%w: fixpoint did not converge within %d rounds", ErrLimitExceeded, e.maxRounds)
 		}
 		var tasks []evalTask
 		if e.naive {
@@ -518,6 +542,9 @@ func (e *Engine) runSteps(cr *compiledRule, steps []planStep, i int, fr *frame) 
 				}
 			}
 			for _, ri := range ids {
+				if err := e.tick(); err != nil {
+					return err
+				}
 				if st.match(fr, rows[ri]) {
 					if err := e.runSteps(cr, steps, i+1, fr); err != nil {
 						return err
@@ -528,6 +555,9 @@ func (e *Engine) runSteps(cr *compiledRule, steps []planStep, i int, fr *frame) 
 			return nil
 		}
 		for _, tuple := range rows {
+			if err := e.tick(); err != nil {
+				return err
+			}
 			if st.match(fr, tuple) {
 				if err := e.runSteps(cr, steps, i+1, fr); err != nil {
 					return err
@@ -550,6 +580,9 @@ func (e *Engine) runSteps(cr *compiledRule, steps []planStep, i int, fr *frame) 
 	case stepClassEnum:
 		slot := st.classArg.slot
 		for _, oid := range e.classEnumCandidates(st, fr) {
+			if err := e.tick(); err != nil {
+				return err
+			}
 			fr.bind(slot, object.Ref(oid))
 			if err := e.runSteps(cr, steps, i+1, fr); err != nil {
 				return err
@@ -878,11 +911,18 @@ func (e *Engine) fireHead(cr *compiledRule, fr *frame) error {
 	rel := e.derived[r.Head.Pred]
 	if rel.propose(tuple) {
 		e.stats.Derived++
+		if e.stats.Derived > e.maxDerived {
+			return e.derivedLimitErr()
+		}
 		if e.trace {
 			e.recordProvenance(r, cr.bindingsOf(fr), r.Head.Pred, tuple)
 		}
 	}
 	return nil
+}
+
+func (e *Engine) derivedLimitErr() error {
+	return fmt.Errorf("%w: more than %d tuples derived (raise MaxDerived if intended)", ErrLimitExceeded, e.maxDerived)
 }
 
 // concatTerm evaluates a (possibly nested) constructive term to the oid
@@ -963,7 +1003,7 @@ func (e *Engine) materializeConcat(l, r object.OID) (object.OID, error) {
 	e.pendingCreated = append(e.pendingCreated, oid)
 	e.stats.Created++
 	if e.stats.Created > e.maxCreated {
-		return "", fmt.Errorf("more than %d objects created by concatenation (raise MaxCreated if intended)", e.maxCreated)
+		return "", fmt.Errorf("%w: more than %d objects created by concatenation (raise MaxCreated if intended)", ErrLimitExceeded, e.maxCreated)
 	}
 	return oid, nil
 }

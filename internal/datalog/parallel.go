@@ -129,6 +129,12 @@ feed:
 			}
 			if rel.propose(p.tuple) {
 				e.stats.Derived++
+				// Workers fire into private buffers without counting Derived;
+				// the merge is where duplicates resolve, so the MaxDerived
+				// guard is authoritative here.
+				if e.stats.Derived > e.maxDerived {
+					return e.derivedLimitErr()
+				}
 			}
 		}
 	}

@@ -1,0 +1,200 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"videodb/internal/core"
+	"videodb/internal/object"
+)
+
+// heavyServer serves a database where "?- e(A), e(B), e(C)." is a triple
+// cross join over n facts — long enough to outlive any small timeout,
+// with cancellation checks firing every join chunk.
+func heavyServer(t *testing.T, n int, timeout time.Duration) *httptest.Server {
+	t.Helper()
+	db := core.New()
+	for i := 0; i < n; i++ {
+		db.Relate("e", object.OID(fmt.Sprintf("v%d", i)))
+	}
+	ts := httptest.NewServer(New(db, WithQueryTimeout(timeout)))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+const crossJoinQuery = "?- e(A), e(B), e(C)."
+
+func postQuery(url, query string) (int, string, error) {
+	body, _ := json.Marshal(map[string]string{"query": query})
+	resp, err := http.Post(url+"/v1/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, "", err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	return resp.StatusCode, string(data), err
+}
+
+func TestQueryTimeoutReturns503(t *testing.T) {
+	ts := heavyServer(t, 300, 30*time.Millisecond)
+	start := time.Now()
+	status, body, err := postQuery(ts.URL, crossJoinQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, body %s; want 503", status, body)
+	}
+	if !strings.Contains(body, "canceled") {
+		t.Errorf("error body should mention cancellation: %s", body)
+	}
+	// The request must be shed promptly, not after the full cross join.
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Errorf("cancelled query took %v", elapsed)
+	}
+}
+
+func TestServerResponsiveDuringAndAfterCancellation(t *testing.T) {
+	ts := heavyServer(t, 300, 200*time.Millisecond)
+
+	slow := make(chan int, 1)
+	go func() {
+		status, _, _ := postQuery(ts.URL, crossJoinQuery)
+		slow <- status
+	}()
+
+	// While the doomed query holds the read lock, other readers must get
+	// through: queries share the lock, so the server stays responsive.
+	for i := 0; i < 3; i++ {
+		resp, err := http.Get(ts.URL + "/v1/stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("stats during slow query: %d", resp.StatusCode)
+		}
+	}
+	quick, _, err := postQuery(ts.URL, "?- e(A).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if quick != http.StatusOK {
+		t.Fatalf("concurrent quick query status = %d", quick)
+	}
+
+	select {
+	case status := <-slow:
+		if status != http.StatusServiceUnavailable {
+			t.Fatalf("slow query status = %d, want 503", status)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("cancelled query never returned")
+	}
+
+	// After the cancellation the read lock is released: an exclusive-lock
+	// mutation must go through promptly.
+	ruleBody, _ := json.Marshal(map[string]string{"rule": "pair(A, B) :- e(A), e(B)."})
+	ruleCh := make(chan int, 1)
+	go func() {
+		resp, err := http.Post(ts.URL+"/v1/rules", "application/json", bytes.NewReader(ruleBody))
+		if err != nil {
+			ruleCh <- 0
+			return
+		}
+		resp.Body.Close()
+		ruleCh <- resp.StatusCode
+	}()
+	select {
+	case status := <-ruleCh:
+		if status != http.StatusOK {
+			t.Fatalf("rule mutation after cancellation: %d", status)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("mutation blocked: cancelled query did not release the lock")
+	}
+}
+
+func TestClientDisconnectCancelsQuery(t *testing.T) {
+	// No server-side timeout: the only cancellation signal is the client
+	// going away, which the request context propagates into the engine.
+	ts := heavyServer(t, 300, 0)
+	body, _ := json.Marshal(map[string]string{"query": crossJoinQuery})
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/query", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := &http.Client{Timeout: 50 * time.Millisecond}
+	if _, err := client.Do(req); err == nil {
+		t.Fatal("expected the client-side timeout to fire")
+	}
+	// The abandoned query must release the read lock: a mutation succeeds.
+	ruleBody, _ := json.Marshal(map[string]string{"rule": "pair(A, B) :- e(A), e(B)."})
+	done := make(chan int, 1)
+	go func() {
+		resp, err := http.Post(ts.URL+"/v1/rules", "application/json", bytes.NewReader(ruleBody))
+		if err != nil {
+			done <- 0
+			return
+		}
+		resp.Body.Close()
+		done <- resp.StatusCode
+	}()
+	select {
+	case status := <-done:
+		if status != http.StatusOK {
+			t.Fatalf("mutation after client disconnect: %d", status)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("disconnected client's query did not release the lock")
+	}
+}
+
+func TestObjectsEmptyIsArray(t *testing.T) {
+	ts := httptest.NewServer(New(core.New()))
+	t.Cleanup(ts.Close)
+	resp, err := http.Get(ts.URL + "/v1/objects")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	if strings.Contains(string(data), "null") {
+		t.Errorf("empty objects listing must be [], got %s", data)
+	}
+	var out struct {
+		Objects []json.RawMessage `json:"objects"`
+	}
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Objects == nil || len(out.Objects) != 0 {
+		t.Errorf("objects = %s", data)
+	}
+}
+
+func TestGroundQueryColumnsIsArray(t *testing.T) {
+	db := core.New()
+	if _, err := db.LoadScript("object o1 { }.\nobject o2 { }.\nr(o1, o2)."); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(db))
+	t.Cleanup(ts.Close)
+	status, body, err := postQuery(ts.URL, "?- r(o1, o2).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != http.StatusOK {
+		t.Fatalf("status = %d: %s", status, body)
+	}
+	if strings.Contains(body, `"columns":null`) {
+		t.Errorf("ground query columns must be [], got %s", body)
+	}
+}

@@ -18,13 +18,16 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
 	"strings"
 	"sync"
+	"time"
 
 	"videodb/internal/core"
+	"videodb/internal/datalog"
 	"videodb/internal/object"
 )
 
@@ -33,14 +36,29 @@ const MaxRequestBytes = 8 << 20
 
 // Server is an http.Handler serving a video database.
 type Server struct {
-	mu  sync.RWMutex
-	db  *core.DB
-	mux *http.ServeMux
+	mu           sync.RWMutex
+	db           *core.DB
+	mux          *http.ServeMux
+	queryTimeout time.Duration // 0 = no per-request deadline
+}
+
+// Option configures a Server.
+type Option func(*Server)
+
+// WithQueryTimeout bounds each query, explain, and script evaluation by d
+// (0 disables the bound). Requests that exceed it are cancelled
+// mid-fixpoint and answered with 503, and the connection's own context
+// still applies: a client that disconnects cancels its query either way.
+func WithQueryTimeout(d time.Duration) Option {
+	return func(s *Server) { s.queryTimeout = d }
 }
 
 // New wraps the database in an HTTP handler.
-func New(db *core.DB) *Server {
+func New(db *core.DB, opts ...Option) *Server {
 	s := &Server{db: db, mux: http.NewServeMux()}
+	for _, o := range opts {
+		o(s)
+	}
 	s.mux.HandleFunc("/v1/query", s.handleQuery)
 	s.mux.HandleFunc("/v1/explain", s.handleExplain)
 	s.mux.HandleFunc("/v1/script", s.handleScript)
@@ -49,6 +67,26 @@ func New(db *core.DB) *Server {
 	s.mux.HandleFunc("/v1/objects/", s.handleObject)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
 	return s
+}
+
+// requestCtx derives the evaluation context for one request: the
+// request's own context (cancelled when the client disconnects) plus the
+// configured per-query deadline.
+func (s *Server) requestCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.queryTimeout <= 0 {
+		return r.Context(), func() {}
+	}
+	return context.WithTimeout(r.Context(), s.queryTimeout)
+}
+
+// statusFor maps evaluation errors to HTTP statuses: cancellations and
+// deadline expiries are a service-level condition (503 — the query was
+// shed, not wrong), everything else is the client's query (422).
+func statusFor(err error) int {
+	if datalog.IsCanceled(err) {
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusUnprocessableEntity
 }
 
 // ServeHTTP implements http.Handler.
@@ -96,6 +134,9 @@ func resultJSON(rs *core.ResultSet) ResultJSON {
 			CreatedObjects: rs.Stats.Created,
 		},
 	}
+	if out.Columns == nil {
+		out.Columns = []string{} // ground queries have no variables
+	}
 	if out.Rows == nil {
 		out.Rows = [][]object.Value{}
 	}
@@ -117,11 +158,13 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("missing query"))
 		return
 	}
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
 	s.mu.RLock()
-	rs, err := s.db.Query(req.Query)
+	rs, err := s.db.QueryContext(ctx, req.Query)
 	s.mu.RUnlock()
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, err)
+		writeError(w, statusFor(err), err)
 		return
 	}
 	writeJSON(w, http.StatusOK, resultJSON(rs))
@@ -132,11 +175,13 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	if !s.post(w, r, &req) {
 		return
 	}
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
 	s.mu.RLock()
-	plan, err := s.db.Explain(req.Query)
+	plan, err := s.db.ExplainContext(ctx, req.Query)
 	s.mu.RUnlock()
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, err)
+		writeError(w, statusFor(err), err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"plan": plan})
@@ -147,11 +192,13 @@ func (s *Server) handleScript(w http.ResponseWriter, r *http.Request) {
 	if !s.post(w, r, &req) {
 		return
 	}
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
 	s.mu.Lock()
-	results, err := s.db.LoadScript(req.Script)
+	results, err := s.db.LoadScriptContext(ctx, req.Script)
 	s.mu.Unlock()
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, err)
+		writeError(w, statusFor(err), err)
 		return
 	}
 	out := make([]ResultJSON, len(results))
@@ -201,8 +248,10 @@ func (s *Server) handleObjects(w http.ResponseWriter, r *http.Request) {
 		OID  string `json:"oid"`
 		Kind string `json:"kind"`
 	}
-	var out []entry
-	for _, oid := range s.db.Store().OIDs() {
+	oids := s.db.Store().OIDs()
+	// Non-nil even when empty: clients must always see "objects": [].
+	out := make([]entry, 0, len(oids))
+	for _, oid := range oids {
 		out = append(out, entry{OID: string(oid), Kind: s.db.Object(oid).Kind().String()})
 	}
 	writeJSON(w, http.StatusOK, map[string]interface{}{"objects": out})

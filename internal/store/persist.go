@@ -154,6 +154,18 @@ func (s *Store) saveFileLocked(path string) error {
 	return writeSnapshotFile(path, s.buildPayloadLocked())
 }
 
+// writeSnapshotFile persists a snapshot atomically AND durably.
+//
+// Crash-ordering invariant: by the time this function returns, the
+// snapshot is on disk under its final name even across a power failure.
+// Checkpoint relies on this — it truncates the WAL immediately after, and
+// a crash between the two must find a complete snapshot, or acknowledged
+// writes are lost. That requires both fsyncs below: fsync(tmp) before the
+// rename (otherwise the kernel may order the rename's metadata ahead of
+// the data blocks, leaving a named but empty/partial file), and fsync of
+// the parent directory after (otherwise the rename itself may not have
+// reached the directory's on-disk entries, resurrecting the old snapshot
+// while the WAL is already truncated).
 func writeSnapshotFile(path string, p payload) error {
 	tmp, err := os.CreateTemp(dirOf(path), ".videodb-*.tmp")
 	if err != nil {
@@ -164,10 +176,27 @@ func writeSnapshotFile(path string, p payload) error {
 		tmp.Close()
 		return err
 	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
 	if err := tmp.Close(); err != nil {
 		return err
 	}
-	return os.Rename(tmp.Name(), path)
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	return syncDir(dirOf(path))
+}
+
+// syncDir fsyncs a directory so a completed rename survives a crash.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
 }
 
 // LoadFile reads a snapshot from the named file.
