@@ -16,17 +16,17 @@ vet:
 test:
 	$(GO) test ./...
 
-# race exercises the parallel evaluator and the shared EDB/memo caches
-# under the race detector.
+# race exercises the parallel evaluator, the shared EDB/memo caches, and
+# the server's observability counters under the race detector.
 race:
-	$(GO) test -race ./internal/datalog/...
+	$(GO) test -race ./internal/datalog/... ./internal/server/...
 
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' .
 
 # bench-json regenerates the machine-readable acceptance benchmark report.
 bench-json:
-	$(GO) run ./cmd/bench -json -out BENCH_PR1.json
+	$(GO) run ./cmd/bench -json -out BENCH_PR3.json
 
 clean:
 	$(GO) clean ./...

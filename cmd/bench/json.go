@@ -49,16 +49,29 @@ type improvement struct {
 	AllocsRatio float64 `json:"allocs_ratio"` // current/seed; < 0.8 means ≥20% fewer allocations
 }
 
+// profileEntry is one profiled run of an acceptance workload: the
+// engine's own EXPLAIN ANALYZE record (per-rule and per-round wall time,
+// firings, derived tuples, solver-budget and memo consumption).
+type profileEntry struct {
+	Bench       string           `json:"bench"`
+	Rounds      int              `json:"rounds"`
+	SolverSteps int64            `json:"solver_steps"`
+	MemoHits    uint64           `json:"memo_hits"`
+	MemoMisses  uint64           `json:"memo_misses"`
+	Profile     *datalog.Profile `json:"profile"`
+}
+
 type benchReport struct {
-	Generated    string        `json:"generated"`
-	GoOS         string        `json:"goos"`
-	GoArch       string        `json:"goarch"`
-	CPUs         int           `json:"cpus"`
-	SeedCommit   string        `json:"seed_commit"`
-	SeedNote     string        `json:"seed_note"`
-	Results      []benchResult `json:"results"`
-	SeedBaseline []seedEntry   `json:"seed_baseline"`
-	VsSeed       []improvement `json:"improvement_vs_seed"`
+	Generated    string         `json:"generated"`
+	GoOS         string         `json:"goos"`
+	GoArch       string         `json:"goarch"`
+	CPUs         int            `json:"cpus"`
+	SeedCommit   string         `json:"seed_commit"`
+	SeedNote     string         `json:"seed_note"`
+	Results      []benchResult  `json:"results"`
+	SeedBaseline []seedEntry    `json:"seed_baseline"`
+	VsSeed       []improvement  `json:"improvement_vs_seed"`
+	Profiles     []profileEntry `json:"profiles"`
 }
 
 // seedBaseline is the `go test -bench . -benchmem` output of the
@@ -241,6 +254,33 @@ func runJSON(outPath string) {
 		res, hit := measureEngine(edges, hop2, cfg.opts...)
 		add("E13JoinIndex/indexed", cfg.name, res, hit)
 	}
+
+	// Profiled runs of the engine workloads under the default
+	// configuration: where each workload spends its time, per rule and per
+	// round, from the engine's own profiler.
+	profiled := func(bench string, st *store.Store, prog datalog.Program) {
+		e, err := datalog.NewEngine(st, prog, datalog.WithProfiling())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench: profile %s: %v\n", bench, err)
+			os.Exit(1)
+		}
+		if err := e.Run(); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: profile %s: %v\n", bench, err)
+			os.Exit(1)
+		}
+		rs := e.Stats()
+		report.Profiles = append(report.Profiles, profileEntry{
+			Bench:       bench,
+			Rounds:      rs.Rounds,
+			SolverSteps: rs.SolverSteps,
+			MemoHits:    rs.MemoHits,
+			MemoMisses:  rs.MemoMisses,
+			Profile:     e.Profile(),
+		})
+	}
+	profiled("E5ArithScaling/within/n=1000", arith, within)
+	profiled("E5ArithScaling/contains/n=1000", arith, contains)
+	profiled("E13JoinIndex/indexed", edges, hop2)
 
 	// Improvement ratios for the default configuration against the seed.
 	for _, se := range seedBaseline {

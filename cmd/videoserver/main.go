@@ -4,7 +4,8 @@
 // Usage:
 //
 //	videoserver [-addr :8080] [-data DIR | -db snapshot.json]
-//	            [-query-timeout 0] [-max-derived N] [script.vql ...]
+//	            [-query-timeout 0] [-max-derived N]
+//	            [-slow-query 0] [-access-log] [-pprof] [script.vql ...]
 //
 // With -data the database is durable (write-ahead log + checkpoints in
 // DIR); with -db a snapshot is loaded into memory. Scripts run before
@@ -12,6 +13,10 @@
 // each request's evaluation (0 = no bound). On SIGINT/SIGTERM the server
 // drains in-flight requests and closes the database before exiting, so a
 // durable store always gets its final flush.
+//
+// Observability: GET /metrics serves Prometheus-format counters;
+// -slow-query D logs every evaluation that takes at least D; -access-log
+// logs every request; -pprof serves net/http/pprof under /debug/pprof/.
 package main
 
 import (
@@ -49,6 +54,9 @@ func run() error {
 	snapshot := flag.String("db", "", "snapshot to load (in-memory mode)")
 	queryTimeout := flag.Duration("query-timeout", 0, "per-request query evaluation bound (0 = unlimited)")
 	maxDerived := flag.Int("max-derived", 0, "max derived tuples per query (0 = engine default)")
+	slowQuery := flag.Duration("slow-query", 0, "log queries slower than this duration (0 = off)")
+	accessLog := flag.Bool("access-log", false, "log every HTTP request")
+	pprofOn := flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
 	flag.Parse()
 
 	var (
@@ -96,9 +104,19 @@ func run() error {
 		fmt.Printf("loaded %s (%d queries)\n", path, len(results))
 	}
 
+	srvOpts := []server.Option{server.WithQueryTimeout(*queryTimeout)}
+	if *slowQuery > 0 {
+		srvOpts = append(srvOpts, server.WithSlowQueryLog(*slowQuery, nil))
+	}
+	if *accessLog {
+		srvOpts = append(srvOpts, server.WithAccessLog(nil))
+	}
+	if *pprofOn {
+		srvOpts = append(srvOpts, server.WithPprof())
+	}
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           server.New(db, server.WithQueryTimeout(*queryTimeout)),
+		Handler:           server.New(db, srvOpts...),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 

@@ -29,11 +29,21 @@ const budgetCheckInterval = 256
 
 // A Budget bounds solver work and propagates cancellation. It is safe for
 // concurrent use: parallel evaluation workers may share one budget.
+//
+// A budget also serves as the per-caller accounting token for the solver
+// memo: every memo lookup made under a budget bumps that budget's own
+// hit/miss counters in addition to the process-wide ones, so concurrent
+// engines each see exactly their own memo traffic (MemoCounts) instead of
+// a snapshot diff of shared counters.
 type Budget struct {
-	remaining atomic.Int64 // meaningful only when limited
-	limited   bool
+	remaining  atomic.Int64 // meaningful only when limited
+	limited    bool
 	sinceCheck atomic.Int64
 	check      func() error // optional; non-nil error aborts the solve
+
+	spent      atomic.Int64 // steps consumed (profiling)
+	memoHits   atomic.Uint64
+	memoMisses atomic.Uint64
 }
 
 // NewBudget returns a budget of maxSteps elementary solver steps.
@@ -53,6 +63,7 @@ func (b *Budget) Spend(n int64) error {
 	if b == nil {
 		return nil
 	}
+	b.spent.Add(n)
 	if b.limited && b.remaining.Add(-n) < 0 {
 		return ErrBudget
 	}
@@ -70,6 +81,39 @@ func (b *Budget) Remaining() int64 {
 		return 1<<63 - 1
 	}
 	return b.remaining.Load()
+}
+
+// Spent reports the elementary solver steps consumed through this budget
+// so far (limited or not). Spent on a nil budget is 0.
+func (b *Budget) Spent() int64 {
+	if b == nil {
+		return 0
+	}
+	return b.spent.Load()
+}
+
+// MemoCounts reports the solver-memo hits and misses observed through this
+// budget: exactly the lookups made by solver calls that carried it, so the
+// pair is attributable to one caller even when the memo itself is shared
+// process-wide. MemoCounts on a nil budget is 0, 0.
+func (b *Budget) MemoCounts() (hits, misses uint64) {
+	if b == nil {
+		return 0, 0
+	}
+	return b.memoHits.Load(), b.memoMisses.Load()
+}
+
+// noteMemo records one memo lookup outcome against the budget; nil-safe so
+// unbudgeted solver entry points can pass nil through the memo tables.
+func (b *Budget) noteMemo(hit bool) {
+	if b == nil {
+		return
+	}
+	if hit {
+		b.memoHits.Add(1)
+	} else {
+		b.memoMisses.Add(1)
+	}
 }
 
 // --- Budgeted entry points (dense order) -------------------------------------
@@ -100,7 +144,7 @@ func (f Formula) EntailsWithin(g Formula, b *Budget) (bool, error) {
 	dst := formulaKeyTo(make([]byte, 0, 96), f)
 	dst = append(dst, '\x02')
 	key := string(formulaKeyTo(dst, g))
-	if v, ok := entailMemo.get(key); ok {
+	if v, ok := entailMemo.get(key, b); ok {
 		return v, nil
 	}
 	v, err := f.entailsBudgeted(g, b)

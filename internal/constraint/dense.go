@@ -348,7 +348,7 @@ func (f Formula) Entails(g Formula) bool {
 	dst := formulaKeyTo(make([]byte, 0, 96), f)
 	dst = append(dst, '\x02')
 	key := string(formulaKeyTo(dst, g))
-	if v, ok := entailMemo.get(key); ok {
+	if v, ok := entailMemo.get(key, nil); ok {
 		return v
 	}
 	v := f.entailsUncached(g)

@@ -109,7 +109,10 @@ func newMemoTable() *memoTable {
 	return &memoTable{m: make(map[string]bool), limit: defaultMemoLimit}
 }
 
-func (t *memoTable) get(key string) (verdict, ok bool) {
+// get consults the table and records the outcome against the process-wide
+// counters and, when non-nil, the caller's budget — the per-caller side of
+// the accounting that lets concurrent engines attribute memo traffic.
+func (t *memoTable) get(key string, b *Budget) (verdict, ok bool) {
 	t.mu.Lock()
 	v, ok := t.m[key]
 	t.mu.Unlock()
@@ -118,6 +121,7 @@ func (t *memoTable) get(key string) (verdict, ok bool) {
 	} else {
 		memoMisses.Add(1)
 	}
+	b.noteMemo(ok)
 	return v, ok
 }
 
@@ -157,7 +161,7 @@ type closureTable struct {
 	limit int
 }
 
-func (t *closureTable) get(key string) (*setClosure, bool) {
+func (t *closureTable) get(key string, b *Budget) (*setClosure, bool) {
 	t.mu.Lock()
 	cl, ok := t.m[key]
 	t.mu.Unlock()
@@ -166,6 +170,7 @@ func (t *closureTable) get(key string) (*setClosure, bool) {
 	} else {
 		memoMisses.Add(1)
 	}
+	b.noteMemo(ok)
 	return cl, ok
 }
 

@@ -163,7 +163,7 @@ func closeConjB(c SetConj, b *Budget) (*setClosure, error) {
 		return closeConjUncached(c, b)
 	}
 	key := setConjKey(c)
-	if cl, ok := closureMemo.get(key); ok {
+	if cl, ok := closureMemo.get(key, b); ok {
 		return cl, nil
 	}
 	cl, err := closeConjUncached(c, b)

@@ -208,7 +208,7 @@ func conjSatisfiableB(c Conj, b *Budget) (bool, error) {
 		return conjSatisfiableUncached(c), nil
 	}
 	key := conjKey(c)
-	if v, ok := satMemo.get(key); ok {
+	if v, ok := satMemo.get(key, b); ok {
 		return v, nil
 	}
 	if err := b.Spend(int64(len(c)) + 1); err != nil {

@@ -194,6 +194,7 @@ type ResultSet struct {
 	Rows    [][]object.Value // distinct answers in canonical order
 	Created []*object.Object // ⊕-created objects, if the program is constructive
 	Stats   datalog.RunStats
+	Profile *datalog.Profile // per-rule/per-round timings; nil unless profiled
 	engine  *datalog.Engine
 }
 
@@ -240,6 +241,19 @@ func (db *DB) QueryContext(ctx context.Context, src string) (*ResultSet, error) 
 	return db.runQuery(ctx, q)
 }
 
+// QueryProfiledContext is QueryContext with the engine's profiler on:
+// the result's Profile carries per-rule and per-round wall time, firings,
+// derived counts, and solver/memo consumption — the EXPLAIN ANALYZE
+// companion to Explain. Profiling adds bookkeeping to rule evaluation,
+// so it is opt-in per query rather than always-on.
+func (db *DB) QueryProfiledContext(ctx context.Context, src string) (*ResultSet, error) {
+	q, err := parser.ParseQuery(src)
+	if err != nil {
+		return nil, err
+	}
+	return db.runQuery(ctx, q, datalog.WithProfiling())
+}
+
 // QueryAtom evaluates a pre-built query atom against the database.
 func (db *DB) QueryAtom(atom datalog.RelAtom) (*ResultSet, error) {
 	return db.QueryAtomContext(context.Background(), atom)
@@ -254,7 +268,7 @@ func (db *DB) QueryAtomContext(ctx context.Context, atom datalog.RelAtom) (*Resu
 // taxonomy's rules, and the query's synthesized rule (if any). A
 // non-Background ctx is attached to the engine so the fixpoint observes
 // cancellation; Background stays off the hot path entirely.
-func (db *DB) newEngine(ctx context.Context, q parser.Query) (*datalog.Engine, error) {
+func (db *DB) newEngine(ctx context.Context, q parser.Query, extra ...datalog.Option) (*datalog.Engine, error) {
 	rules := append([]datalog.Rule(nil), db.rules...)
 	rules = append(rules, db.taxonomy.Rules()...)
 	if q.Rule != nil {
@@ -267,6 +281,9 @@ func (db *DB) newEngine(ctx context.Context, q parser.Query) (*datalog.Engine, e
 	opts := db.engOpts
 	if ctx != nil && ctx != context.Background() {
 		opts = append(append([]datalog.Option(nil), opts...), datalog.WithContext(ctx))
+	}
+	if len(extra) > 0 {
+		opts = append(append([]datalog.Option(nil), opts...), extra...)
 	}
 	return datalog.NewEngine(db.st, prog, opts...)
 }
@@ -282,8 +299,8 @@ func (db *DB) engineFor(ctx context.Context, src string) (*datalog.Engine, parse
 	return eng, q, err
 }
 
-func (db *DB) runQuery(ctx context.Context, q parser.Query) (*ResultSet, error) {
-	eng, err := db.newEngine(ctx, q)
+func (db *DB) runQuery(ctx context.Context, q parser.Query, extra ...datalog.Option) (*ResultSet, error) {
+	eng, err := db.newEngine(ctx, q, extra...)
 	if err != nil {
 		return nil, err
 	}
@@ -303,6 +320,7 @@ func (db *DB) runQuery(ctx context.Context, q parser.Query) (*ResultSet, error) 
 		Columns: cols,
 		Created: eng.Created(),
 		Stats:   eng.Stats(),
+		Profile: eng.Profile(),
 		engine:  eng,
 	}
 	for _, r := range res {

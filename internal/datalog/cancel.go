@@ -92,10 +92,16 @@ func (e *Engine) tick() error {
 // exhaustion into the engine's limit error. Cancellation errors from the
 // budget's check function pass through unchanged.
 func (e *Engine) spendSolver(n int64) error {
-	err := e.budget.Spend(n)
-	if err == nil {
-		return nil
+	if err := e.budget.Spend(n); err != nil {
+		return e.solverErr(err)
 	}
+	return nil
+}
+
+// solverErr translates an error escaping a budgeted solver call: budget
+// exhaustion becomes the engine's typed limit error, while cancellation
+// errors (from the budget's check function) pass through unchanged.
+func (e *Engine) solverErr(err error) error {
 	if errors.Is(err, constraint.ErrBudget) {
 		return fmt.Errorf("%w: %v (raise MaxSolverSteps if intended)", ErrLimitExceeded, err)
 	}

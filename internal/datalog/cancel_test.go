@@ -114,7 +114,7 @@ func TestUncancelledContextDoesNotChangeResults(t *testing.T) {
 	s := chainStore(6)
 	p := reachProgram()
 	plain := mustEngine(t, s, p)
-	ctxed := mustEngine(t, s, p, WithContext(context.TODO()))
+	ctxed := mustEngine(t, s, p, WithContext(context.Background()))
 	q := Rel("reach", Var("X"), Var("Y"))
 	a, err := plain.Query(q)
 	if err != nil {

@@ -3,6 +3,7 @@ package datalog
 import (
 	"fmt"
 
+	"videodb/internal/constraint"
 	"videodb/internal/object"
 )
 
@@ -489,11 +490,6 @@ func compileFilter(cr *compiledRule, l Literal) filterFunc {
 	case EntailAtom:
 		left, right := compileOperand(cr, a.Left), compileOperand(cr, a.Right)
 		return func(e *Engine, fr *frame) (bool, error) {
-			// Entailment is a constraint-solver step: charge the run budget so
-			// MaxSolverSteps and cancellation reach per-check granularity.
-			if err := e.spendSolver(1); err != nil {
-				return false, err
-			}
 			lv, err := e.resolveOp(left, fr)
 			if err != nil {
 				return false, err
@@ -507,7 +503,18 @@ func compileFilter(cr *compiledRule, l Literal) filterFunc {
 			if !ok1 || !ok2 {
 				return false, nil
 			}
-			return rt.ContainsGen(lt), nil
+			// Entailment is decided by the dense-order solver (the paper's
+			// point-based route, verdict-identical to interval containment
+			// per the temporal package's property tests). The call carries
+			// the run budget, so MaxSolverSteps and cancellation reach
+			// inside the check and every memo lookup is attributed to this
+			// engine; repeated checks across rounds and queries resolve to
+			// a memo hit instead of a re-solve.
+			ok, err := constraint.DurationFormula(lt).EntailsWithin(constraint.DurationFormula(rt), e.budget)
+			if err != nil {
+				return false, e.solverErr(err)
+			}
+			return ok, nil
 		}
 
 	case TemporalAtom:

@@ -252,7 +252,7 @@ func TestConcurrentQueriesRaceFree(t *testing.T) {
 		s.AddFact(store.NewFact("next",
 			object.Str(fmt.Sprintf("n%02d", i)), object.Str(fmt.Sprintf("n%02d", i+1))))
 		s.AddFact(store.NewFact("standalone", object.Num(float64(i))))
-		s.AddFact(store.NewFact("lonely", object.Num(float64(i)), object.Num(float64(i * 2))))
+		s.AddFact(store.NewFact("lonely", object.Num(float64(i)), object.Num(float64(i*2))))
 	}
 	prog := NewProgram(
 		NewRule(Rel("reach", Var("X"), Var("Y")), Rel("next", Var("X"), Var("Y"))),

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"videodb/internal/constraint"
 	"videodb/internal/interval"
@@ -85,7 +86,23 @@ type Engine struct {
 	intervalsGrow bool
 	runOnce       *sync.Once
 	runErr        error
-	stats         RunStats
+
+	// stats is written only by the run goroutine (workers merge at the
+	// round barrier). Concurrent readers go through Stats, which returns
+	// the snapshot published under statsMu at every round boundary; the
+	// pointers are shared by worker copies so there is exactly one lock.
+	stats     RunStats
+	statsMu   *sync.Mutex
+	statsSnap *RunStats
+
+	// Profiling (WithProfiling): prof accumulates while the run executes
+	// (workers use private instances, merged at the barrier); profile is
+	// the published result, read via Profile under statsMu. curRule is the
+	// rule index currently evaluating, for per-rule attribution.
+	profiling bool
+	prof      *profileState
+	profile   *Profile
+	curRule   int
 
 	// Provenance tracing (TraceProvenance).
 	trace bool
@@ -104,11 +121,17 @@ type RunStats struct {
 	Created int // generalized interval objects created by ⊕
 	Firings int // successful rule head instantiations (incl. duplicates)
 
-	// Constraint-solver memo traffic observed during this run (deltas of
-	// the process-wide counters; concurrent engines sharing the memo both
-	// count the same events).
+	// Constraint-solver memo traffic attributed to this run. The counters
+	// are threaded through the run's solver budget, so each engine counts
+	// exactly its own lookups: concurrent engines sharing the process-wide
+	// memo no longer double-count each other's traffic, and their per-run
+	// sums add up to the global constraint.MemoSnapshot delta.
 	MemoHits   uint64
 	MemoMisses uint64
+
+	// SolverSteps is the number of elementary constraint-solver steps the
+	// run consumed (compare MaxSolverSteps).
+	SolverSteps int64
 }
 
 // Option configures an Engine.
@@ -182,6 +205,8 @@ func NewEngine(st *store.Store, prog Program, opts ...Option) (*Engine, error) {
 		edbKeys:        make(map[string]map[string]bool),
 		goalMu:         &sync.Mutex{},
 		goalPreds:      make(map[string]bool),
+		statsMu:        &sync.Mutex{},
+		statsSnap:      &RunStats{},
 		runOnce:        &sync.Once{},
 		prov:           make(map[string]*Derivation),
 		predStrata:     strata,
@@ -203,6 +228,9 @@ func NewEngine(st *store.Store, prog Program, opts ...Option) (*Engine, error) {
 	for _, o := range opts {
 		o(e)
 	}
+	if e.profiling {
+		e.prof = newProfileState(len(prog.Rules))
+	}
 	if e.eager {
 		e.intervalsGrow = true
 		e.growsAt[0] = true
@@ -222,8 +250,24 @@ func NewEngine(st *store.Store, prog Program, opts ...Option) (*Engine, error) {
 	return e, nil
 }
 
-// Stats returns the statistics of the last Run.
-func (e *Engine) Stats() RunStats { return e.stats }
+// Stats returns the statistics of the last Run. It is safe to call
+// concurrently with Run (including Parallel(n) evaluation): mid-run it
+// returns the snapshot published at the most recent round boundary; after
+// Run returns it reports the final statistics.
+func (e *Engine) Stats() RunStats {
+	e.statsMu.Lock()
+	defer e.statsMu.Unlock()
+	return *e.statsSnap
+}
+
+// publishStats copies the run goroutine's private stats into the snapshot
+// concurrent Stats readers observe. Called at round boundaries and when
+// the run ends.
+func (e *Engine) publishStats() {
+	e.statsMu.Lock()
+	*e.statsSnap = e.stats
+	e.statsMu.Unlock()
+}
 
 // Run computes the least fixpoint (for programs with negation: the
 // perfect model, stratum by stratum). It is idempotent and safe for
@@ -239,13 +283,19 @@ func (e *Engine) runFixpoint() error {
 		prev := constraint.SetMemoEnabled(false)
 		defer constraint.SetMemoEnabled(prev)
 	}
-	before := constraint.MemoSnapshot()
-	defer func() {
-		after := constraint.MemoSnapshot()
-		e.stats.MemoHits = after.Hits - before.Hits
-		e.stats.MemoMisses = after.Misses - before.Misses
-	}()
 	e.budget = constraint.NewBudget(e.maxSolverSteps, e.checkCancel)
+	start := time.Now()
+	defer e.publishStats() // registered first: runs after the finalizer below
+	defer func() {
+		// Memo lookups are counted per-engine through the run's budget
+		// (solver calls carry it), so concurrent engines sharing the
+		// process-wide memo attribute each lookup to exactly one run.
+		e.stats.MemoHits, e.stats.MemoMisses = e.budget.MemoCounts()
+		e.stats.SolverSteps = e.budget.Spent()
+		if e.prof != nil {
+			e.buildProfile(time.Since(start))
+		}
+	}()
 	if err := e.checkCancel(); err != nil {
 		return err
 	}
@@ -288,35 +338,59 @@ func (e *Engine) runStratum(s int) error {
 		}
 	}
 
-	// Round 1 of the stratum: every rule against the current extent.
-	if err := e.checkCancel(); err != nil {
-		return err
+	// runRound evaluates one TP round: the tasks, the round boundary, and
+	// — when profiling — the round's wall time and firings/derived deltas.
+	// The published stats snapshot advances at every boundary, so
+	// concurrent Stats readers see live (round-granular) progress.
+	runRound := func(tasks []evalTask, guard bool) (bool, error) {
+		if err := e.checkCancel(); err != nil {
+			return false, err
+		}
+		e.stats.Rounds++
+		if guard && e.stats.Rounds > e.maxRounds {
+			return false, fmt.Errorf("%w: fixpoint did not converge within %d rounds", ErrLimitExceeded, e.maxRounds)
+		}
+		var start time.Time
+		f0, d0 := e.stats.Firings, e.stats.Derived
+		if e.prof != nil {
+			start = time.Now()
+		}
+		if err := e.runTasks(tasks); err != nil {
+			return false, err
+		}
+		changed := e.advance()
+		if e.eager {
+			if err := e.eagerClosure(); err != nil {
+				return false, err
+			}
+			changed = changed || len(e.pendingCreated) > 0
+			e.applyCreatedBoundary()
+		}
+		if e.prof != nil {
+			e.prof.rounds = append(e.prof.rounds, RoundProfile{
+				Round:   e.stats.Rounds,
+				Stratum: s,
+				Tasks:   len(tasks),
+				Firings: e.stats.Firings - f0,
+				Derived: e.stats.Derived - d0,
+				Time:    time.Since(start),
+			})
+		}
+		e.publishStats()
+		return changed, nil
 	}
-	e.stats.Rounds++
+
+	// Round 1 of the stratum: every rule against the current extent.
 	round1 := make([]evalTask, len(rules))
 	for i, ri := range rules {
 		round1[i] = evalTask{ruleIdx: ri, delta: -1}
 	}
-	if err := e.runTasks(round1); err != nil {
+	changed, err := runRound(round1, false)
+	if err != nil {
 		return err
-	}
-	changed := e.advance()
-	if e.eager {
-		if err := e.eagerClosure(); err != nil {
-			return err
-		}
-		changed = changed || len(e.pendingCreated) > 0
-		e.applyCreatedBoundary()
 	}
 
 	for changed {
-		if err := e.checkCancel(); err != nil {
-			return err
-		}
-		e.stats.Rounds++
-		if e.stats.Rounds > e.maxRounds {
-			return fmt.Errorf("%w: fixpoint did not converge within %d rounds", ErrLimitExceeded, e.maxRounds)
-		}
 		var tasks []evalTask
 		if e.naive {
 			for _, ri := range rules {
@@ -329,16 +403,9 @@ func (e *Engine) runStratum(s int) error {
 				}
 			}
 		}
-		if err := e.runTasks(tasks); err != nil {
+		changed, err = runRound(tasks, true)
+		if err != nil {
 			return err
-		}
-		changed = e.advance()
-		if e.eager {
-			if err := e.eagerClosure(); err != nil {
-				return err
-			}
-			changed = changed || len(e.pendingCreated) > 0
-			e.applyCreatedBoundary()
 		}
 	}
 	return nil
@@ -495,6 +562,7 @@ type bindings map[string]object.Value
 // time), the rule is recompiled here and the compilation error, if any,
 // surfaces exactly where the per-evaluation planner reported it.
 func (e *Engine) evalRule(ruleIdx, deltaPos int) error {
+	e.curRule = ruleIdx // per-rule attribution for profiling (worker copies are private)
 	cr := e.compiled[ruleIdx]
 	if cr == nil {
 		var err error
@@ -903,14 +971,20 @@ func (e *Engine) fireHead(cr *compiledRule, fr *frame) error {
 		}
 	}
 	e.stats.Firings++
+	if e.prof != nil {
+		e.prof.ruleFirings[e.curRule]++
+	}
 	if e.collect != nil {
 		// Parallel worker: buffer the proposal for the round barrier.
-		*e.collect = append(*e.collect, proposal{pred: r.Head.Pred, tuple: tuple})
+		*e.collect = append(*e.collect, proposal{pred: r.Head.Pred, tuple: tuple, rule: e.curRule})
 		return nil
 	}
 	rel := e.derived[r.Head.Pred]
 	if rel.propose(tuple) {
 		e.stats.Derived++
+		if e.prof != nil {
+			e.prof.ruleDerived[e.curRule]++
+		}
 		if e.stats.Derived > e.maxDerived {
 			return e.derivedLimitErr()
 		}

@@ -21,6 +21,7 @@ func Parallel(workers int) Option { return func(e *Engine) { e.workers = workers
 type proposal struct {
 	pred  string
 	tuple row
+	rule  int // producing rule index, for per-rule profiling at the merge
 }
 
 // evalTask identifies one unit of round work by rule index (into
@@ -37,7 +38,7 @@ type evalTask struct {
 func (e *Engine) runTasks(tasks []evalTask) error {
 	if e.workers <= 1 || e.trace || len(tasks) < 2 {
 		for _, t := range tasks {
-			if err := e.evalRule(t.ruleIdx, t.delta); err != nil {
+			if err := e.evalTask(t); err != nil {
 				return err
 			}
 		}
@@ -53,7 +54,7 @@ func (e *Engine) runTasks(tasks []evalTask) error {
 		}
 	}
 	for _, t := range serial {
-		if err := e.evalRule(t.ruleIdx, t.delta); err != nil {
+		if err := e.evalTask(t); err != nil {
 			return err
 		}
 	}
@@ -73,6 +74,7 @@ func (e *Engine) runTasks(tasks []evalTask) error {
 	type result struct {
 		proposals []proposal
 		firings   int
+		prof      *profileState
 		err       error
 		errIdx    int
 	}
@@ -87,13 +89,17 @@ func (e *Engine) runTasks(tasks []evalTask) error {
 			defer wg.Done()
 			// A shallow copy shares the read-only round state (including the
 			// compiled plans); the collector redirects head firings into a
-			// private buffer.
+			// private buffer, and a profiled run gets a private counter set
+			// that merges at the barrier.
 			local := *e
 			local.collect = &[]proposal{}
 			local.stats = RunStats{}
+			if local.prof != nil {
+				local.prof = newProfileState(len(local.prog.Rules))
+			}
 			res := result{errIdx: -1}
 			for t := range taskCh {
-				if err := local.evalRule(t.ruleIdx, t.delta); err != nil {
+				if err := local.evalTask(t.evalTask); err != nil {
 					res.err, res.errIdx = err, t.idx
 					cancel.Do(func() { close(done) })
 					break
@@ -101,6 +107,7 @@ func (e *Engine) runTasks(tasks []evalTask) error {
 			}
 			res.proposals = *local.collect
 			res.firings = local.stats.Firings
+			res.prof = local.prof
 			results <- res
 		}()
 	}
@@ -122,6 +129,9 @@ feed:
 			firstErr, firstIdx = res.err, res.errIdx
 		}
 		e.stats.Firings += res.firings
+		if e.prof != nil && res.prof != nil {
+			e.prof.mergeWorker(res.prof)
+		}
 		for _, p := range res.proposals {
 			rel, ok := e.derived[p.pred]
 			if !ok {
@@ -129,6 +139,9 @@ feed:
 			}
 			if rel.propose(p.tuple) {
 				e.stats.Derived++
+				if e.prof != nil {
+					e.prof.ruleDerived[p.rule]++
+				}
 				// Workers fire into private buffers without counting Derived;
 				// the merge is where duplicates resolve, so the MaxDerived
 				// guard is authoritative here.

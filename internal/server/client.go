@@ -113,13 +113,14 @@ func (c *Client) Object(oid object.OID) (*object.Object, error) {
 	return &out, nil
 }
 
-// Stats returns store statistics.
-func (c *Client) Stats() (map[string]int, error) {
-	var out map[string]int
+// Stats returns the server's statistics: store contents plus cumulative
+// engine totals, memo state, and uptime.
+func (c *Client) Stats() (*StatsResponse, error) {
+	var out StatsResponse
 	if err := c.get("/v1/stats", &out); err != nil {
 		return nil, err
 	}
-	return out, nil
+	return &out, nil
 }
 
 func (c *Client) post(path string, body, dst interface{}) error {

@@ -65,7 +65,7 @@ func TestClientRoundTrip(t *testing.T) {
 	}
 
 	stats, err := c.Stats()
-	if err != nil || stats["Objects"] != 4 {
+	if err != nil || stats.Objects != 4 {
 		t.Errorf("stats = %v, %v", stats, err)
 	}
 

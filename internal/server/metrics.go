@@ -1,0 +1,290 @@
+package server
+
+import (
+	"bytes"
+	"errors"
+	"expvar"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"videodb/internal/constraint"
+	"videodb/internal/datalog"
+)
+
+// Observability: cumulative counters for every evaluation the server
+// runs, exposed two ways — GET /metrics in Prometheus text exposition
+// format (0.0.4) and an expvar mirror under the "videodb" variable — plus
+// a request log and a slow-query log. Everything here is atomics: the
+// recording path adds a handful of uncontended Add calls per request, so
+// observability never serializes queries.
+
+// latencyBuckets are the upper bounds (seconds) of the query-latency
+// histogram; an implicit +Inf bucket follows the last entry.
+var latencyBuckets = [...]float64{0.001, 0.005, 0.025, 0.1, 0.5, 1, 2.5, 10}
+
+// histogram is a fixed-bucket latency histogram. Buckets hold per-bucket
+// (not cumulative) counts; the Prometheus writer accumulates.
+type histogram struct {
+	buckets [len(latencyBuckets) + 1]atomic.Uint64
+	sumNs   atomic.Int64
+	count   atomic.Uint64
+}
+
+func (h *histogram) observe(d time.Duration) {
+	s := d.Seconds()
+	i := 0
+	for i < len(latencyBuckets) && s > latencyBuckets[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.sumNs.Add(int64(d))
+	h.count.Add(1)
+}
+
+// metrics holds the server's cumulative counters.
+type metrics struct {
+	requests atomic.Uint64 // HTTP requests served (all endpoints)
+	queries  atomic.Uint64 // query/script evaluations attempted
+
+	// Evaluation errors by class. Cancellations and limit trips get their
+	// own counters because they are operational signals (load shedding,
+	// guard tuning), not client mistakes.
+	errCanceled atomic.Uint64 // context cancelled / deadline exceeded (503)
+	errLimit    atomic.Uint64 // resource guard tripped (422, retryable by tuning)
+	errInvalid  atomic.Uint64 // parse/type/evaluation errors (422)
+
+	// Engine totals accumulated from each evaluation's RunStats.
+	rounds      atomic.Uint64
+	derived     atomic.Uint64
+	solverSteps atomic.Uint64
+	memoHits    atomic.Uint64
+	memoMisses  atomic.Uint64
+
+	latency histogram
+}
+
+// isLimit reports whether an evaluation died on a resource guard.
+func isLimit(err error) bool { return errors.Is(err, datalog.ErrLimitExceeded) }
+
+// recordQuery accounts one evaluation: its latency always, its engine
+// stats on success, its error class on failure.
+func (m *metrics) recordQuery(elapsed time.Duration, st *datalog.RunStats, err error) {
+	m.queries.Add(1)
+	m.latency.observe(elapsed)
+	if err != nil {
+		switch {
+		case datalog.IsCanceled(err):
+			m.errCanceled.Add(1)
+		case isLimit(err):
+			m.errLimit.Add(1)
+		default:
+			m.errInvalid.Add(1)
+		}
+		return
+	}
+	if st != nil {
+		m.rounds.Add(uint64(st.Rounds))
+		m.derived.Add(uint64(st.Derived))
+		if st.SolverSteps > 0 {
+			m.solverSteps.Add(uint64(st.SolverSteps))
+		}
+		m.memoHits.Add(st.MemoHits)
+		m.memoMisses.Add(st.MemoMisses)
+	}
+}
+
+// engineTotals is the cumulative-evaluation section of /v1/stats and the
+// expvar mirror.
+type engineTotals struct {
+	Queries        uint64 `json:"queries"`
+	ErrorsCanceled uint64 `json:"errorsCanceled"`
+	ErrorsLimit    uint64 `json:"errorsLimit"`
+	ErrorsInvalid  uint64 `json:"errorsInvalid"`
+	Rounds         uint64 `json:"rounds"`
+	Derived        uint64 `json:"derived"`
+	SolverSteps    uint64 `json:"solverSteps"`
+	MemoHits       uint64 `json:"memoHits"`
+	MemoMisses     uint64 `json:"memoMisses"`
+}
+
+func (m *metrics) totals() engineTotals {
+	return engineTotals{
+		Queries:        m.queries.Load(),
+		ErrorsCanceled: m.errCanceled.Load(),
+		ErrorsLimit:    m.errLimit.Load(),
+		ErrorsInvalid:  m.errInvalid.Load(),
+		Rounds:         m.rounds.Load(),
+		Derived:        m.derived.Load(),
+		SolverSteps:    m.solverSteps.Load(),
+		MemoHits:       m.memoHits.Load(),
+		MemoMisses:     m.memoMisses.Load(),
+	}
+}
+
+// writeProm renders the Prometheus text exposition (format 0.0.4).
+func (m *metrics) writeProm(b *bytes.Buffer, uptime time.Duration) {
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+	}
+
+	counter("videodb_http_requests_total", "HTTP requests served.", m.requests.Load())
+	counter("videodb_queries_total", "Query and script evaluations attempted.", m.queries.Load())
+
+	fmt.Fprintf(b, "# HELP videodb_query_errors_total Failed evaluations by class.\n")
+	fmt.Fprintf(b, "# TYPE videodb_query_errors_total counter\n")
+	fmt.Fprintf(b, "videodb_query_errors_total{class=\"canceled\"} %d\n", m.errCanceled.Load())
+	fmt.Fprintf(b, "videodb_query_errors_total{class=\"limit\"} %d\n", m.errLimit.Load())
+	fmt.Fprintf(b, "videodb_query_errors_total{class=\"invalid\"} %d\n", m.errInvalid.Load())
+
+	counter("videodb_query_cancellations_total",
+		"Evaluations stopped by context cancellation or deadline.", m.errCanceled.Load())
+	counter("videodb_query_limit_trips_total",
+		"Evaluations stopped by a resource guard (rounds, derived, solver budget).", m.errLimit.Load())
+
+	counter("videodb_engine_rounds_total", "Fixpoint rounds across all evaluations.", m.rounds.Load())
+	counter("videodb_engine_derived_total", "Derived tuples across all evaluations.", m.derived.Load())
+	counter("videodb_engine_solver_steps_total", "Constraint-solver steps across all evaluations.", m.solverSteps.Load())
+	counter("videodb_engine_memo_hits_total", "Solver-memo hits attributed to this server's evaluations.", m.memoHits.Load())
+	counter("videodb_engine_memo_misses_total", "Solver-memo misses attributed to this server's evaluations.", m.memoMisses.Load())
+
+	ms := constraint.MemoSnapshot()
+	gauge("videodb_memo_entries", "Entries currently cached in the process-wide solver memo.", float64(ms.Entries))
+	counter("videodb_memo_flushes_total", "Generation clears of the process-wide solver memo.", ms.Flushes)
+	gauge("videodb_memo_hit_rate", "Process-wide solver-memo hit rate.", ms.HitRate())
+
+	fmt.Fprintf(b, "# HELP videodb_query_duration_seconds Evaluation latency.\n")
+	fmt.Fprintf(b, "# TYPE videodb_query_duration_seconds histogram\n")
+	var cum uint64
+	for i, le := range latencyBuckets {
+		cum += m.latency.buckets[i].Load()
+		fmt.Fprintf(b, "videodb_query_duration_seconds_bucket{le=\"%g\"} %d\n", le, cum)
+	}
+	cum += m.latency.buckets[len(latencyBuckets)].Load()
+	fmt.Fprintf(b, "videodb_query_duration_seconds_bucket{le=\"+Inf\"} %d\n", cum)
+	fmt.Fprintf(b, "videodb_query_duration_seconds_sum %g\n", float64(m.latency.sumNs.Load())/1e9)
+	fmt.Fprintf(b, "videodb_query_duration_seconds_count %d\n", m.latency.count.Load())
+
+	gauge("videodb_uptime_seconds", "Seconds since the server was created.", uptime.Seconds())
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		methodNotAllowed(w, "GET")
+		return
+	}
+	var b bytes.Buffer
+	s.metrics.writeProm(&b, time.Since(s.start))
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(b.Bytes())
+}
+
+// --- expvar mirror ---------------------------------------------------------------
+
+// The expvar package forbids re-publishing a name, but tests (and
+// embedders) create many Servers per process; a process-wide pointer to
+// the newest server's metrics keeps Publish a one-time act.
+var (
+	expvarOnce sync.Once
+	expvarCur  atomic.Pointer[metrics]
+)
+
+func publishExpvar(m *metrics) {
+	expvarCur.Store(m)
+	expvarOnce.Do(func() {
+		expvar.Publish("videodb", expvar.Func(func() any {
+			cur := expvarCur.Load()
+			if cur == nil {
+				return nil
+			}
+			return cur.totals()
+		}))
+	})
+}
+
+// --- Request logging and slow queries ---------------------------------------------
+
+// statusWriter captures the response status for the request log.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(p)
+}
+
+// WithAccessLog logs every request (method, path, status, latency) to l;
+// nil means log.Default().
+func WithAccessLog(l *log.Logger) Option {
+	return func(s *Server) {
+		if l == nil {
+			l = log.Default()
+		}
+		s.accessLog = l
+	}
+}
+
+// WithSlowQueryLog logs any query or script evaluation that takes at
+// least threshold to l (nil means log.Default()), with its source text
+// and round/derived counts. threshold <= 0 disables the log.
+func WithSlowQueryLog(threshold time.Duration, l *log.Logger) Option {
+	return func(s *Server) {
+		if l == nil {
+			l = log.Default()
+		}
+		s.slowThreshold = threshold
+		s.slowLog = l
+	}
+}
+
+// WithPprof serves net/http/pprof profiles under /debug/pprof/. Off by
+// default: profiling endpoints do not belong on an exposed listener.
+func WithPprof() Option { return func(s *Server) { s.pprofOn = true } }
+
+func (s *Server) registerPprof() {
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+// logSlow writes one slow-query log line when the evaluation crossed the
+// configured threshold. Failed evaluations log too — a query that dies at
+// its deadline is exactly what the slow log is for.
+func (s *Server) logSlow(kind, src string, elapsed time.Duration, st *datalog.RunStats, err error) {
+	if s.slowLog == nil || s.slowThreshold <= 0 || elapsed < s.slowThreshold {
+		return
+	}
+	if len(src) > 200 {
+		src = src[:200] + "…"
+	}
+	switch {
+	case err != nil:
+		s.slowLog.Printf("slow %s (%v): %q error: %v", kind, elapsed.Round(time.Microsecond), src, err)
+	case st != nil:
+		s.slowLog.Printf("slow %s (%v): %q rounds=%d derived=%d solverSteps=%d",
+			kind, elapsed.Round(time.Microsecond), src, st.Rounds, st.Derived, st.SolverSteps)
+	default:
+		s.slowLog.Printf("slow %s (%v): %q", kind, elapsed.Round(time.Microsecond), src)
+	}
+}

@@ -15,20 +15,24 @@
 //	GET  /v1/objects
 //	GET  /v1/objects/{oid}
 //	GET  /v1/stats
+//	GET  /metrics
 package server
 
 import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"log"
 	"net/http"
 	"strings"
 	"sync"
 	"time"
 
+	"videodb/internal/constraint"
 	"videodb/internal/core"
 	"videodb/internal/datalog"
 	"videodb/internal/object"
+	"videodb/internal/store"
 )
 
 // MaxRequestBytes bounds request bodies (scripts included).
@@ -40,6 +44,13 @@ type Server struct {
 	db           *core.DB
 	mux          *http.ServeMux
 	queryTimeout time.Duration // 0 = no per-request deadline
+
+	start         time.Time
+	metrics       *metrics
+	accessLog     *log.Logger   // nil = no request log
+	slowLog       *log.Logger   // nil = no slow-query log
+	slowThreshold time.Duration // <= 0 disables the slow-query log
+	pprofOn       bool
 }
 
 // Option configures a Server.
@@ -55,7 +66,7 @@ func WithQueryTimeout(d time.Duration) Option {
 
 // New wraps the database in an HTTP handler.
 func New(db *core.DB, opts ...Option) *Server {
-	s := &Server{db: db, mux: http.NewServeMux()}
+	s := &Server{db: db, mux: http.NewServeMux(), start: time.Now(), metrics: &metrics{}}
 	for _, o := range opts {
 		o(s)
 	}
@@ -66,6 +77,11 @@ func New(db *core.DB, opts ...Option) *Server {
 	s.mux.HandleFunc("/v1/objects", s.handleObjects)
 	s.mux.HandleFunc("/v1/objects/", s.handleObject)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	if s.pprofOn {
+		s.registerPprof()
+	}
+	publishExpvar(s.metrics)
 	return s
 }
 
@@ -89,16 +105,31 @@ func statusFor(err error) int {
 	return http.StatusUnprocessableEntity
 }
 
-// ServeHTTP implements http.Handler.
+// ServeHTTP implements http.Handler. Every request passes through the
+// logging middleware: the response status is captured, the request
+// counter bumped, and — when an access log is configured — one line
+// written per request with its latency.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	began := time.Now()
+	sw := &statusWriter{ResponseWriter: w}
 	r.Body = http.MaxBytesReader(w, r.Body, MaxRequestBytes)
-	s.mux.ServeHTTP(w, r)
+	s.mux.ServeHTTP(sw, r)
+	s.metrics.requests.Add(1)
+	if s.accessLog != nil {
+		status := sw.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		s.accessLog.Printf("%s %s %d %v", r.Method, r.URL.Path, status,
+			time.Since(began).Round(time.Microsecond))
+	}
 }
 
 // --- Wire types -----------------------------------------------------------------
 
 type queryRequest struct {
-	Query string `json:"query"`
+	Query   string `json:"query"`
+	Profile bool   `json:"profile,omitempty"` // run with the engine profiler on
 }
 
 type scriptRequest struct {
@@ -115,12 +146,16 @@ type ResultJSON struct {
 	Rows    [][]object.Value `json:"rows"`
 	Created []*object.Object `json:"created,omitempty"`
 	Stats   statsJSON        `json:"stats"`
+	Profile *datalog.Profile `json:"profile,omitempty"` // present when requested
 }
 
 type statsJSON struct {
-	Rounds         int `json:"rounds"`
-	Derived        int `json:"derived"`
-	CreatedObjects int `json:"createdObjects"`
+	Rounds         int    `json:"rounds"`
+	Derived        int    `json:"derived"`
+	CreatedObjects int    `json:"createdObjects"`
+	SolverSteps    int64  `json:"solverSteps,omitempty"`
+	MemoHits       uint64 `json:"memoHits,omitempty"`
+	MemoMisses     uint64 `json:"memoMisses,omitempty"`
 }
 
 func resultJSON(rs *core.ResultSet) ResultJSON {
@@ -132,7 +167,11 @@ func resultJSON(rs *core.ResultSet) ResultJSON {
 			Rounds:         rs.Stats.Rounds,
 			Derived:        rs.Stats.Derived,
 			CreatedObjects: rs.Stats.Created,
+			SolverSteps:    rs.Stats.SolverSteps,
+			MemoHits:       rs.Stats.MemoHits,
+			MemoMisses:     rs.Stats.MemoMisses,
 		},
+		Profile: rs.Profile,
 	}
 	if out.Columns == nil {
 		out.Columns = []string{} // ground queries have no variables
@@ -160,13 +199,25 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.requestCtx(r)
 	defer cancel()
+	began := time.Now()
 	s.mu.RLock()
-	rs, err := s.db.QueryContext(ctx, req.Query)
+	var rs *core.ResultSet
+	var err error
+	if req.Profile {
+		rs, err = s.db.QueryProfiledContext(ctx, req.Query)
+	} else {
+		rs, err = s.db.QueryContext(ctx, req.Query)
+	}
 	s.mu.RUnlock()
+	elapsed := time.Since(began)
 	if err != nil {
+		s.metrics.recordQuery(elapsed, nil, err)
+		s.logSlow("query", req.Query, elapsed, nil, err)
 		writeError(w, statusFor(err), err)
 		return
 	}
+	s.metrics.recordQuery(elapsed, &rs.Stats, nil)
+	s.logSlow("query", req.Query, elapsed, &rs.Stats, nil)
 	writeJSON(w, http.StatusOK, resultJSON(rs))
 }
 
@@ -194,17 +245,29 @@ func (s *Server) handleScript(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.requestCtx(r)
 	defer cancel()
+	began := time.Now()
 	s.mu.Lock()
 	results, err := s.db.LoadScriptContext(ctx, req.Script)
 	s.mu.Unlock()
+	elapsed := time.Since(began)
 	if err != nil {
+		s.metrics.recordQuery(elapsed, nil, err)
+		s.logSlow("script", req.Script, elapsed, nil, err)
 		writeError(w, statusFor(err), err)
 		return
 	}
+	var sum datalog.RunStats
 	out := make([]ResultJSON, len(results))
 	for i, rs := range results {
 		out[i] = resultJSON(rs)
+		sum.Rounds += rs.Stats.Rounds
+		sum.Derived += rs.Stats.Derived
+		sum.SolverSteps += rs.Stats.SolverSteps
+		sum.MemoHits += rs.Stats.MemoHits
+		sum.MemoMisses += rs.Stats.MemoMisses
 	}
+	s.metrics.recordQuery(elapsed, &sum, nil)
+	s.logSlow("script", req.Script, elapsed, &sum, nil)
 	writeJSON(w, http.StatusOK, map[string]interface{}{"results": out})
 }
 
@@ -277,6 +340,25 @@ func (s *Server) handleObject(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, o)
 }
 
+// StatsResponse merges the store's content statistics (embedded, so its
+// fields stay at the top level for existing clients) with the server's
+// cumulative engine totals, the process-wide solver-memo state, and
+// uptime.
+type StatsResponse struct {
+	store.Stats
+	Engine engineTotals `json:"engine"`
+	Memo   memoJSON     `json:"memo"`
+	Uptime float64      `json:"uptimeSeconds"`
+}
+
+type memoJSON struct {
+	Hits    uint64  `json:"hits"`
+	Misses  uint64  `json:"misses"`
+	HitRate float64 `json:"hitRate"`
+	Entries int     `json:"entries"`
+	Flushes uint64  `json:"flushes"`
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		methodNotAllowed(w, "GET")
@@ -285,7 +367,19 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.mu.RLock()
 	st := s.db.Store().Stats()
 	s.mu.RUnlock()
-	writeJSON(w, http.StatusOK, st)
+	ms := constraint.MemoSnapshot()
+	writeJSON(w, http.StatusOK, StatsResponse{
+		Stats:  st,
+		Engine: s.metrics.totals(),
+		Memo: memoJSON{
+			Hits:    ms.Hits,
+			Misses:  ms.Misses,
+			HitRate: ms.HitRate(),
+			Entries: ms.Entries,
+			Flushes: ms.Flushes,
+		},
+		Uptime: time.Since(s.start).Seconds(),
+	})
 }
 
 // --- Plumbing -------------------------------------------------------------------
