@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all tier1 build vet test race bench bench-json clean
+.PHONY: all tier1 build vet vet-examples test race bench bench-json clean
 
 all: tier1
 
@@ -12,6 +12,19 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# vet-examples lints every shipped example script with the static
+# analyzer (videoql vet). The examples are held to the strictest bar:
+# any diagnostic at all — even an info — fails the target.
+vet-examples:
+	@out=$$($(GO) run ./cmd/videoql vet examples/scripts/*.vql); \
+	status=$$?; \
+	if [ $$status -ne 0 ] || [ -n "$$out" ]; then \
+		echo "$$out"; \
+		echo "vet-examples: example scripts must vet clean"; \
+		exit 1; \
+	fi; \
+	echo "examples vet clean"
 
 test:
 	$(GO) test ./...
@@ -26,7 +39,7 @@ bench:
 
 # bench-json regenerates the machine-readable acceptance benchmark report.
 bench-json:
-	$(GO) run ./cmd/bench -json -out BENCH_PR3.json
+	$(GO) run ./cmd/bench -json -out BENCH_PR4.json
 
 clean:
 	$(GO) clean ./...

@@ -5,12 +5,17 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"path/filepath"
 	"runtime"
+	"sort"
+	"strings"
 	"testing"
 	"time"
 
 	"videodb/internal/constraint"
+	"videodb/internal/core"
 	"videodb/internal/datalog"
+	"videodb/internal/datalog/analyze"
 	"videodb/internal/interval"
 	"videodb/internal/object"
 	"videodb/internal/store"
@@ -61,6 +66,16 @@ type profileEntry struct {
 	Profile     *datalog.Profile `json:"profile"`
 }
 
+// vetBench is one static-analysis timing: a full db.Vet pass (parse +
+// all analyzer passes, solver included) over one script.
+type vetBench struct {
+	Bench       string  `json:"bench"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	Diagnostics int     `json:"diagnostics"`
+}
+
 type benchReport struct {
 	Generated    string         `json:"generated"`
 	GoOS         string         `json:"goos"`
@@ -72,6 +87,8 @@ type benchReport struct {
 	SeedBaseline []seedEntry    `json:"seed_baseline"`
 	VsSeed       []improvement  `json:"improvement_vs_seed"`
 	Profiles     []profileEntry `json:"profiles"`
+	Vet          []vetBench     `json:"vet"`
+	VetNote      string         `json:"vet_note"`
 }
 
 // seedBaseline is the `go test -bench . -benchmem` output of the
@@ -84,6 +101,29 @@ var seedBaseline = []seedEntry{
 	{"E8PointVsInterval/point/contains", 3043, 54},
 	{"E8PointVsInterval/point/overlaps", 7724, 85},
 	{"E13JoinIndex/indexed", 988644, 9086},
+}
+
+// vetAcceptanceScript is the acceptance scenario of the static analyzer:
+// a typo'd predicate, a provably dead rule, and an unreachable rule.
+const vetAcceptanceScript = `rope(r1).
+deep(X) :- ropee(X), X.depth > 3.
+taut(X) :- rope(X), X.tension < 5, X.tension > 10.
+spare(X) :- rope(X), X.kind = "static".
+?- deep(X).
+?- taut(X).
+`
+
+// syntheticChain builds an n-rule chain program with one dense-order
+// constraint per rule — a worst-ish case for the dead-rule pass, since
+// every rule body reaches the solver.
+func syntheticChain(n int) string {
+	var b strings.Builder
+	b.WriteString("p0(r1).\n")
+	for i := 1; i <= n; i++ {
+		fmt.Fprintf(&b, "p%d(X) :- p%d(X), X.w > %d.\n", i, i-1, i)
+	}
+	fmt.Fprintf(&b, "?- p%d(X).\n", n)
+	return b.String()
 }
 
 // jsonArithStore mirrors bench_test.go's arithStore (same seed, same
@@ -281,6 +321,44 @@ func runJSON(outPath string) {
 	profiled("E5ArithScaling/within/n=1000", arith, within)
 	profiled("E5ArithScaling/contains/n=1000", arith, contains)
 	profiled("E13JoinIndex/indexed", edges, hop2)
+
+	// Static-analyzer overhead: one full `videoql vet` pass per script —
+	// parse, the five analyzer passes, and every solver call — measured
+	// the same way as the engine workloads for direct comparison with the
+	// E5/E13 numbers above.
+	vetScripts := []struct{ name, src string }{
+		{"Vet/acceptance_combined", vetAcceptanceScript},
+		{"Vet/synthetic_chain_200", syntheticChain(200)},
+	}
+	examplePaths, _ := filepath.Glob(filepath.FromSlash("examples/scripts/*.vql"))
+	sort.Strings(examplePaths)
+	for _, p := range examplePaths {
+		src, err := os.ReadFile(p)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+			os.Exit(1)
+		}
+		vetScripts = append(vetScripts, struct{ name, src string }{
+			"Vet/" + strings.TrimSuffix(filepath.Base(p), ".vql"), string(src)})
+	}
+	for _, vs := range vetScripts {
+		db := core.New()
+		src := vs.src
+		var ds []analyze.Diagnostic
+		res, _ := measureFn(func(int) { ds, _ = db.Vet(src) })
+		report.Vet = append(report.Vet, vetBench{
+			Bench:       vs.name,
+			NsPerOp:     float64(res.NsPerOp()),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+			AllocsPerOp: res.AllocsPerOp(),
+			Diagnostics: len(ds),
+		})
+		fmt.Printf("%-40s %-24s %14.0f ns/op %10d allocs/op  %d diagnostics\n",
+			vs.name, "analyze", float64(res.NsPerOp()), res.AllocsPerOp(), len(ds))
+		db.Close()
+	}
+	report.VetNote = "each Vet/* entry is a full db.Vet pass (parse + all analyzer passes, solver-backed " +
+		"dead-rule detection included); compare ns_per_op with the E5/E13 evaluation workloads above"
 
 	// Improvement ratios for the default configuration against the seed.
 	for _, se := range seedBaseline {

@@ -4,6 +4,11 @@
 // Usage:
 //
 //	videoql [-db snapshot.json | -data DIR] [script.vql ...]
+//	videoql vet [-json] [-db snapshot.json | -data DIR] script.vql ...
+//
+// The vet subcommand statically analyzes scripts (typo'd predicates,
+// arity clashes, provably dead rules, unreachable rules, perf lints)
+// without evaluating them, and exits 1 when any diagnostic is an error.
 //
 // Scripts are executed in order; their queries print answers. Without
 // scripts (or with -i), an interactive prompt follows. Statements at the
@@ -34,6 +39,11 @@ import (
 )
 
 func main() {
+	// Subcommands take over before flag parsing: "videoql vet ..." is
+	// static analysis, not script execution.
+	if len(os.Args) > 1 && os.Args[1] == "vet" {
+		os.Exit(runVet(os.Args[2:], os.Stdout, os.Stderr))
+	}
 	dbPath := flag.String("db", "", "load a database snapshot before running")
 	dataDir := flag.String("data", "", "open a durable database directory (WAL + checkpoints)")
 	interactive := flag.Bool("i", false, "force an interactive prompt after scripts")

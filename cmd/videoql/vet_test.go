@@ -1,0 +1,128 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"videodb/internal/core"
+	"videodb/internal/datalog/analyze"
+)
+
+func writeScript(t *testing.T, name, src string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const brokenScript = `rope(r1).
+deep(X) :- ropee(X), X.depth > 3.
+taut(X) :- rope(X), X.tension < 5, X.tension > 10.
+spare(X) :- rope(X), X.kind = "static".
+?- deep(X).
+?- taut(X).
+`
+
+func TestVetCommand(t *testing.T) {
+	path := writeScript(t, "broken.vql", brokenScript)
+	var out, errOut bytes.Buffer
+	code := runVet([]string{path}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\nstdout:\n%s\nstderr:\n%s", code, out.String(), errOut.String())
+	}
+	got := out.String()
+	for _, want := range []string{
+		path + ":2:12: ", // the typo'd body literal
+		"VQL0002",
+		`did you mean "rope"?`,
+		"VQL0003",
+		"VQL0006",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestVetCommandJSON(t *testing.T) {
+	path := writeScript(t, "broken.vql", brokenScript)
+	var out, errOut bytes.Buffer
+	code := runVet([]string{"-json", path}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\nstderr:\n%s", code, errOut.String())
+	}
+	var reports []vetReport
+	if err := json.Unmarshal(out.Bytes(), &reports); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, out.String())
+	}
+	if len(reports) != 1 || reports[0].File != path {
+		t.Fatalf("reports = %+v", reports)
+	}
+	codes := map[string]bool{}
+	for _, d := range reports[0].Diagnostics {
+		codes[d.Code] = true
+	}
+	for _, want := range []string{analyze.CodeUndefinedPred, analyze.CodeDeadRule, analyze.CodeUnreachable} {
+		if !codes[want] {
+			t.Errorf("missing %s in %+v", want, reports[0].Diagnostics)
+		}
+	}
+}
+
+func TestVetCommandClean(t *testing.T) {
+	path := writeScript(t, "clean.vql", "rope(r1).\ndeep(X) :- rope(X), X.depth > 3.\n?- deep(X).\n")
+	var out, errOut bytes.Buffer
+	if code := runVet([]string{path}, &out, &errOut); code != 0 {
+		t.Fatalf("exit = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, out.String(), errOut.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("clean script printed:\n%s", out.String())
+	}
+}
+
+func TestVetCommandUsageAndErrors(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := runVet(nil, &out, &errOut); code != 2 {
+		t.Errorf("no args exit = %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "usage:") {
+		t.Errorf("no usage printed:\n%s", errOut.String())
+	}
+	errOut.Reset()
+	if code := runVet([]string{filepath.Join(t.TempDir(), "nope.vql")}, &out, &errOut); code != 2 {
+		t.Errorf("missing file exit = %d, want 2", code)
+	}
+}
+
+func TestVetCommandWithSnapshot(t *testing.T) {
+	// A snapshot supplies the schema: the script leans on facts that only
+	// exist in the database, so without -db the predicate is unknown.
+	dir := t.TempDir()
+	snap := filepath.Join(dir, "db.json")
+	{
+		db := core.New()
+		if _, err := db.LoadScript(`anchor(a1, r1).`); err != nil {
+			t.Fatal(err)
+		}
+		if err := db.SaveFile(snap); err != nil {
+			t.Fatal(err)
+		}
+		db.Close()
+	}
+	path := writeScript(t, "uses.vql", "held(X) :- anchor(X, Y).\n?- held(X).\n")
+
+	var out, errOut bytes.Buffer
+	if code := runVet([]string{path}, &out, &errOut); code == 0 {
+		t.Fatalf("without snapshot, expected undefined-predicate error\n%s", out.String())
+	}
+	out.Reset()
+	if code := runVet([]string{"-db", snap, path}, &out, &errOut); code != 0 {
+		t.Fatalf("with snapshot exit = %d\nstdout:\n%s\nstderr:\n%s", code, out.String(), errOut.String())
+	}
+}

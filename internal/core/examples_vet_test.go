@@ -1,0 +1,37 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestExampleScriptsVetClean pins the examples to the analyzer: every
+// shipped .vql script must produce zero diagnostics — not even infos.
+// `make vet-examples` enforces the same invariant via the CLI.
+func TestExampleScriptsVetClean(t *testing.T) {
+	paths, err := filepath.Glob(filepath.FromSlash("../../examples/scripts/*.vql"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no example scripts found under examples/scripts")
+	}
+	for _, path := range paths {
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			src, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			db := New()
+			defer db.Close()
+			ds, err := db.Vet(string(src))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, d := range ds {
+				t.Errorf("%s: %s", path, d)
+			}
+		})
+	}
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"videodb/internal/datalog"
+	"videodb/internal/datalog/analyze"
+	"videodb/internal/parser"
+	"videodb/internal/store"
+)
+
+// Static analysis surface: Vet runs the internal/datalog/analyze passes
+// over a VideoQL script in the context of this database — its fact
+// schema, loaded rules, and taxonomy — and returns diagnostics instead of
+// evaluating anything. A script that fails to parse yields a single
+// VQL0001 diagnostic rather than an error, so callers present one shape.
+
+// schemaSnapshot captures the database's EDB relations plus the script's
+// own facts.
+func (db *DB) schemaSnapshot(extra []store.Fact) *analyze.Schema {
+	schema := analyze.NewSchema()
+	for name, arities := range db.st.FactArities() {
+		for _, a := range arities {
+			schema.AddPred(name, a)
+		}
+	}
+	for _, f := range extra {
+		schema.AddPred(f.Name, len(f.Args))
+	}
+	return schema
+}
+
+// vetProgram assembles the full program a script's queries would run
+// against: the DB's loaded rules, taxonomy closure rules, and the
+// script's rules and query helper rules. The returned count is the
+// context-rule prefix length — the rules that belong to the database,
+// not the script, and are therefore exempt from rule-scoped findings.
+func (db *DB) vetProgram(s *parser.Script) (datalog.Program, int) {
+	rules := append([]datalog.Rule(nil), db.rules...)
+	rules = append(rules, db.taxonomy.Rules()...)
+	contextRules := len(rules)
+	rules = append(rules, s.Program().Rules...)
+	return datalog.NewProgram(rules...), contextRules
+}
+
+func parseDiagnostic(err error) analyze.Diagnostic {
+	d := analyze.Diagnostic{
+		Severity: analyze.SeverityError,
+		Code:     analyze.CodeParseError,
+		Message:  err.Error(),
+	}
+	if pe, ok := err.(*parser.Error); ok {
+		d.Pos = datalog.Pos{Line: pe.Line, Col: pe.Col}
+		d.Message = pe.Msg
+	}
+	return d
+}
+
+// Vet statically analyzes a VideoQL script against this database without
+// evaluating it. Parse failures come back as a VQL0001 diagnostic. The
+// nil error return is reserved for future I/O-backed schema sources.
+func (db *DB) Vet(src string) ([]analyze.Diagnostic, error) {
+	return db.vet(src, nil)
+}
+
+// VetQuery statically analyzes a single query (with or without the
+// leading "?-") against the database. The DB's own rules are analysis
+// context — they resolve predicates and reachability but are not
+// re-linted on every query.
+func (db *DB) VetQuery(src string) []analyze.Diagnostic {
+	q, err := parser.ParseQuery(src)
+	if err != nil {
+		return []analyze.Diagnostic{parseDiagnostic(err)}
+	}
+	rules := append([]datalog.Rule(nil), db.rules...)
+	rules = append(rules, db.taxonomy.Rules()...)
+	contextRules := len(rules)
+	if q.Rule != nil {
+		rules = append(rules, *q.Rule)
+	}
+	return analyze.Analyze(datalog.NewProgram(rules...), analyze.Options{
+		Goals:        []datalog.RelAtom{q.Atom},
+		Schema:       db.schemaSnapshot(nil),
+		ContextRules: contextRules,
+	})
+}
+
+func (db *DB) vet(src string, disable []string) ([]analyze.Diagnostic, error) {
+	s, err := parser.Parse(src)
+	if err != nil {
+		return []analyze.Diagnostic{parseDiagnostic(err)}, nil
+	}
+	var goals []datalog.RelAtom
+	for _, q := range s.Queries {
+		goals = append(goals, q.Atom)
+	}
+	prog, contextRules := db.vetProgram(s)
+	opts := analyze.Options{
+		Goals:        goals,
+		Schema:       db.schemaSnapshot(s.Facts),
+		DisableCodes: disable,
+		ContextRules: contextRules,
+	}
+	// A script without queries still deserves rule-level findings; the
+	// unreachable pass simply stays quiet (no goals).
+	return analyze.Analyze(prog, opts), nil
+}

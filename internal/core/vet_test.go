@@ -1,0 +1,151 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"videodb/internal/datalog/analyze"
+)
+
+func TestVetScript(t *testing.T) {
+	db := New()
+	defer db.Close()
+	db.Relate("rope", "r1")
+
+	// The DB's own facts are visible to the analyzer: "rope" needs no
+	// in-script definition, while the typo'd "ropee" is flagged.
+	ds, err := db.Vet("deep(X) :- ropee(X), X.depth > 3.\n?- deep(X).\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 1 || ds[0].Code != analyze.CodeUndefinedPred {
+		t.Fatalf("diagnostics = %v", ds)
+	}
+	if !strings.Contains(ds[0].Suggestion, `"rope"`) {
+		t.Errorf("suggestion = %q, want did-you-mean rope", ds[0].Suggestion)
+	}
+	if ds[0].Pos.Line != 1 || ds[0].Pos.Col != 12 {
+		t.Errorf("pos = %v, want 1:12", ds[0].Pos)
+	}
+
+	clean, err := db.Vet("deep(X) :- rope(X), X.depth > 3.\n?- deep(X).\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clean) != 0 {
+		t.Errorf("clean script produced %v", clean)
+	}
+}
+
+func TestVetParseError(t *testing.T) {
+	db := New()
+	defer db.Close()
+	ds, err := db.Vet("deep(X :-")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 1 || ds[0].Code != analyze.CodeParseError || ds[0].Severity != analyze.SeverityError {
+		t.Fatalf("diagnostics = %v", ds)
+	}
+	if ds[0].Pos.IsZero() {
+		t.Errorf("parse diagnostic should carry a position: %+v", ds[0])
+	}
+}
+
+func TestVetSeesLoadedRules(t *testing.T) {
+	db := New()
+	defer db.Close()
+	db.Relate("rope", "r1")
+	if err := db.DefineRule("deep(X) :- rope(X), X.depth > 3"); err != nil {
+		t.Fatal(err)
+	}
+	// The script's query leans on the DB-resident rule.
+	ds, err := db.Vet("?- deep(X).\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 0 {
+		t.Errorf("diagnostics = %v", ds)
+	}
+}
+
+// The database's own rules are analysis context: a loaded rule the
+// script never touches — even a provably dead one — is not re-linted
+// when vetting a script.
+func TestVetDoesNotLintDBRules(t *testing.T) {
+	db := New()
+	defer db.Close()
+	db.Relate("rope", "r1")
+	if err := db.DefineRule("odd(X) :- rope(X), X.n > 5, X.n < 1"); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := db.Vet("?- rope(X).\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 0 {
+		t.Errorf("diagnostics = %v", ds)
+	}
+}
+
+func TestVetQuery(t *testing.T) {
+	db := New()
+	defer db.Close()
+	db.Relate("rope", "r1")
+	if err := db.DefineRule("deep(X) :- rope(X), X.depth > 3"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.DefineRule("spare(X) :- rope(X)"); err != nil {
+		t.Fatal(err)
+	}
+
+	// A good query over a loaded rule: no findings, and in particular no
+	// unreachable-rule noise about "spare".
+	if ds := db.VetQuery("?- deep(X)."); len(ds) != 0 {
+		t.Errorf("clean query produced %v", ds)
+	}
+
+	// Typo'd goal predicate.
+	ds := db.VetQuery("?- deeep(X).")
+	found := false
+	for _, d := range ds {
+		if d.Code == analyze.CodeUndefinedPred && strings.Contains(d.Suggestion, `"deep"`) {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("diagnostics = %v, want undefined predicate with suggestion", ds)
+	}
+
+	// Dead conjunctive query body.
+	ds = db.VetQuery("?- rope(X), X.depth > 9, X.depth < 1.")
+	found = false
+	for _, d := range ds {
+		if d.Code == analyze.CodeDeadRule {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("diagnostics = %v, want dead-rule", ds)
+	}
+
+	// Malformed query: one parse diagnostic.
+	ds = db.VetQuery("?- deep(X")
+	if len(ds) != 1 || ds[0].Code != analyze.CodeParseError {
+		t.Errorf("diagnostics = %v, want one parse error", ds)
+	}
+}
+
+func TestStoreFactArities(t *testing.T) {
+	db := New()
+	defer db.Close()
+	db.Relate("edge", "a", "b")
+	db.Relate("node", "a")
+	got := db.Store().FactArities()
+	if len(got["edge"]) != 1 || got["edge"][0] != 2 {
+		t.Errorf("edge arities = %v", got["edge"])
+	}
+	if len(got["node"]) != 1 || got["node"][0] != 1 {
+		t.Errorf("node arities = %v", got["node"])
+	}
+}

@@ -1,0 +1,153 @@
+package analyze
+
+import (
+	"videodb/internal/constraint"
+	"videodb/internal/datalog"
+)
+
+// Schema is a snapshot of the extensional database visible to the
+// analyzer: which fact relations exist and with which arities. It is
+// plain data so callers (core, CLI, server) can assemble it from a store,
+// a script, or both without the analyzer importing either.
+type Schema struct {
+	// Preds maps an EDB predicate name to the set of arities it occurs
+	// with (usually one).
+	Preds map[string][]int
+}
+
+// NewSchema returns an empty schema ready for AddPred.
+func NewSchema() *Schema { return &Schema{Preds: map[string][]int{}} }
+
+// AddPred records that the predicate occurs with the given arity.
+func (s *Schema) AddPred(name string, arity int) {
+	for _, a := range s.Preds[name] {
+		if a == arity {
+			return
+		}
+	}
+	s.Preds[name] = append(s.Preds[name], arity)
+}
+
+// has reports whether the predicate exists in the schema.
+func (s *Schema) has(name string) bool {
+	if s == nil {
+		return false
+	}
+	_, ok := s.Preds[name]
+	return ok
+}
+
+// DefaultBudget is the per-analysis solver step budget. Dead-rule and
+// redundancy checks across all rules share it; exhausting it downgrades
+// the analysis (a VQL0009 info) instead of stalling the caller.
+const DefaultBudget = 200_000
+
+// Options configures an analysis.
+type Options struct {
+	// Goals are the query atoms the program will be asked; the
+	// unreachable-rule pass warns about rules contributing to none of
+	// them. Empty means "no goals known" and disables that pass.
+	Goals []datalog.RelAtom
+	// Schema describes the extensional database. Nil means "no fact
+	// information": the undefined-predicate pass then reports warnings
+	// instead of errors, since a predicate may be defined by facts the
+	// analyzer cannot see.
+	Schema *Schema
+	// MaxSolverSteps bounds the constraint-solver work (0 = DefaultBudget,
+	// negative = unlimited).
+	MaxSolverSteps int64
+	// DisableCodes suppresses diagnostics by code (e.g. a server that
+	// considers singleton variables noise).
+	DisableCodes []string
+	// ContextRules marks the first N rules of the program as database
+	// context: rules already loaded (and vetted) before the script under
+	// analysis. They participate fully — they define predicates, seed
+	// arities, and carry reachability — but rule-scoped findings are not
+	// reported for them; vetting a script should not re-lint the database
+	// it runs against.
+	ContextRules int
+}
+
+// pass is one analysis unit. Passes run in order over a shared context
+// and append diagnostics; they must not panic on any parser-accepted
+// program.
+type pass struct {
+	name string
+	run  func(*context)
+}
+
+// passes is the registered pass list, in execution order.
+var passes = []pass{
+	{"undefined-predicate", runUndefinedPass},
+	{"arity-consistency", runArityPass},
+	{"dead-rule", runDeadRulePass},
+	{"unreachable-rule", runUnreachablePass},
+	{"perf-lints", runPerfPass},
+}
+
+// context is the shared state of one analysis run.
+type context struct {
+	prog   datalog.Program
+	opts   Options
+	graph  *datalog.DepGraph
+	budget *constraint.Budget
+	// budgetHit is set when a solver call ran out of steps; constraint
+	// passes stop and a single VQL0009 is reported.
+	budgetHit bool
+	diags     []Diagnostic
+}
+
+func (c *context) report(d Diagnostic) { c.diags = append(c.diags, d) }
+
+// fromScript reports whether rule i belongs to the script under analysis
+// (as opposed to the database context prefix).
+func (c *context) fromScript(i int) bool { return i >= c.opts.ContextRules }
+
+// ruleLabel names a rule in diagnostics: its label if present, else its
+// head predicate.
+func ruleLabel(r datalog.Rule) string {
+	if r.Name != "" {
+		return r.Name
+	}
+	return r.Head.Pred
+}
+
+// Analyze runs every registered pass over the program and returns the
+// findings sorted by position and severity.
+func Analyze(p datalog.Program, opts Options) []Diagnostic {
+	steps := opts.MaxSolverSteps
+	if steps == 0 {
+		steps = DefaultBudget
+	}
+	if steps < 0 {
+		steps = 0 // constraint.NewBudget treats 0 as unlimited
+	}
+	c := &context{
+		prog:   p,
+		opts:   opts,
+		graph:  datalog.NewDepGraph(p),
+		budget: constraint.NewBudget(steps, nil),
+	}
+	for _, ps := range passes {
+		ps.run(c)
+	}
+	if c.budgetHit {
+		c.report(Diagnostic{
+			Severity: SeverityInfo,
+			Code:     CodeBudget,
+			Message:  "constraint-solver budget exhausted; dead-rule analysis is incomplete",
+		})
+	}
+	out := c.diags[:0]
+	disabled := map[string]bool{}
+	for _, code := range opts.DisableCodes {
+		disabled[code] = true
+	}
+	for _, d := range c.diags {
+		if !disabled[d.Code] {
+			out = append(out, d)
+		}
+	}
+	sortDiagnostics(out)
+	return out
+}

@@ -1,0 +1,237 @@
+package analyze
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"videodb/internal/datalog"
+	"videodb/internal/parser"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// scriptOptions assembles the analyzer inputs the CLI would build for a
+// standalone script: program = rules + query helper rules, goals = query
+// atoms, schema = the script's own facts.
+func scriptOptions(s *parser.Script) (datalog.Program, Options) {
+	schema := NewSchema()
+	for _, f := range s.Facts {
+		schema.AddPred(f.Name, len(f.Args))
+	}
+	var goals []datalog.RelAtom
+	for _, q := range s.Queries {
+		goals = append(goals, q.Atom)
+	}
+	return s.Program(), Options{Goals: goals, Schema: schema}
+}
+
+func render(ds []Diagnostic) string {
+	var b strings.Builder
+	for _, d := range ds {
+		b.WriteString(d.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// TestGolden runs the analyzer over each testdata script and compares
+// the rendered diagnostics with the script's .golden file. Regenerate
+// with: go test ./internal/datalog/analyze -run Golden -update
+func TestGolden(t *testing.T) {
+	scripts, err := filepath.Glob("testdata/*.vql")
+	if err != nil || len(scripts) == 0 {
+		t.Fatalf("no testdata scripts (err=%v)", err)
+	}
+	for _, path := range scripts {
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			src, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s, err := parser.Parse(string(src))
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			prog, opts := scriptOptions(s)
+			got := render(Analyze(prog, opts))
+			golden := strings.TrimSuffix(path, ".vql") + ".golden"
+			if *update {
+				if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("diagnostics mismatch for %s:\n--- got ---\n%s--- want ---\n%s", path, got, want)
+			}
+		})
+	}
+}
+
+// The acceptance scenario: one script with a typo'd predicate, an
+// unsatisfiable constraint body, and an unreachable rule yields three
+// distinct positioned diagnostics, with a did-you-mean for the typo.
+func TestCombinedScenario(t *testing.T) {
+	src, err := os.ReadFile("testdata/combined.vql")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := parser.Parse(string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, opts := scriptOptions(s)
+	ds := Analyze(prog, opts)
+	byCode := map[string]Diagnostic{}
+	for _, d := range ds {
+		byCode[d.Code] = d
+	}
+	undef, ok := byCode[CodeUndefinedPred]
+	if !ok || undef.Pos.IsZero() || !strings.Contains(undef.Suggestion, `"rope"`) {
+		t.Errorf("undefined-predicate diagnostic missing position or suggestion: %+v", undef)
+	}
+	dead, ok := byCode[CodeDeadRule]
+	if !ok || dead.Pos.IsZero() {
+		t.Errorf("dead-rule diagnostic missing: %+v", dead)
+	}
+	unreach, ok := byCode[CodeUnreachable]
+	if !ok || unreach.Pos.IsZero() {
+		t.Errorf("unreachable-rule diagnostic missing: %+v", unreach)
+	}
+	if !HasErrors(ds) {
+		t.Error("combined scenario should contain errors")
+	}
+	positions := map[string]bool{}
+	for _, d := range []Diagnostic{undef, dead, unreach} {
+		positions[d.Pos.String()] = true
+	}
+	if len(positions) != 3 {
+		t.Errorf("expected three distinct positions, got %v", positions)
+	}
+}
+
+func TestBudgetExhaustion(t *testing.T) {
+	// A rule with enough comparison atoms to burn a one-step budget.
+	var b strings.Builder
+	b.WriteString("busy(X) :- rope(X)")
+	for i := 0; i < 20; i++ {
+		b.WriteString(", X.a < ")
+		b.WriteString(string(rune('0' + i%10)))
+	}
+	b.WriteString(".\n?- busy(X).\n")
+	s, err := parser.Parse("rope(r1).\n" + b.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, opts := scriptOptions(s)
+	opts.MaxSolverSteps = 1
+	ds := Analyze(prog, opts)
+	found := false
+	for _, d := range ds {
+		if d.Code == CodeBudget {
+			found = true
+		}
+		if d.Code == CodeDeadRule || d.Code == CodeRedundant {
+			t.Errorf("constraint finding %v despite exhausted budget", d)
+		}
+	}
+	if !found {
+		t.Errorf("expected a %s diagnostic, got %v", CodeBudget, ds)
+	}
+}
+
+func TestNilSchemaDowngradesUndefined(t *testing.T) {
+	s, err := parser.Parse("deep(X) :- ropee(X).\n?- deep(X).\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, opts := scriptOptions(s)
+	opts.Schema = nil
+	ds := Analyze(prog, opts)
+	for _, d := range ds {
+		if d.Code == CodeUndefinedPred && d.Severity != SeverityWarn {
+			t.Errorf("undefined predicate with no schema should be a warning, got %v", d)
+		}
+	}
+}
+
+func TestDisableCodes(t *testing.T) {
+	s, err := parser.Parse("liked(Y) :- likes(X, Y).\nlikes(a, b).\n?- liked(Y).\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, opts := scriptOptions(s)
+	if ds := Analyze(prog, opts); len(ds) == 0 {
+		t.Fatal("expected a singleton-variable diagnostic")
+	}
+	opts.DisableCodes = []string{CodeSingletonVar}
+	for _, d := range Analyze(prog, opts) {
+		if d.Code == CodeSingletonVar {
+			t.Errorf("disabled code still reported: %v", d)
+		}
+	}
+}
+
+// Context rules (the database the script runs against) resolve
+// predicates and carry reachability but are never themselves reported:
+// only the script's own rules get rule-scoped findings.
+func TestContextRulesNotReported(t *testing.T) {
+	s, err := parser.Parse(`base(b1).
+dead1(X) :- base(X), X.n > 5, X.n < 1.
+dead2(X) :- base(X), X.n > 5, X.n < 1.
+?- dead2(X).
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, opts := scriptOptions(s)
+
+	count := func(ds []Diagnostic, code string) int {
+		n := 0
+		for _, d := range ds {
+			if d.Code == code {
+				n++
+			}
+		}
+		return n
+	}
+	all := Analyze(prog, opts)
+	if count(all, CodeDeadRule) != 2 || count(all, CodeUnreachable) != 1 {
+		t.Fatalf("without context marking: %v", all)
+	}
+
+	// Rule 0 (dead1) becomes database context: its dead body and its
+	// unreachability are no longer the script's problem.
+	opts.ContextRules = 1
+	scoped := Analyze(prog, opts)
+	if count(scoped, CodeDeadRule) != 1 || count(scoped, CodeUnreachable) != 0 {
+		t.Fatalf("with context marking: %v", scoped)
+	}
+	for _, d := range scoped {
+		if d.Rule == "dead1" {
+			t.Errorf("context rule reported: %v", d)
+		}
+	}
+}
+
+// No goals: the unreachable pass must stay silent instead of flagging
+// every rule.
+func TestNoGoalsNoUnreachable(t *testing.T) {
+	s, err := parser.Parse("rope(r1).\ndeep(X) :- rope(X).\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, opts := scriptOptions(s)
+	for _, d := range Analyze(prog, opts) {
+		if d.Code == CodeUnreachable {
+			t.Errorf("unreachable reported without goals: %v", d)
+		}
+	}
+}

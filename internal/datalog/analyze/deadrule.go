@@ -1,0 +1,572 @@
+package analyze
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"videodb/internal/constraint"
+	"videodb/internal/datalog"
+	"videodb/internal/object"
+)
+
+// The dead-rule pass proves rules unable to fire by conjoining the
+// constraint atoms of each body and asking the internal/constraint
+// solvers for satisfiability, under the shared step budget:
+//
+//   - comparison atoms lower to a dense-order conjunction (numeric
+//     constants stay numeric; string and other constants become points
+//     whose mutual order/distinctness is asserted from their actual
+//     values, so "X = "a", X = "b"" or "X >= "b", X <= "a"" are caught);
+//   - temporal entailments "L => g" with constant right sides group by
+//     left operand and intersect as interval formulas;
+//   - membership and set-equality atoms lower to a set-order conjunction
+//     (e.g. G.entities = {o1} together with o2 in G.entities).
+//
+// An unsatisfiable family is a VQL0003 error. Atoms entailed by the rest
+// of their family are VQL0004 infos (redundant). Constant-only atoms are
+// decided directly with the engine's own comparison semantics. The
+// lowering is conservative: atoms that do not fit a family are dropped,
+// so "dead" findings are proofs, never guesses.
+
+func runDeadRulePass(c *context) {
+	for i := range c.prog.Rules {
+		if c.budgetHit {
+			return
+		}
+		if !c.fromScript(i) {
+			continue
+		}
+		analyzeRuleConstraints(c, c.prog.Rules[i])
+	}
+}
+
+// deadDiag builds the VQL0003 error for a rule.
+func deadDiag(r datalog.Rule, pos datalog.Pos, why string) Diagnostic {
+	if pos.IsZero() {
+		pos = r.Pos
+	}
+	return Diagnostic{
+		Severity: SeverityError,
+		Code:     CodeDeadRule,
+		Pos:      pos,
+		Rule:     ruleLabel(r),
+		Message:  fmt.Sprintf("rule %q can never fire: %s", ruleLabel(r), why),
+	}
+}
+
+func redundantDiag(r datalog.Rule, pos datalog.Pos, atom fmt.Stringer) Diagnostic {
+	return Diagnostic{
+		Severity: SeverityInfo,
+		Code:     CodeRedundant,
+		Pos:      pos,
+		Rule:     ruleLabel(r),
+		Message:  fmt.Sprintf("constraint %q is implied by the rest of the rule body", atom.String()),
+	}
+}
+
+func analyzeRuleConstraints(c *context, r datalog.Rule) {
+	if dead := constantChecks(c, r); dead {
+		return
+	}
+	if dead := denseFamily(c, r); dead || c.budgetHit {
+		return
+	}
+	if dead := entailFamily(c, r); dead || c.budgetHit {
+		return
+	}
+	setFamily(c, r)
+}
+
+// constOf returns the constant value of a plain (non-attribute,
+// non-variable) operand.
+func constOf(o datalog.Operand) (object.Value, bool) {
+	if o.Attr != "" || o.Term.IsVar() || o.Term.IsConcat() {
+		return object.Value{}, false
+	}
+	return o.Term.Value(), true
+}
+
+// isScalarKind reports whether ordered comparison is meaningful for the
+// value under the engine's semantics (numbers and strings only; ordered
+// comparison with any other constant kind is identically false).
+func isScalarKind(v object.Value) bool {
+	k := v.Kind()
+	return k == object.KindNumber || k == object.KindString
+}
+
+// evalConstCmp decides a comparison between two constants exactly as the
+// engine does.
+func evalConstCmp(l object.Value, op constraint.Op, r object.Value) bool {
+	switch op {
+	case constraint.Eq:
+		return l.Equal(r)
+	case constraint.Ne:
+		return !l.Equal(r)
+	}
+	if ln, ok := l.AsNumber(); ok {
+		rn, ok := r.AsNumber()
+		return ok && op.Holds(ln, rn)
+	}
+	if ls, ok := l.AsString(); ok {
+		if rs, ok := r.AsString(); ok {
+			return op.Holds(float64(strings.Compare(ls, rs)), 0)
+		}
+	}
+	return false
+}
+
+// constantChecks decides atoms whose outcome is fixed regardless of
+// bindings. Returns true when the rule is proven dead.
+func constantChecks(c *context, r datalog.Rule) bool {
+	for _, l := range r.Body {
+		pos := datalog.PosOf(l)
+		switch a := l.(type) {
+		case datalog.CmpAtom:
+			lc, lok := constOf(a.Left)
+			rc, rok := constOf(a.Right)
+			switch {
+			case lok && rok:
+				if !evalConstCmp(lc, a.Op, rc) {
+					c.report(deadDiag(r, pos, fmt.Sprintf("comparison %q is always false", a.String())))
+					return true
+				}
+				c.report(redundantDiag(r, pos, a))
+			case a.Op != constraint.Eq && a.Op != constraint.Ne:
+				// Ordered comparison against a non-scalar constant (an
+				// object reference, set, or temporal value) never holds.
+				if (lok && !isScalarKind(lc)) || (rok && !isScalarKind(rc)) {
+					c.report(deadDiag(r, pos,
+						fmt.Sprintf("ordered comparison %q with a non-scalar constant is always false", a.String())))
+					return true
+				}
+			}
+		case datalog.EntailAtom:
+			if dead := constEntailCheck(c, r, a, pos); dead {
+				return true
+			}
+		case datalog.TemporalAtom:
+			if dead := constTemporalCheck(c, r, a, pos); dead {
+				return true
+			}
+		case datalog.MemberAtom:
+			if dead := constMemberCheck(c, r, a, pos); dead {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func constEntailCheck(c *context, r datalog.Rule, a datalog.EntailAtom, pos datalog.Pos) bool {
+	lc, lok := constOf(a.Left)
+	rc, rok := constOf(a.Right)
+	// A constant non-temporal operand can never satisfy "=>": the engine
+	// evaluates entailment only between temporal values.
+	if lok {
+		if _, ok := lc.AsTemporal(); !ok {
+			c.report(deadDiag(r, pos, fmt.Sprintf("entailment %q is always false: left side is not a temporal value", a.String())))
+			return true
+		}
+	}
+	if rok {
+		if _, ok := rc.AsTemporal(); !ok {
+			c.report(deadDiag(r, pos, fmt.Sprintf("entailment %q is always false: right side is not a temporal value", a.String())))
+			return true
+		}
+	}
+	if lok && rok {
+		lt, _ := lc.AsTemporal()
+		rt, _ := rc.AsTemporal()
+		if !rt.ContainsGen(lt) {
+			c.report(deadDiag(r, pos, fmt.Sprintf("entailment %q is always false", a.String())))
+			return true
+		}
+		c.report(redundantDiag(r, pos, a))
+	}
+	return false
+}
+
+func constTemporalCheck(c *context, r datalog.Rule, a datalog.TemporalAtom, pos datalog.Pos) bool {
+	lc, lok := constOf(a.Left)
+	rc, rok := constOf(a.Right)
+	if lok {
+		if _, ok := lc.AsTemporal(); !ok {
+			c.report(deadDiag(r, pos, fmt.Sprintf("temporal atom %q is always false: left side is not a temporal value", a.String())))
+			return true
+		}
+	}
+	if rok {
+		if _, ok := rc.AsTemporal(); !ok {
+			c.report(deadDiag(r, pos, fmt.Sprintf("temporal atom %q is always false: right side is not a temporal value", a.String())))
+			return true
+		}
+	}
+	if lok && rok {
+		lt, _ := lc.AsTemporal()
+		rt, _ := rc.AsTemporal()
+		if !datalog.EvalTemporal(a.Rel, lt, rt) {
+			c.report(deadDiag(r, pos, fmt.Sprintf("temporal atom %q is always false", a.String())))
+			return true
+		}
+		c.report(redundantDiag(r, pos, a))
+	}
+	return false
+}
+
+func constMemberCheck(c *context, r datalog.Rule, a datalog.MemberAtom, pos datalog.Pos) bool {
+	set, ok := constOf(a.Set)
+	if !ok {
+		return false
+	}
+	allConst := true
+	for _, e := range a.Elems {
+		ev, eok := constOf(e)
+		if !eok {
+			allConst = false
+			continue
+		}
+		if !set.ContainsElem(ev) {
+			c.report(deadDiag(r, pos,
+				fmt.Sprintf("membership %q is always false: %s is not an element of %s", a.String(), ev, set)))
+			return true
+		}
+	}
+	if allConst {
+		c.report(redundantDiag(r, pos, a))
+	}
+	return false
+}
+
+// --- Dense-order family --------------------------------------------------------
+
+// denseLowering maps rule operands to dense-solver terms. Non-numeric
+// constants become named points whose mutual order (strings) or
+// distinctness (everything else) is asserted as extra atoms.
+type denseLowering struct {
+	consts map[string]object.Value // solver var key -> constant value
+}
+
+func (lo *denseLowering) operand(o datalog.Operand) (constraint.Term, bool) {
+	t := o.Term
+	if o.Attr != "" {
+		switch {
+		case t.IsVar():
+			return constraint.V("v:" + t.Name() + "." + o.Attr), true
+		case !t.IsConcat():
+			return constraint.V("c:" + t.Value().String() + "." + o.Attr), true
+		}
+		return constraint.Term{}, false
+	}
+	switch {
+	case t.IsVar():
+		return constraint.V("v:" + t.Name()), true
+	case t.IsConcat():
+		return constraint.Term{}, false
+	}
+	v := t.Value()
+	if n, ok := v.AsNumber(); ok {
+		return constraint.C(n), true
+	}
+	key := fmt.Sprintf("k%d:%s", v.Kind(), v.String())
+	lo.consts[key] = v
+	return constraint.V(key), true
+}
+
+// worldFacts returns the atoms fixing the relationships between the
+// lowered non-numeric constants: lexicographic order between strings,
+// distinctness between everything else.
+func (lo *denseLowering) worldFacts() constraint.Conj {
+	keys := make([]string, 0, len(lo.consts))
+	for k := range lo.consts {
+		keys = append(keys, k)
+	}
+	// Deterministic order keeps solver work and diagnostics stable.
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	var out constraint.Conj
+	for i, ka := range keys {
+		for _, kb := range keys[i+1:] {
+			va, vb := lo.consts[ka], lo.consts[kb]
+			sa, aStr := va.AsString()
+			sb, bStr := vb.AsString()
+			switch {
+			case aStr && bStr && sa < sb:
+				out = append(out, constraint.NewAtom(constraint.V(ka), constraint.Lt, constraint.V(kb)))
+			case aStr && bStr:
+				out = append(out, constraint.NewAtom(constraint.V(ka), constraint.Gt, constraint.V(kb)))
+			default:
+				out = append(out, constraint.NewAtom(constraint.V(ka), constraint.Ne, constraint.V(kb)))
+			}
+		}
+	}
+	return out
+}
+
+// satWithin runs a budgeted satisfiability check, recording budget
+// exhaustion on the context.
+func (c *context) satWithin(f constraint.Formula) (bool, bool) {
+	sat, err := f.SatisfiableWithin(c.budget)
+	if err != nil {
+		if errors.Is(err, constraint.ErrBudget) {
+			c.budgetHit = true
+		}
+		return true, false
+	}
+	return sat, true
+}
+
+func (c *context) entailsWithin(f, g constraint.Formula) (bool, bool) {
+	ok, err := f.EntailsWithin(g, c.budget)
+	if err != nil {
+		if errors.Is(err, constraint.ErrBudget) {
+			c.budgetHit = true
+		}
+		return false, false
+	}
+	return ok, true
+}
+
+// denseFamily lowers the rule's comparison atoms and checks joint
+// satisfiability, then per-atom redundancy. Returns true when the rule is
+// proven dead.
+func denseFamily(c *context, r datalog.Rule) bool {
+	lo := &denseLowering{consts: map[string]object.Value{}}
+	var atoms constraint.Conj
+	var sources []datalog.CmpAtom
+	for _, l := range r.Body {
+		a, ok := l.(datalog.CmpAtom)
+		if !ok {
+			continue
+		}
+		// Constant-only atoms were decided (and reported) by
+		// constantChecks; a surviving one is true and constrains nothing.
+		if _, lc := constOf(a.Left); lc {
+			if _, rc := constOf(a.Right); rc {
+				continue
+			}
+		}
+		lt, lok := lo.operand(a.Left)
+		rt, rok := lo.operand(a.Right)
+		if !lok || !rok {
+			continue
+		}
+		atoms = append(atoms, constraint.NewAtom(lt, a.Op, rt))
+		sources = append(sources, a)
+	}
+	if len(atoms) == 0 {
+		return false
+	}
+	world := lo.worldFacts()
+	full := append(append(constraint.Conj{}, world...), atoms...)
+	sat, ok := c.satWithin(constraint.Formula{full})
+	if !ok {
+		return false
+	}
+	if !sat {
+		c.report(deadDiag(r, datalog.Pos{}, "its comparison constraints are unsatisfiable"))
+		return true
+	}
+	// Redundancy: an atom entailed by the others (plus the constant world
+	// facts) filters nothing.
+	for i := range atoms {
+		rest := append(constraint.Conj{}, world...)
+		rest = append(rest, atoms[:i]...)
+		rest = append(rest, atoms[i+1:]...)
+		ent, ok := c.entailsWithin(constraint.Formula{rest}, constraint.FromAtom(atoms[i]))
+		if !ok {
+			return false
+		}
+		if ent {
+			c.report(redundantDiag(r, sources[i].Pos, sources[i]))
+		}
+	}
+	return false
+}
+
+// --- Temporal-entailment family -------------------------------------------------
+
+// entailFamily groups "L => g" atoms with constant temporal right sides
+// by their left operand; the left side's instants must lie in the
+// intersection of the right sides, so an empty intersection kills the
+// rule. Returns true when the rule is proven dead.
+func entailFamily(c *context, r datalog.Rule) bool {
+	type group struct {
+		formulas []constraint.Formula
+		sources  []datalog.EntailAtom
+	}
+	groups := map[string]*group{}
+	var order []string
+	for _, l := range r.Body {
+		a, ok := l.(datalog.EntailAtom)
+		if !ok {
+			continue
+		}
+		rc, rok := constOf(a.Right)
+		if !rok {
+			continue
+		}
+		g, tok := rc.AsTemporal()
+		if !tok {
+			continue // constantChecks already handles non-temporal constants
+		}
+		key := a.Left.String()
+		grp := groups[key]
+		if grp == nil {
+			grp = &group{}
+			groups[key] = grp
+			order = append(order, key)
+		}
+		grp.formulas = append(grp.formulas, constraint.FromInterval("t", g))
+		grp.sources = append(grp.sources, a)
+	}
+	for _, key := range order {
+		grp := groups[key]
+		conj := constraint.True()
+		for _, f := range grp.formulas {
+			conj = conj.And(f)
+		}
+		sat, ok := c.satWithin(conj)
+		if !ok {
+			return false
+		}
+		if !sat {
+			c.report(deadDiag(r, grp.sources[0].Pos,
+				fmt.Sprintf("the temporal entailments on %q require an empty time set", key)))
+			return true
+		}
+		if len(grp.formulas) < 2 {
+			continue
+		}
+		for i := range grp.formulas {
+			rest := constraint.True()
+			for j, f := range grp.formulas {
+				if j != i {
+					rest = rest.And(f)
+				}
+			}
+			ent, ok := c.entailsWithin(rest, grp.formulas[i])
+			if !ok {
+				return false
+			}
+			if ent {
+				c.report(redundantDiag(r, grp.sources[i].Pos, grp.sources[i]))
+			}
+		}
+	}
+	return false
+}
+
+// --- Set-order family -----------------------------------------------------------
+
+// setFamily lowers membership atoms and set-valued equalities to a
+// set-order conjunction: "e in K" contributes a lower bound on K, and
+// "K = {…}" bounds K from both sides, so together they can contradict.
+func setFamily(c *context, r datalog.Rule) {
+	var atoms []constraint.SetAtom
+	// sources tracks the originating literal of each user-visible atom
+	// for redundancy positions; equality-derived bounds share a source.
+	type src struct {
+		lit datalog.Literal
+		pos datalog.Pos
+		ord int // body-literal ordinal, for grouping atoms per literal
+	}
+	var sources []src
+	ord := 0
+	add := func(a constraint.SetAtom, l datalog.Literal) {
+		atoms = append(atoms, a)
+		sources = append(sources, src{lit: l, pos: datalog.PosOf(l), ord: ord})
+	}
+	setKey := func(o datalog.Operand) (string, bool) {
+		if o.Attr == "" || o.Term.IsConcat() {
+			return "", false
+		}
+		if o.Term.IsVar() {
+			return "v:" + o.Term.Name() + "." + o.Attr, true
+		}
+		return "c:" + o.Term.Value().String() + "." + o.Attr, true
+	}
+	for _, l := range r.Body {
+		ord++
+		switch a := l.(type) {
+		case datalog.MemberAtom:
+			key, ok := setKey(a.Set)
+			if !ok {
+				continue
+			}
+			for _, e := range a.Elems {
+				ev, eok := constOf(e)
+				if !eok || ev.Kind() == object.KindSet {
+					continue
+				}
+				add(constraint.Member(ev.String(), key), l)
+			}
+		case datalog.CmpAtom:
+			if a.Op != constraint.Eq {
+				continue
+			}
+			for _, pair := range [][2]datalog.Operand{{a.Left, a.Right}, {a.Right, a.Left}} {
+				key, kok := setKey(pair[0])
+				cv, cok := constOf(pair[1])
+				if !kok || !cok || cv.Kind() != object.KindSet {
+					continue
+				}
+				elems := make([]string, 0, cv.Len())
+				for _, e := range cv.Elems() {
+					elems = append(elems, e.String())
+				}
+				lit := constraint.SetLit(elems...)
+				kv := constraint.SetVar(key)
+				add(constraint.Subset(kv, lit), l)
+				add(constraint.Subset(lit, kv), l)
+			}
+		}
+	}
+	if len(atoms) == 0 {
+		return
+	}
+	conj := constraint.SetConj(atoms)
+	sat, err := conj.SatisfiableWithin(c.budget)
+	if err != nil {
+		if errors.Is(err, constraint.ErrBudget) {
+			c.budgetHit = true
+		}
+		return
+	}
+	if !sat {
+		c.report(deadDiag(r, sources[0].pos, "its membership and set-equality constraints are unsatisfiable"))
+		return
+	}
+	// Redundancy over membership atoms only (equality-derived bounds come
+	// in entangled pairs and are reported through their comparison atom).
+	// A multi-element subset literal lowers to several set atoms; it is
+	// redundant when the other literals entail all of them together.
+	for li := 0; li < len(atoms); {
+		m, ok := sources[li].lit.(datalog.MemberAtom)
+		end := li + 1
+		for end < len(atoms) && sources[end].ord == sources[li].ord {
+			end++
+		}
+		if !ok {
+			li = end
+			continue
+		}
+		rest := make(constraint.SetConj, 0, len(atoms)-(end-li))
+		rest = append(rest, atoms[:li]...)
+		rest = append(rest, atoms[end:]...)
+		ent, err := rest.EntailsWithin(constraint.SetConj(atoms[li:end]), c.budget)
+		if err != nil {
+			if errors.Is(err, constraint.ErrBudget) {
+				c.budgetHit = true
+			}
+			return
+		}
+		if ent {
+			c.report(redundantDiag(r, sources[li].pos, m))
+		}
+		li = end
+	}
+}

@@ -1,0 +1,108 @@
+// Package analyze is a pass-based static analyzer for VideoQL rule
+// programs. It takes a parsed datalog.Program plus the query goals and an
+// optional store schema snapshot, and reports structured diagnostics:
+// typo'd predicates with did-you-mean suggestions, arity clashes, rules
+// whose constraint bodies the internal/constraint solvers prove
+// unsatisfiable (the rule can never fire), rules unreachable from every
+// goal, and performance lints (cartesian products, singleton variables).
+//
+// The analyzer never mutates the program and never evaluates it; the only
+// non-syntactic machinery it uses is the dense-order and set-order
+// constraint solvers, run under a step budget so analysis time stays
+// bounded on adversarial inputs.
+package analyze
+
+import (
+	"fmt"
+	"sort"
+
+	"videodb/internal/datalog"
+)
+
+// Severity classifies a diagnostic. Errors mean the query is wrong (it
+// cannot produce what the author intended); warnings flag likely
+// mistakes; infos are advisory.
+type Severity string
+
+// The severity levels, ordered error > warning > info.
+const (
+	SeverityError Severity = "error"
+	SeverityWarn  Severity = "warning"
+	SeverityInfo  Severity = "info"
+)
+
+func (s Severity) rank() int {
+	switch s {
+	case SeverityError:
+		return 0
+	case SeverityWarn:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// Diagnostic codes. Each analyzer finding carries one; the table is part
+// of the public interface (DESIGN.md §5e) and codes are never reused.
+const (
+	CodeParseError    = "VQL0001" // script failed to parse (CLI/server surface only)
+	CodeUndefinedPred = "VQL0002" // body predicate with no rule and no facts
+	CodeDeadRule      = "VQL0003" // constraint body unsatisfiable: rule can never fire
+	CodeRedundant     = "VQL0004" // constraint atom entailed by the rest of the body
+	CodeArityMismatch = "VQL0005" // predicate used with differing arities
+	CodeUnreachable   = "VQL0006" // rule on no dependency path to any goal
+	CodeCartesian     = "VQL0007" // body literals with no shared variables
+	CodeSingletonVar  = "VQL0008" // variable used exactly once
+	CodeBudget        = "VQL0009" // solver budget exhausted: analysis incomplete
+)
+
+// Diagnostic is one analyzer finding.
+type Diagnostic struct {
+	Severity   Severity    `json:"severity"`
+	Code       string      `json:"code"`
+	Pos        datalog.Pos `json:"pos,omitzero"`
+	Rule       string      `json:"rule,omitempty"` // rule label or head predicate, when rule-scoped
+	Message    string      `json:"message"`
+	Suggestion string      `json:"suggestion,omitempty"`
+}
+
+// String renders the diagnostic in the conventional compiler format:
+// "line:col: severity[CODE]: message (suggestion)".
+func (d Diagnostic) String() string {
+	s := fmt.Sprintf("%s: %s[%s]: %s", d.Pos, d.Severity, d.Code, d.Message)
+	if d.Suggestion != "" {
+		s += " (" + d.Suggestion + ")"
+	}
+	return s
+}
+
+// HasErrors reports whether any diagnostic is an error.
+func HasErrors(ds []Diagnostic) bool {
+	for _, d := range ds {
+		if d.Severity == SeverityError {
+			return true
+		}
+	}
+	return false
+}
+
+// sortDiagnostics orders findings by source position, then severity,
+// then code, then message — a stable order for golden tests and users.
+func sortDiagnostics(ds []Diagnostic) {
+	sort.SliceStable(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Col != b.Pos.Col {
+			return a.Pos.Col < b.Pos.Col
+		}
+		if a.Severity != b.Severity {
+			return a.Severity.rank() < b.Severity.rank()
+		}
+		if a.Code != b.Code {
+			return a.Code < b.Code
+		}
+		return a.Message < b.Message
+	})
+}

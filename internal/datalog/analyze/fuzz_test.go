@@ -1,0 +1,37 @@
+package analyze
+
+import (
+	"testing"
+
+	"videodb/internal/parser"
+)
+
+// FuzzAnalyze proves the analyzer total: it must never panic on any
+// program the parser accepts, whatever the constraint shapes.
+func FuzzAnalyze(f *testing.F) {
+	seeds := []string{
+		"p(X) :- q(X).\n?- p(X).",
+		"rope(r1).\ntaut(X) :- rope(X), X.t > 10, X.t < 5.\n?- taut(X).",
+		"clip(G) :- Interval(G), G.duration => [0, 10], G.duration => [20, 30].\n?- clip(G).",
+		"both(G) :- Interval(G), G.entities = {o1}, o2 in G.entities.\n?- both(G).",
+		"m(G1 + G2) :- Interval(G1), Interval(G2), o1 in G1.entities, o1 in G2.entities.\n?- m(G).",
+		"w(X) :- n(X), not f(X).\n?- w(X).",
+		"a(X) :- b(X), X.n = \"s\", X.n = \"t\".\n?- a(X).",
+		"t(X) :- b(X), X.d before [0, 5], [7, 9] => X.d.\n?- t(X).",
+		"g(X, Y) :- b(X), c(Y).\n?- g(X, Y).",
+		"s(X) :- b(X, Y).\n?- s(X).",
+		"p(X) :- q(X, X), {o1, o2} subset X.e.\nq(a, a).\n?- p(X).",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		s, err := parser.Parse(src)
+		if err != nil {
+			return
+		}
+		prog, opts := scriptOptions(s)
+		opts.MaxSolverSteps = 10_000 // keep hostile inputs fast
+		_ = Analyze(prog, opts)
+	})
+}

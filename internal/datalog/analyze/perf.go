@@ -1,0 +1,189 @@
+package analyze
+
+import (
+	"fmt"
+
+	"videodb/internal/datalog"
+)
+
+// Perf lints: joins that degenerate to cartesian products, and variables
+// used exactly once. Neither is wrong — both are the shape of queries
+// that blow up the fixpoint or silently match more than intended.
+
+// varOccurrences appends every variable occurrence of the literal, with
+// multiplicity (p(X, X) contributes X twice).
+func varOccurrences(l datalog.Literal, dst []string) []string {
+	addTerm := func(t datalog.Term) {
+		if t.IsVar() {
+			dst = append(dst, t.Name())
+		}
+	}
+	addOp := func(o datalog.Operand) { addTerm(o.Term) }
+	switch a := l.(type) {
+	case datalog.RelAtom:
+		for _, t := range a.Args {
+			addTerm(t)
+		}
+	case datalog.ClassAtom:
+		addTerm(a.Arg)
+	case datalog.CmpAtom:
+		addOp(a.Left)
+		addOp(a.Right)
+	case datalog.MemberAtom:
+		for _, e := range a.Elems {
+			addOp(e)
+		}
+		addOp(a.Set)
+	case datalog.EntailAtom:
+		addOp(a.Left)
+		addOp(a.Right)
+	case datalog.TemporalAtom:
+		addOp(a.Left)
+		addOp(a.Right)
+	case datalog.NotAtom:
+		for _, t := range a.Atom.Args {
+			addTerm(t)
+		}
+	}
+	return dst
+}
+
+func runPerfPass(c *context) {
+	for i, r := range c.prog.Rules {
+		if !c.fromScript(i) {
+			continue
+		}
+		cartesianLint(c, r)
+		singletonLint(c, r)
+	}
+}
+
+// cartesianLint warns when a rule's body splits into variable-disjoint
+// groups that each bind tuples: the engine must enumerate their full
+// cross product. Constraint atoms connect groups (X < Y joins the groups
+// of X and Y); ground atoms are cheap existence checks and don't count.
+func cartesianLint(c *context, r datalog.Rule) {
+	comp := map[string]int{} // variable -> component id
+	// binder remembers, per component, the first binding literal in it.
+	binder := map[int]datalog.Literal{}
+	binders := 0
+	next := 0
+	var order []int
+	merge := func(a, b int) int {
+		if a == b {
+			return a
+		}
+		if _, ok := binder[b]; ok {
+			if _, have := binder[a]; !have {
+				binder[a] = binder[b]
+			}
+		}
+		delete(binder, b)
+		for v, id := range comp {
+			if id == b {
+				comp[v] = a
+			}
+		}
+		for i, id := range order {
+			if id == b {
+				order[i] = a
+			}
+		}
+		return a
+	}
+	for _, l := range r.Body {
+		vars := varOccurrences(l, nil)
+		if len(vars) == 0 {
+			continue
+		}
+		id := -1
+		for _, v := range vars {
+			if got, ok := comp[v]; ok {
+				if id == -1 {
+					id = got
+				} else {
+					id = merge(id, got)
+				}
+			}
+		}
+		if id == -1 {
+			id = next
+			next++
+			order = append(order, id)
+		}
+		for _, v := range vars {
+			comp[v] = id
+		}
+		if _, isRel := l.(datalog.RelAtom); isRel {
+			if _, ok := binder[id]; !ok {
+				binder[id] = l
+			}
+		} else if _, isClass := l.(datalog.ClassAtom); isClass {
+			if _, ok := binder[id]; !ok {
+				binder[id] = l
+			}
+		}
+	}
+	// Count distinct live components that contain a binding literal.
+	seen := map[int]bool{}
+	var parts []datalog.Literal
+	for _, id := range order {
+		if seen[id] {
+			continue
+		}
+		seen[id] = true
+		if b, ok := binder[id]; ok {
+			parts = append(parts, b)
+			binders++
+		}
+	}
+	if binders < 2 {
+		return
+	}
+	c.report(Diagnostic{
+		Severity: SeverityWarn,
+		Code:     CodeCartesian,
+		Pos:      datalog.PosOf(parts[1]),
+		Rule:     ruleLabel(r),
+		Message: fmt.Sprintf("literals %q and %q share no variables: the rule joins them as a cartesian product",
+			parts[0].String(), parts[1].String()),
+	})
+}
+
+// singletonLint reports variables used exactly once in the whole rule
+// (head and body, counting repeats). A singleton matches everything and
+// joins nothing — often a typo for another variable.
+func singletonLint(c *context, r datalog.Rule) {
+	count := map[string]int{}
+	where := map[string]datalog.Pos{}
+	var order []string
+	note := func(vars []string, pos datalog.Pos) {
+		for _, v := range vars {
+			if count[v] == 0 {
+				order = append(order, v)
+				where[v] = pos
+			}
+			count[v]++
+		}
+	}
+	// Head variables, with multiplicity; VarsOf dedups, so walk args as
+	// occurrences (concatenation operands are covered by VarsOf per arg).
+	for _, t := range r.Head.Args {
+		note(datalog.VarsOf(datalog.Rel("", t)), r.Head.Pos)
+	}
+	for _, l := range r.Body {
+		note(varOccurrences(l, nil), datalog.PosOf(l))
+	}
+	for _, v := range order {
+		if count[v] != 1 {
+			continue
+		}
+		c.report(Diagnostic{
+			Severity: SeverityInfo,
+			Code:     CodeSingletonVar,
+			Pos:      where[v],
+			Rule:     ruleLabel(r),
+			Message:  fmt.Sprintf("variable %q is used only once", v),
+		})
+	}
+}

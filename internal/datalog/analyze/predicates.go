@@ -1,0 +1,194 @@
+package analyze
+
+import (
+	"fmt"
+	"sort"
+
+	"videodb/internal/datalog"
+)
+
+// predUse is one occurrence of a predicate with an arity, in source
+// order: rule heads and bodies first, then goals.
+type predUse struct {
+	pred    string
+	arity   int
+	pos     datalog.Pos
+	rule    string
+	defines bool // head occurrence
+	negated bool
+	ctx     bool // occurrence inside a database-context rule
+}
+
+// predUses lists every predicate occurrence in the program and goals.
+func predUses(c *context) []predUse {
+	var uses []predUse
+	for i, r := range c.prog.Rules {
+		label := ruleLabel(r)
+		ctx := !c.fromScript(i)
+		uses = append(uses, predUse{
+			pred: r.Head.Pred, arity: len(r.Head.Args),
+			pos: r.Head.Pos, rule: label, defines: true, ctx: ctx,
+		})
+		for _, l := range r.Body {
+			switch a := l.(type) {
+			case datalog.RelAtom:
+				uses = append(uses, predUse{
+					pred: a.Pred, arity: len(a.Args), pos: a.Pos, rule: label, ctx: ctx,
+				})
+			case datalog.NotAtom:
+				uses = append(uses, predUse{
+					pred: a.Atom.Pred, arity: len(a.Atom.Args),
+					pos: datalog.PosOf(l), rule: label, negated: true, ctx: ctx,
+				})
+			}
+		}
+	}
+	for _, g := range c.opts.Goals {
+		uses = append(uses, predUse{pred: g.Pred, arity: len(g.Args), pos: g.Pos, rule: "goal"})
+	}
+	return uses
+}
+
+// runUndefinedPass flags body and goal predicates that no rule defines
+// and no EDB fact provides, with a did-you-mean suggestion when a known
+// predicate is within small edit distance. Without a schema the finding
+// is a warning — facts the analyzer cannot see may define the predicate.
+func runUndefinedPass(c *context) {
+	known := map[string]bool{}
+	for _, r := range c.prog.Rules {
+		known[r.Head.Pred] = true
+	}
+	if c.opts.Schema != nil {
+		for p := range c.opts.Schema.Preds {
+			known[p] = true
+		}
+	}
+	// The built-in class predicates are candidates for suggestions only:
+	// a body atom spelled "interval(G)" parses as a relational atom, and
+	// the fix is the capitalized class atom.
+	candidates := make([]string, 0, len(known)+2)
+	for p := range known {
+		candidates = append(candidates, p)
+	}
+	candidates = append(candidates, "Interval", "Object")
+	sort.Strings(candidates)
+
+	sev := SeverityError
+	if c.opts.Schema == nil {
+		sev = SeverityWarn
+	}
+	for _, u := range predUses(c) {
+		if u.defines || u.ctx || known[u.pred] {
+			continue
+		}
+		d := Diagnostic{
+			Severity: sev,
+			Code:     CodeUndefinedPred,
+			Pos:      u.pos,
+			Rule:     u.rule,
+			Message:  fmt.Sprintf("predicate %q is not defined by any rule or fact", u.pred),
+		}
+		if best := closestName(u.pred, candidates); best != "" {
+			d.Suggestion = fmt.Sprintf("did you mean %q?", best)
+		}
+		c.report(d)
+	}
+}
+
+// runArityPass flags predicates used with differing arities. The arity of
+// the first occurrence (definition-order) is canonical; later deviating
+// uses are errors.
+func runArityPass(c *context) {
+	canonical := map[string]predUse{}
+	if c.opts.Schema != nil {
+		for p, arities := range c.opts.Schema.Preds {
+			if len(arities) > 0 {
+				canonical[p] = predUse{pred: p, arity: arities[0], rule: "facts"}
+			}
+		}
+	}
+	for _, u := range predUses(c) {
+		first, ok := canonical[u.pred]
+		if !ok {
+			canonical[u.pred] = u
+			continue
+		}
+		if u.arity == first.arity || u.ctx {
+			continue
+		}
+		where := "facts"
+		if first.rule != "facts" {
+			where = fmt.Sprintf("rule %q", first.rule)
+		}
+		c.report(Diagnostic{
+			Severity: SeverityError,
+			Code:     CodeArityMismatch,
+			Pos:      u.pos,
+			Rule:     u.rule,
+			Message: fmt.Sprintf("predicate %q used with %d argument(s) here but %d in %s",
+				u.pred, u.arity, first.arity, where),
+		})
+	}
+}
+
+// closestName returns the candidate within edit distance 2 (1 for short
+// names) of name, preferring smaller distance and then lexicographic
+// order. Empty when nothing is close.
+func closestName(name string, candidates []string) string {
+	maxDist := 2
+	if len(name) <= 4 {
+		maxDist = 1
+	}
+	best, bestDist := "", maxDist+1
+	for _, cand := range candidates {
+		if cand == name {
+			continue
+		}
+		if d := editDistance(name, cand, maxDist); d < bestDist {
+			best, bestDist = cand, d
+		}
+	}
+	return best
+}
+
+// editDistance is the Levenshtein distance between a and b, cut off at
+// limit+1 (returns limit+1 when the distance exceeds the limit).
+func editDistance(a, b string, limit int) int {
+	if diff := len(a) - len(b); diff > limit || -diff > limit {
+		return limit + 1
+	}
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		rowMin := cur[0]
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			m := prev[j-1] + cost        // substitute
+			if v := prev[j] + 1; v < m { // delete
+				m = v
+			}
+			if v := cur[j-1] + 1; v < m { // insert
+				m = v
+			}
+			cur[j] = m
+			if m < rowMin {
+				rowMin = m
+			}
+		}
+		if rowMin > limit {
+			return limit + 1
+		}
+		prev, cur = cur, prev
+	}
+	if prev[len(b)] > limit {
+		return limit + 1
+	}
+	return prev[len(b)]
+}

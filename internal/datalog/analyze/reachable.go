@@ -1,0 +1,36 @@
+package analyze
+
+import "fmt"
+
+// runUnreachablePass warns about rules that sit on no dependency path
+// from any goal predicate. It reuses the shared dependency graph (the
+// same one stratification and goal pruning use), so the "reachable"
+// notion here matches evaluation exactly — including the coupling of
+// constructive rules to rules that read the Interval class. A rule the
+// engine would prune for every declared goal is effort the author
+// probably meant to wire in.
+func runUnreachablePass(c *context) {
+	if len(c.opts.Goals) == 0 || len(c.prog.Rules) == 0 {
+		return
+	}
+	reachable := make([]bool, len(c.prog.Rules))
+	for _, g := range c.opts.Goals {
+		for i, ok := range c.graph.ReachableRules(g.Pred) {
+			if ok {
+				reachable[i] = true
+			}
+		}
+	}
+	for i, r := range c.prog.Rules {
+		if reachable[i] || !c.fromScript(i) {
+			continue
+		}
+		c.report(Diagnostic{
+			Severity: SeverityWarn,
+			Code:     CodeUnreachable,
+			Pos:      r.Pos,
+			Rule:     ruleLabel(r),
+			Message:  fmt.Sprintf("rule %q does not contribute to any query goal", ruleLabel(r)),
+		})
+	}
+}

@@ -23,6 +23,49 @@ import (
 	"videodb/internal/object"
 )
 
+// Pos is a source position (1-based line and column) carried by rules and
+// literals parsed from VideoQL text. The zero Pos means "no position" —
+// rules built through the Go API have none, and every consumer (error
+// formatting, the static analyzer) treats it as absent rather than as
+// line 0.
+type Pos struct {
+	Line int `json:"line"`
+	Col  int `json:"col"`
+}
+
+// IsZero reports whether the position is absent.
+func (p Pos) IsZero() bool { return p.Line == 0 && p.Col == 0 }
+
+// String renders "line:col", or "-" for the zero position.
+func (p Pos) String() string {
+	if p.IsZero() {
+		return "-"
+	}
+	return fmt.Sprintf("%d:%d", p.Line, p.Col)
+}
+
+// PosOf returns the source position of a literal (zero if the literal was
+// built programmatically).
+func PosOf(l Literal) Pos {
+	switch a := l.(type) {
+	case RelAtom:
+		return a.Pos
+	case ClassAtom:
+		return a.Pos
+	case CmpAtom:
+		return a.Pos
+	case MemberAtom:
+		return a.Pos
+	case EntailAtom:
+		return a.Pos
+	case TemporalAtom:
+		return a.Pos
+	case NotAtom:
+		return a.Pos
+	}
+	return Pos{}
+}
+
 // Term is a term of the language: an object/value variable, a constant
 // value, or a constructive concatenation I1 ⊕ I2 (heads only).
 type Term struct {
@@ -126,6 +169,7 @@ type Literal interface {
 type RelAtom struct {
 	Pred string
 	Args []Term
+	Pos  Pos // source position of the predicate name, if parsed
 }
 
 // Rel builds a relational atom.
@@ -154,6 +198,7 @@ func (a RelAtom) String() string {
 type ClassAtom struct {
 	Kind object.Kind
 	Arg  Term
+	Pos  Pos
 }
 
 // Interval builds the class atom Interval(t).
@@ -185,6 +230,7 @@ type CmpAtom struct {
 	Left  Operand
 	Op    constraint.Op
 	Right Operand
+	Pos   Pos
 }
 
 // assignment describes one way an equality atom can bind a variable:
@@ -236,6 +282,7 @@ type MemberAtom struct {
 	Elems  []Operand
 	Set    Operand
 	Subset bool
+	Pos    Pos
 }
 
 // Member builds e ∈ set.
@@ -275,6 +322,7 @@ func (a MemberAtom) String() string {
 // (t > a and t < b)" and the contains rule's "G2.duration ⇒ G1.duration").
 type EntailAtom struct {
 	Left, Right Operand
+	Pos         Pos
 }
 
 // Entails builds left ⇒ right.
@@ -377,6 +425,7 @@ func ParseTemporalRel(s string) (TemporalRel, bool) {
 type TemporalAtom struct {
 	Rel         TemporalRel
 	Left, Right Operand
+	Pos         Pos
 }
 
 // Temporal builds a temporal relation atom.
@@ -404,6 +453,7 @@ func (a TemporalAtom) String() string {
 // variable they use must be bound by a positive literal.
 type NotAtom struct {
 	Atom RelAtom
+	Pos  Pos
 }
 
 // Not negates a relational atom.
@@ -422,6 +472,7 @@ type Rule struct {
 	Name string
 	Head RelAtom
 	Body []Literal
+	Pos  Pos // source position of the rule (its label or head), if parsed
 }
 
 // NewRule builds a rule.
@@ -580,50 +631,7 @@ func (p Program) IDB() []string {
 // predicate is never referenced). Evaluating only the reachable
 // subprogram yields the same answers for the goal.
 func (p Program) Reachable(goal string) Program {
-	needed := map[string]bool{goal: true}
-	kept := make([]bool, len(p.Rules))
-	for changed := true; changed; {
-		changed = false
-		usesInterval := false
-		for i, r := range p.Rules {
-			if !kept[i] && needed[r.Head.Pred] {
-				kept[i] = true
-				changed = true
-			}
-			if !kept[i] {
-				continue
-			}
-			for _, l := range r.Body {
-				switch a := l.(type) {
-				case RelAtom:
-					if !needed[a.Pred] {
-						needed[a.Pred] = true
-						changed = true
-					}
-				case NotAtom:
-					if !needed[a.Atom.Pred] {
-						needed[a.Atom.Pred] = true
-						changed = true
-					}
-				case ClassAtom:
-					if a.Kind == object.GenInterval {
-						usesInterval = true
-					}
-				}
-			}
-		}
-		if usesInterval {
-			for i, r := range p.Rules {
-				if !kept[i] && r.IsConstructive() {
-					kept[i] = true
-					if !needed[r.Head.Pred] {
-						needed[r.Head.Pred] = true
-					}
-					changed = true
-				}
-			}
-		}
-	}
+	kept := NewDepGraph(p).ReachableRules(goal)
 	var rules []Rule
 	for i, r := range p.Rules {
 		if kept[i] {

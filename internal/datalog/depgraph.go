@@ -1,0 +1,226 @@
+package datalog
+
+import (
+	"sort"
+
+	"videodb/internal/object"
+)
+
+// DepGraph is the predicate-dependency graph of a program: one node per
+// predicate (IDB heads, EDB predicates referenced in bodies, and the
+// internal pseudo-predicate tracking growth of the Interval class), one
+// edge head → body predicate for every body atom. It is the shared
+// substrate for stratification, goal-reachability pruning, and the static
+// analyzer's unreachable-rule pass, which previously each re-derived it
+// ad hoc inside stratify.go and Program.Reachable.
+//
+// Constructive rules couple to the Interval class exactly as in
+// stratification: every constructive rule also "defines" the interval
+// pseudo-predicate, and every rule whose body reads Interval(G) depends
+// on it. That keeps ReachableRules consistent with evaluation — a
+// constructive rule influences any goal that enumerates the Interval
+// class even when its head predicate is never referenced by name.
+type DepGraph struct {
+	prog Program
+	idb  map[string]bool
+	// ruleDeps[i] lists the dependency edges induced by rule i (one per
+	// relational, negated, or Interval-class body atom).
+	ruleDeps [][]DepEdge
+	// byPred[p] lists the dependency edges of every rule defining p
+	// (constructive rules contribute their edges to the pseudo-predicate
+	// as well).
+	byPred map[string][]DepEdge
+	// definers[p] lists the indices of rules defining p; for the
+	// pseudo-predicate, the constructive rules.
+	definers map[string][]int
+}
+
+// DepEdge is one dependency: the rule at index Rule defines predicate
+// From and uses predicate To in its body (negated when Negative).
+type DepEdge struct {
+	From     string
+	To       string
+	Negative bool
+	Rule     int // index into the program's rule slice
+}
+
+// NewDepGraph builds the dependency graph of the program.
+func NewDepGraph(p Program) *DepGraph {
+	g := &DepGraph{
+		prog:     p,
+		idb:      make(map[string]bool),
+		ruleDeps: make([][]DepEdge, len(p.Rules)),
+		byPred:   make(map[string][]DepEdge),
+		definers: make(map[string][]int),
+	}
+	for _, r := range p.Rules {
+		g.idb[r.Head.Pred] = true
+	}
+	for i, r := range p.Rules {
+		for _, l := range r.Body {
+			switch a := l.(type) {
+			case RelAtom:
+				g.ruleDeps[i] = append(g.ruleDeps[i], DepEdge{From: r.Head.Pred, To: a.Pred, Rule: i})
+			case NotAtom:
+				g.ruleDeps[i] = append(g.ruleDeps[i], DepEdge{From: r.Head.Pred, To: a.Atom.Pred, Negative: true, Rule: i})
+			case ClassAtom:
+				if a.Kind == object.GenInterval {
+					g.ruleDeps[i] = append(g.ruleDeps[i], DepEdge{From: r.Head.Pred, To: intervalPseudo, Rule: i})
+				}
+			}
+		}
+		g.definers[r.Head.Pred] = append(g.definers[r.Head.Pred], i)
+		g.byPred[r.Head.Pred] = append(g.byPred[r.Head.Pred], g.ruleDeps[i]...)
+		if r.IsConstructive() {
+			g.definers[intervalPseudo] = append(g.definers[intervalPseudo], i)
+			for _, e := range g.ruleDeps[i] {
+				e.From = intervalPseudo
+				g.byPred[intervalPseudo] = append(g.byPred[intervalPseudo], e)
+			}
+		}
+	}
+	return g
+}
+
+// IDB reports whether the predicate is defined by some rule head.
+func (g *DepGraph) IDB(pred string) bool { return g.idb[pred] }
+
+// RuleDeps returns the dependency edges induced by the rule at index i.
+func (g *DepGraph) RuleDeps(i int) []DepEdge { return g.ruleDeps[i] }
+
+// Dependencies returns the dependency edges of the predicate: the body
+// predicates used by the rules defining it, in rule order.
+func (g *DepGraph) Dependencies(pred string) []DepEdge { return g.byPred[pred] }
+
+// Preds returns the sorted predicates appearing in the graph (heads and
+// body references; the internal pseudo-predicate is excluded).
+func (g *DepGraph) Preds() []string {
+	set := map[string]bool{}
+	for p := range g.idb {
+		set[p] = true
+	}
+	for _, deps := range g.ruleDeps {
+		for _, e := range deps {
+			if e.To != intervalPseudo {
+				set[e.To] = true
+			}
+		}
+	}
+	out := make([]string, 0, len(set))
+	for p := range set {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ReachableRules reports, per rule, whether the rule can contribute to
+// answering the goal predicate: its head is on a dependency path from the
+// goal, or it is constructive and some kept rule reads the Interval
+// class. The semantics matches Program.Reachable exactly.
+func (g *DepGraph) ReachableRules(goal string) []bool {
+	needed := map[string]bool{goal: true}
+	kept := make([]bool, len(g.prog.Rules))
+	for changed := true; changed; {
+		changed = false
+		usesInterval := false
+		for i, r := range g.prog.Rules {
+			if !kept[i] && needed[r.Head.Pred] {
+				kept[i] = true
+				changed = true
+			}
+			if !kept[i] {
+				continue
+			}
+			for _, e := range g.ruleDeps[i] {
+				if e.To == intervalPseudo {
+					usesInterval = true
+					continue
+				}
+				if !needed[e.To] {
+					needed[e.To] = true
+					changed = true
+				}
+			}
+		}
+		if usesInterval {
+			for _, i := range g.definers[intervalPseudo] {
+				if !kept[i] {
+					kept[i] = true
+					needed[g.prog.Rules[i].Head.Pred] = true
+					changed = true
+				}
+			}
+		}
+	}
+	return kept
+}
+
+// NegationCycle returns a predicate cycle that passes through a negated
+// dependency — the witness that the program is not stratifiable — or nil
+// when every negation is stratified. The slice is a closed path: it
+// starts and ends with the same predicate, and each entry depends on its
+// successor. The first step is the negated dependency.
+func (g *DepGraph) NegationCycle() []string {
+	try := func(e DepEdge) []string {
+		// e.From negates e.To; the negation is unstratifiable iff e.To
+		// transitively depends back on e.From.
+		if path := g.depPath(e.To, e.From); path != nil {
+			return append([]string{e.From}, path...)
+		}
+		return nil
+	}
+	for i, r := range g.prog.Rules {
+		for _, e := range g.ruleDeps[i] {
+			if !e.Negative {
+				continue
+			}
+			if c := try(e); c != nil {
+				return c
+			}
+			// A constructive rule's negations also act on behalf of the
+			// Interval pseudo-predicate it grows.
+			if r.IsConstructive() {
+				e.From = intervalPseudo
+				if c := try(e); c != nil {
+					return c
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// depPath returns a dependency path from predicate src to predicate dst
+// (both inclusive; a single-element path when src == dst), or nil when
+// dst is not reachable from src.
+func (g *DepGraph) depPath(src, dst string) []string {
+	if src == dst {
+		return []string{src}
+	}
+	prev := map[string]string{src: ""}
+	queue := []string{src}
+	for len(queue) > 0 {
+		p := queue[0]
+		queue = queue[1:]
+		for _, e := range g.byPred[p] {
+			if _, seen := prev[e.To]; seen {
+				continue
+			}
+			prev[e.To] = p
+			if e.To == dst {
+				var rev []string
+				for cur := dst; cur != ""; cur = prev[cur] {
+					rev = append(rev, cur)
+				}
+				out := make([]string, 0, len(rev))
+				for i := len(rev) - 1; i >= 0; i-- {
+					out = append(out, rev[i])
+				}
+				return out
+			}
+			queue = append(queue, e.To)
+		}
+	}
+	return nil
+}

@@ -897,6 +897,14 @@ func (e *Engine) hasTuple(pred string, tuple row) bool {
 	return keys[key]
 }
 
+// EvalTemporal evaluates an Allen-style temporal relation between two
+// generalized intervals — the semantics the engine applies to a
+// TemporalAtom once both operands are known. Exported so the static
+// analyzer can decide constant-constant temporal atoms without an engine.
+func EvalTemporal(rel TemporalRel, l, r interval.Generalized) bool {
+	return evalTemporalRel(rel, l, r)
+}
+
 // evalTemporalRel evaluates an Allen-style relation between generalized
 // intervals using the algebraic temporal evaluator.
 func evalTemporalRel(rel TemporalRel, l, r interval.Generalized) bool {

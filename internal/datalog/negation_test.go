@@ -109,26 +109,32 @@ func TestNegationMultipleStrata(t *testing.T) {
 }
 
 func TestUnstratifiedRejected(t *testing.T) {
-	cases := []Program{
+	cases := []struct {
+		prog Program
+		path string // full negation-cycle path the error must report
+	}{
 		// p :- not p.
-		NewProgram(NewRule(Rel("p", Var("X")),
+		{NewProgram(NewRule(Rel("p", Var("X")),
 			Rel("base", Var("X")), Not(Rel("p", Var("X"))))),
+			"p -> not p"},
 		// Mutual recursion through negation.
-		NewProgram(
+		{NewProgram(
 			NewRule(Rel("win", Var("X")),
 				Rel("move", Var("X"), Var("Y")), Not(Rel("win", Var("Y")))),
-		),
+		), "win -> not win"},
 		// Longer cycle: a -> b -> not a.
-		NewProgram(
+		{NewProgram(
 			NewRule(Rel("a", Var("X")), Rel("b", Var("X"))),
 			NewRule(Rel("b", Var("X")), Rel("base", Var("X")), Not(Rel("a", Var("X")))),
-		),
+		), "b -> not a -> b"},
 	}
-	for i, p := range cases {
-		if _, err := NewEngine(store.New(), p); err == nil {
+	for i, tc := range cases {
+		if _, err := NewEngine(store.New(), tc.prog); err == nil {
 			t.Errorf("case %d: unstratified program accepted", i)
 		} else if !strings.Contains(err.Error(), "stratified") {
 			t.Errorf("case %d: error %q should mention stratification", i, err)
+		} else if !strings.Contains(err.Error(), tc.path) {
+			t.Errorf("case %d: error %q should report the negation cycle %q", i, err, tc.path)
 		}
 	}
 }

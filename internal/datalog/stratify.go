@@ -3,8 +3,6 @@ package datalog
 import (
 	"fmt"
 	"strings"
-
-	"videodb/internal/object"
 )
 
 // Stratification for the negation extension. Each IDB predicate gets a
@@ -21,64 +19,41 @@ import (
 // stratification condition then guarantees that any rule reading the
 // Interval class runs at or after every rule that can grow it — which is
 // exactly what negation soundness needs.
+//
+// The dependency structure itself lives in DepGraph (depgraph.go), which
+// is shared with goal-reachability pruning and the static analyzer.
 
 // intervalPseudo is the pseudo-predicate tracking growth of the Interval
 // class extension. The NUL byte keeps it out of the user namespace.
 const intervalPseudo = "\x00interval"
 
-type stratumDep struct {
-	head, body string
-	negative   bool
-}
-
 // stratify returns the stratum of each predicate (IDB predicates and the
 // pseudo-predicate; EDB predicates are implicitly stratum 0) and the
-// maximum stratum. It fails if the program is not stratified.
+// maximum stratum. It fails if the program is not stratified, reporting
+// the full predicate cycle through the offending negation.
 func stratify(p Program) (map[string]int, int, error) {
-	idb := map[string]bool{}
-	for _, r := range p.Rules {
-		idb[r.Head.Pred] = true
+	g := NewDepGraph(p)
+	if cycle := g.NegationCycle(); cycle != nil {
+		return nil, 0, fmt.Errorf("datalog: program is not stratified: recursion through negation: %s",
+			renderCycle(cycle))
 	}
 
+	// No recursion through negation, so the relaxation below converges:
+	// strata only increase across negative edges, and every cycle is
+	// negation-free. The iteration cap is a defensive backstop.
 	var deps []stratumDep
-	addRuleDeps := func(head string, r Rule) {
-		for _, l := range r.Body {
-			switch a := l.(type) {
-			case RelAtom:
-				if idb[a.Pred] {
-					deps = append(deps, stratumDep{head: head, body: a.Pred})
-				}
-			case NotAtom:
-				// Negated predicates constrain the stratum even when they
-				// are EDB-only (stratum 0), which the +1 handles uniformly.
-				deps = append(deps, stratumDep{head: head, body: a.Atom.Pred, negative: true})
-			case ClassAtom:
-				if a.Kind == object.GenInterval {
-					deps = append(deps, stratumDep{head: head, body: intervalPseudo})
-				}
+	for pred, edges := range g.byPred {
+		for _, e := range edges {
+			if e.Negative || g.IDB(e.To) || e.To == intervalPseudo {
+				deps = append(deps, stratumDep{head: pred, body: e.To, negative: e.Negative})
 			}
 		}
 	}
-	for _, r := range p.Rules {
-		addRuleDeps(r.Head.Pred, r)
-		if r.IsConstructive() {
-			addRuleDeps(intervalPseudo, r)
-		}
-	}
-
 	strata := map[string]int{}
-	nodes := map[string]bool{intervalPseudo: true}
-	for pred := range idb {
-		nodes[pred] = true
-	}
-	for _, d := range deps {
-		nodes[d.head] = true
-		nodes[d.body] = true
-	}
-	limit := len(nodes) + 1
+	limit := len(g.byPred) + 2
 	for changed, iter := true, 0; changed; iter++ {
-		if iter > limit*len(deps)+1 {
-			return nil, 0, fmt.Errorf("datalog: program is not stratified (recursion through negation involving %s)", cycleHint(deps, strata))
+		if iter > limit*(len(deps)+1) {
+			return nil, 0, fmt.Errorf("datalog: program is not stratified (stratum relaxation diverged)")
 		}
 		changed = false
 		for _, d := range deps {
@@ -88,9 +63,6 @@ func stratify(p Program) (map[string]int, int, error) {
 			}
 			if strata[d.head] < want {
 				strata[d.head] = want
-				if strata[d.head] > limit {
-					return nil, 0, fmt.Errorf("datalog: program is not stratified (recursion through negation involving %q)", d.head)
-				}
 				changed = true
 			}
 		}
@@ -104,14 +76,24 @@ func stratify(p Program) (map[string]int, int, error) {
 	return strata, max, nil
 }
 
-func cycleHint(deps []stratumDep, strata map[string]int) string {
-	var preds []string
-	seen := map[string]bool{}
-	for _, d := range deps {
-		if d.negative && !seen[d.head] {
-			seen[d.head] = true
-			preds = append(preds, fmt.Sprintf("%q", d.head))
+type stratumDep struct {
+	head, body string
+	negative   bool
+}
+
+// renderCycle formats a closed negation-cycle path, e.g.
+// "b -> not a -> b" for a program where b negates a and a depends on b.
+// The first step of the cycle is the negated dependency.
+func renderCycle(cycle []string) string {
+	parts := make([]string, len(cycle))
+	for i, pred := range cycle {
+		if pred == intervalPseudo {
+			pred = "Interval (constructive rules)"
 		}
+		if i == 1 {
+			pred = "not " + pred
+		}
+		parts[i] = pred
 	}
-	return strings.Join(preds, ", ")
+	return strings.Join(parts, " -> ")
 }

@@ -145,8 +145,46 @@ func min(a, b int) int {
 }
 
 func (p *parser) errf(format string, args ...interface{}) error {
-	t := p.cur()
+	return p.errAt(p.cur(), format, args...)
+}
+
+// errAt reports an error positioned at an explicit token — used when the
+// offending construct started earlier than the current token (e.g. rule
+// validation failures point at the rule, not the trailing period).
+func (p *parser) errAt(t token, format string, args ...interface{}) error {
 	return &Error{Line: t.line, Col: t.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+// tokPos converts a token's location to an AST position.
+func tokPos(t token) datalog.Pos { return datalog.Pos{Line: t.line, Col: t.col} }
+
+// litAt stamps a literal with its source position.
+func litAt(l datalog.Literal, t token) datalog.Literal {
+	pos := tokPos(t)
+	switch a := l.(type) {
+	case datalog.RelAtom:
+		a.Pos = pos
+		return a
+	case datalog.ClassAtom:
+		a.Pos = pos
+		return a
+	case datalog.CmpAtom:
+		a.Pos = pos
+		return a
+	case datalog.MemberAtom:
+		a.Pos = pos
+		return a
+	case datalog.EntailAtom:
+		a.Pos = pos
+		return a
+	case datalog.TemporalAtom:
+		a.Pos = pos
+		return a
+	case datalog.NotAtom:
+		a.Pos = pos
+		return a
+	}
+	return l
 }
 
 func (p *parser) expect(kind tokenKind) (token, error) {
@@ -501,6 +539,7 @@ type ruleOrFact struct {
 }
 
 func (p *parser) ruleOrFact() (ruleOrFact, error) {
+	start := p.cur()
 	var label string
 	if p.cur().kind == tokIdent && p.peek().kind == tokColon && p.peek2().kind == tokIdent {
 		label = p.next().text
@@ -514,10 +553,10 @@ func (p *parser) ruleOrFact() (ruleOrFact, error) {
 		// A ground head is a fact.
 		fact, err := atomToFact(head)
 		if err != nil {
-			return ruleOrFact{}, p.errf("%v", err)
+			return ruleOrFact{}, p.errAt(start, "%v", err)
 		}
 		if label != "" {
-			return ruleOrFact{}, p.errf("facts cannot carry a rule label")
+			return ruleOrFact{}, p.errAt(start, "facts cannot carry a rule label")
 		}
 		return ruleOrFact{fact: &fact}, nil
 	}
@@ -527,8 +566,9 @@ func (p *parser) ruleOrFact() (ruleOrFact, error) {
 		return ruleOrFact{}, err
 	}
 	r := datalog.NewRule(head, body...).Named(label)
+	r.Pos = tokPos(start)
 	if err := r.Validate(); err != nil {
-		return ruleOrFact{}, p.errf("%v", err)
+		return ruleOrFact{}, p.errAt(start, "%v", err)
 	}
 	return ruleOrFact{rule: &r}, nil
 }
@@ -545,6 +585,7 @@ func atomToFact(a datalog.RelAtom) (store.Fact, error) {
 }
 
 func (p *parser) query(n int, text string) (Query, error) {
+	start := p.cur()
 	body, err := p.body()
 	if err != nil {
 		return Query{}, err
@@ -571,9 +612,11 @@ func (p *parser) query(n int, text string) (Query, error) {
 		args[i] = datalog.Var(v)
 	}
 	head := datalog.Rel(fmt.Sprintf("query_%d", n), args...)
+	head.Pos = tokPos(start)
 	rule := datalog.NewRule(head, body...)
+	rule.Pos = tokPos(start)
 	if err := rule.Validate(); err != nil {
-		return Query{}, p.errf("%v", err)
+		return Query{}, p.errAt(start, "%v", err)
 	}
 	return Query{Atom: head, Rule: &rule, Text: text}, nil
 }
@@ -622,7 +665,9 @@ func (p *parser) headAtom() (datalog.RelAtom, error) {
 	if _, err := p.expect(tokRParen); err != nil {
 		return datalog.RelAtom{}, err
 	}
-	return datalog.Rel(name.text, args...), nil
+	a := datalog.Rel(name.text, args...)
+	a.Pos = tokPos(name)
+	return a, nil
 }
 
 // concatTerm parses "term (+ term)*" as a left-nested concatenation.
@@ -673,8 +718,18 @@ func (p *parser) operand() (datalog.Operand, error) {
 	return datalog.TermOp(t), nil
 }
 
-// literal parses one body literal.
+// literal parses one body literal and stamps it with the position of its
+// first token.
 func (p *parser) literal() (datalog.Literal, error) {
+	start := p.cur()
+	l, err := p.literalInner()
+	if err != nil {
+		return nil, err
+	}
+	return litAt(l, start), nil
+}
+
+func (p *parser) literalInner() (datalog.Literal, error) {
 	t := p.cur()
 
 	// Negated relational atom: "not p(t, …)". Only relational atoms can

@@ -1,0 +1,78 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"videodb/internal/datalog"
+)
+
+// Positions threaded from the lexer into the AST: rules carry the
+// position of their first token, literals the position of theirs.
+func TestParsePositions(t *testing.T) {
+	src := "// leading comment\n" +
+		"deep(X) :- rope(X),\n" +
+		"    X.tension > 5.\n" +
+		"\n" +
+		"r2: other(Y) :- rope(Y).\n"
+	s, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Rules) != 2 {
+		t.Fatalf("rules = %d, want 2", len(s.Rules))
+	}
+
+	r := s.Rules[0]
+	if r.Pos != (datalog.Pos{Line: 2, Col: 1}) {
+		t.Errorf("rule pos = %v, want 2:1", r.Pos)
+	}
+	if r.Head.Pos != (datalog.Pos{Line: 2, Col: 1}) {
+		t.Errorf("head pos = %v, want 2:1", r.Head.Pos)
+	}
+	if got := datalog.PosOf(r.Body[0]); got != (datalog.Pos{Line: 2, Col: 12}) {
+		t.Errorf("rope literal pos = %v, want 2:12", got)
+	}
+	if got := datalog.PosOf(r.Body[1]); got != (datalog.Pos{Line: 3, Col: 5}) {
+		t.Errorf("cmp literal pos = %v, want 3:5", got)
+	}
+
+	// Labeled rule: position points at the label.
+	if s.Rules[1].Pos != (datalog.Pos{Line: 5, Col: 1}) {
+		t.Errorf("labeled rule pos = %v, want 5:1", s.Rules[1].Pos)
+	}
+}
+
+func TestParsePositionsNegationAndQuery(t *testing.T) {
+	src := "p(X) :- base(X),\n    not q(X).\n?- p(Z), base(Z).\n"
+	s, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	not := s.Rules[0].Body[1].(datalog.NotAtom)
+	if not.Pos != (datalog.Pos{Line: 2, Col: 5}) {
+		t.Errorf("not pos = %v, want 2:5", not.Pos)
+	}
+	if not.Atom.Pos != (datalog.Pos{Line: 2, Col: 9}) {
+		t.Errorf("negated atom pos = %v, want 2:9", not.Atom.Pos)
+	}
+	if len(s.Queries) != 1 || s.Queries[0].Rule == nil {
+		t.Fatalf("queries = %+v", s.Queries)
+	}
+	if s.Queries[0].Rule.Pos != (datalog.Pos{Line: 3, Col: 4}) {
+		t.Errorf("query rule pos = %v, want 3:4", s.Queries[0].Rule.Pos)
+	}
+}
+
+// Rule-validation errors must point at the rule's first token, not at the
+// token after the body, while keeping the established error format.
+func TestValidationErrorPosition(t *testing.T) {
+	_, err := Parse("ok(X) :- rope(X).\nbad(Y) :-\n    rope(X).\n")
+	if err == nil {
+		t.Fatal("unsafe rule accepted")
+	}
+	msg := err.Error()
+	if !strings.HasPrefix(msg, "parse error at line 2, column 1:") {
+		t.Errorf("error %q should be positioned at the rule start (2:1)", msg)
+	}
+}

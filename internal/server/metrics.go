@@ -8,12 +8,14 @@ import (
 	"log"
 	"net/http"
 	"net/http/pprof"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"videodb/internal/constraint"
 	"videodb/internal/datalog"
+	"videodb/internal/datalog/analyze"
 )
 
 // Observability: cumulative counters for every evaluation the server
@@ -66,6 +68,39 @@ type metrics struct {
 	memoMisses  atomic.Uint64
 
 	latency histogram
+
+	// Static-analysis diagnostics reported, keyed by code (VQL0001…).
+	// The label set is open-ended, so this one counter is a guarded map
+	// rather than an atomic; vet runs are rare next to queries, and the
+	// lock is never held across an evaluation.
+	vetMu    sync.Mutex
+	vetDiags map[string]uint64
+}
+
+// recordVet accounts the diagnostics of one vet or lint run.
+func (m *metrics) recordVet(ds []analyze.Diagnostic) {
+	if len(ds) == 0 {
+		return
+	}
+	m.vetMu.Lock()
+	defer m.vetMu.Unlock()
+	if m.vetDiags == nil {
+		m.vetDiags = make(map[string]uint64)
+	}
+	for _, d := range ds {
+		m.vetDiags[d.Code]++
+	}
+}
+
+// vetSnapshot copies the per-code diagnostic counts.
+func (m *metrics) vetSnapshot() map[string]uint64 {
+	m.vetMu.Lock()
+	defer m.vetMu.Unlock()
+	out := make(map[string]uint64, len(m.vetDiags))
+	for c, v := range m.vetDiags {
+		out[c] = v
+	}
+	return out
 }
 
 // isLimit reports whether an evaluation died on a resource guard.
@@ -101,15 +136,16 @@ func (m *metrics) recordQuery(elapsed time.Duration, st *datalog.RunStats, err e
 // engineTotals is the cumulative-evaluation section of /v1/stats and the
 // expvar mirror.
 type engineTotals struct {
-	Queries        uint64 `json:"queries"`
-	ErrorsCanceled uint64 `json:"errorsCanceled"`
-	ErrorsLimit    uint64 `json:"errorsLimit"`
-	ErrorsInvalid  uint64 `json:"errorsInvalid"`
-	Rounds         uint64 `json:"rounds"`
-	Derived        uint64 `json:"derived"`
-	SolverSteps    uint64 `json:"solverSteps"`
-	MemoHits       uint64 `json:"memoHits"`
-	MemoMisses     uint64 `json:"memoMisses"`
+	Queries        uint64            `json:"queries"`
+	ErrorsCanceled uint64            `json:"errorsCanceled"`
+	ErrorsLimit    uint64            `json:"errorsLimit"`
+	ErrorsInvalid  uint64            `json:"errorsInvalid"`
+	Rounds         uint64            `json:"rounds"`
+	Derived        uint64            `json:"derived"`
+	SolverSteps    uint64            `json:"solverSteps"`
+	MemoHits       uint64            `json:"memoHits"`
+	MemoMisses     uint64            `json:"memoMisses"`
+	VetDiagnostics map[string]uint64 `json:"vetDiagnostics,omitempty"`
 }
 
 func (m *metrics) totals() engineTotals {
@@ -123,6 +159,7 @@ func (m *metrics) totals() engineTotals {
 		SolverSteps:    m.solverSteps.Load(),
 		MemoHits:       m.memoHits.Load(),
 		MemoMisses:     m.memoMisses.Load(),
+		VetDiagnostics: m.vetSnapshot(),
 	}
 }
 
@@ -154,6 +191,18 @@ func (m *metrics) writeProm(b *bytes.Buffer, uptime time.Duration) {
 	counter("videodb_engine_solver_steps_total", "Constraint-solver steps across all evaluations.", m.solverSteps.Load())
 	counter("videodb_engine_memo_hits_total", "Solver-memo hits attributed to this server's evaluations.", m.memoHits.Load())
 	counter("videodb_engine_memo_misses_total", "Solver-memo misses attributed to this server's evaluations.", m.memoMisses.Load())
+
+	fmt.Fprintf(b, "# HELP videodb_vet_diagnostics_total Static-analysis diagnostics reported, by code.\n")
+	fmt.Fprintf(b, "# TYPE videodb_vet_diagnostics_total counter\n")
+	vet := m.vetSnapshot()
+	codes := make([]string, 0, len(vet))
+	for c := range vet {
+		codes = append(codes, c)
+	}
+	sort.Strings(codes)
+	for _, c := range codes {
+		fmt.Fprintf(b, "videodb_vet_diagnostics_total{code=%q} %d\n", c, vet[c])
+	}
 
 	ms := constraint.MemoSnapshot()
 	gauge("videodb_memo_entries", "Entries currently cached in the process-wide solver memo.", float64(ms.Entries))

@@ -10,6 +10,7 @@
 //	POST /v1/query    {"query": "?- Interval(G), o1 in G.entities."}
 //	POST /v1/explain  {"query": "…"}
 //	POST /v1/script   {"script": "interval gi1 { … }. fact(a,b)."}
+//	POST /v1/vet      {"script": "…"} — static analysis, no evaluation
 //	POST /v1/rules    {"rule": "q(G) :- Interval(G)."}
 //	GET  /v1/rules
 //	GET  /v1/objects
@@ -31,6 +32,7 @@ import (
 	"videodb/internal/constraint"
 	"videodb/internal/core"
 	"videodb/internal/datalog"
+	"videodb/internal/datalog/analyze"
 	"videodb/internal/object"
 	"videodb/internal/store"
 )
@@ -73,6 +75,7 @@ func New(db *core.DB, opts ...Option) *Server {
 	s.mux.HandleFunc("/v1/query", s.handleQuery)
 	s.mux.HandleFunc("/v1/explain", s.handleExplain)
 	s.mux.HandleFunc("/v1/script", s.handleScript)
+	s.mux.HandleFunc("/v1/vet", s.handleVet)
 	s.mux.HandleFunc("/v1/rules", s.handleRules)
 	s.mux.HandleFunc("/v1/objects", s.handleObjects)
 	s.mux.HandleFunc("/v1/objects/", s.handleObject)
@@ -130,6 +133,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 type queryRequest struct {
 	Query   string `json:"query"`
 	Profile bool   `json:"profile,omitempty"` // run with the engine profiler on
+	Lint    bool   `json:"lint,omitempty"`    // attach non-fatal vet diagnostics
 }
 
 type scriptRequest struct {
@@ -142,11 +146,12 @@ type ruleRequest struct {
 
 // ResultJSON is the wire form of one query result.
 type ResultJSON struct {
-	Columns []string         `json:"columns"`
-	Rows    [][]object.Value `json:"rows"`
-	Created []*object.Object `json:"created,omitempty"`
-	Stats   statsJSON        `json:"stats"`
-	Profile *datalog.Profile `json:"profile,omitempty"` // present when requested
+	Columns     []string             `json:"columns"`
+	Rows        [][]object.Value     `json:"rows"`
+	Created     []*object.Object     `json:"created,omitempty"`
+	Stats       statsJSON            `json:"stats"`
+	Profile     *datalog.Profile     `json:"profile,omitempty"`     // present when requested
+	Diagnostics []analyze.Diagnostic `json:"diagnostics,omitempty"` // present with {"lint": true}
 }
 
 type statsJSON struct {
@@ -208,6 +213,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	} else {
 		rs, err = s.db.QueryContext(ctx, req.Query)
 	}
+	var diags []analyze.Diagnostic
+	if err == nil && req.Lint {
+		diags = s.db.VetQuery(req.Query)
+	}
 	s.mu.RUnlock()
 	elapsed := time.Since(began)
 	if err != nil {
@@ -217,8 +226,41 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.metrics.recordQuery(elapsed, &rs.Stats, nil)
+	s.metrics.recordVet(diags)
 	s.logSlow("query", req.Query, elapsed, &rs.Stats, nil)
-	writeJSON(w, http.StatusOK, resultJSON(rs))
+	out := resultJSON(rs)
+	out.Diagnostics = diags
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleVet statically analyzes a script against the database — same
+// diagnostics as `videoql vet` — without evaluating anything. Analysis
+// never fails a request: a script that does not even parse comes back as
+// 200 with a single VQL0001 diagnostic, so clients handle one shape.
+func (s *Server) handleVet(w http.ResponseWriter, r *http.Request) {
+	var req scriptRequest
+	if !s.post(w, r, &req) {
+		return
+	}
+	if strings.TrimSpace(req.Script) == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("missing script"))
+		return
+	}
+	s.mu.RLock()
+	diags, err := s.db.Vet(req.Script)
+	s.mu.RUnlock()
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	s.metrics.recordVet(diags)
+	if diags == nil {
+		diags = []analyze.Diagnostic{} // clients must always see "diagnostics": []
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"diagnostics": diags,
+		"ok":          !analyze.HasErrors(diags),
+	})
 }
 
 func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {

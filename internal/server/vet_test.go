@@ -1,0 +1,136 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"videodb/internal/datalog/analyze"
+)
+
+// The acceptance scenario over HTTP: a typo'd predicate, an
+// unsatisfiable body, and an unreachable rule come back as three
+// distinct, positioned diagnostics from POST /v1/vet.
+func TestVetEndpoint(t *testing.T) {
+	ts := testServer(t)
+	script := `rope(r1).
+deep(X) :- ropee(X), X.depth > 3.
+taut(X) :- rope(X), X.tension < 5, X.tension > 10.
+spare(X) :- rope(X), X.kind = "static".
+?- deep(X).
+?- taut(X).
+`
+	resp, out := postJSON(t, ts.URL+"/v1/vet", map[string]string{"script": script})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %v", resp.StatusCode, out)
+	}
+	var ok bool
+	if err := json.Unmarshal(out["ok"], &ok); err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("ok = true for a script with errors")
+	}
+	var diags []analyze.Diagnostic
+	if err := json.Unmarshal(out["diagnostics"], &diags); err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{
+		analyze.CodeUndefinedPred: false,
+		analyze.CodeDeadRule:      false,
+		analyze.CodeUnreachable:   false,
+	}
+	for _, d := range diags {
+		if _, interesting := want[d.Code]; !interesting {
+			continue
+		}
+		want[d.Code] = true
+		if d.Pos.IsZero() {
+			t.Errorf("%s diagnostic has no position: %+v", d.Code, d)
+		}
+	}
+	for code, seen := range want {
+		if !seen {
+			t.Errorf("missing %s diagnostic in %v", code, diags)
+		}
+	}
+
+	// The counters surface per code on /metrics.
+	body, _ := scrape(t, ts.URL)
+	for code := range want {
+		if !strings.Contains(body, `videodb_vet_diagnostics_total{code="`+code+`"}`) {
+			t.Errorf("exposition is missing vet counter for %s:\n%s", code, body)
+		}
+	}
+}
+
+func TestVetEndpointParseError(t *testing.T) {
+	ts := testServer(t)
+	resp, out := postJSON(t, ts.URL+"/v1/vet", map[string]string{"script": "deep(X :-"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %v", resp.StatusCode, out)
+	}
+	var diags []analyze.Diagnostic
+	if err := json.Unmarshal(out["diagnostics"], &diags); err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 || diags[0].Code != analyze.CodeParseError {
+		t.Fatalf("diagnostics = %v, want one %s", diags, analyze.CodeParseError)
+	}
+
+	resp, _ = postJSON(t, ts.URL+"/v1/vet", map[string]string{"script": ""})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty script status = %d", resp.StatusCode)
+	}
+}
+
+func TestQueryLint(t *testing.T) {
+	ts := testServer(t)
+
+	// Lint on, clean query: result carries no diagnostics.
+	resp, out := postJSON(t, ts.URL+"/v1/query", map[string]interface{}{
+		"query": "?- Interval(G), o1 in G.entities.",
+		"lint":  true,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %v", resp.StatusCode, out)
+	}
+	if raw, present := out["diagnostics"]; present {
+		t.Errorf("clean query carried diagnostics: %s", raw)
+	}
+
+	// Lint on, query whose temporal constraints cannot hold: it still
+	// evaluates (to zero rows), and the analysis rides along.
+	resp, out = postJSON(t, ts.URL+"/v1/query", map[string]interface{}{
+		"query": "?- Interval(G), G.duration => [0, 5], G.duration => [50, 60].",
+		"lint":  true,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %v", resp.StatusCode, out)
+	}
+	var diags []analyze.Diagnostic
+	if err := json.Unmarshal(out["diagnostics"], &diags); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, d := range diags {
+		if d.Code == analyze.CodeDeadRule {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("diagnostics = %v, want %s", diags, analyze.CodeDeadRule)
+	}
+
+	// Lint off (the default): same query, no diagnostics attached.
+	resp, out = postJSON(t, ts.URL+"/v1/query", map[string]interface{}{
+		"query": "?- Interval(G), G.duration => [0, 5], G.duration => [50, 60].",
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %v", resp.StatusCode, out)
+	}
+	if raw, present := out["diagnostics"]; present {
+		t.Errorf("lint-off query carried diagnostics: %s", raw)
+	}
+}

@@ -142,6 +142,29 @@ func (s *Store) Relations() []string {
 	return out
 }
 
+// FactArities returns, per relation, the sorted distinct arities its
+// facts occur with — the schema snapshot the static analyzer consumes.
+func (s *Store) FactArities() map[string][]int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make(map[string][]int, len(s.facts))
+	for name, fs := range s.facts {
+		seen := map[int]bool{}
+		for _, f := range fs {
+			seen[len(f.Args)] = true
+		}
+		arities := make([]int, 0, len(seen))
+		for a := range seen {
+			arities = append(arities, a)
+		}
+		sort.Ints(arities)
+		if len(arities) > 0 {
+			out[name] = arities
+		}
+	}
+	return out
+}
+
 // ForEachFact calls fn for every fact of the relation until fn returns
 // false.
 func (s *Store) ForEachFact(name string, fn func(Fact) bool) {
