@@ -29,17 +29,19 @@ vet-examples:
 test:
 	$(GO) test ./...
 
-# race exercises the parallel evaluator, the shared EDB/memo caches, and
-# the server's observability counters under the race detector.
+# race exercises the parallel evaluator, the shared EDB/memo caches, the
+# store write path (WAL fault injection, range-index readers, changelog),
+# the materialized-view oracle, and the server's observability counters
+# under the race detector.
 race:
-	$(GO) test -race ./internal/datalog/... ./internal/server/...
+	$(GO) test -race ./internal/datalog/... ./internal/store/... ./internal/core/... ./internal/server/...
 
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' .
 
 # bench-json regenerates the machine-readable acceptance benchmark report.
 bench-json:
-	$(GO) run ./cmd/bench -json -out BENCH_PR4.json
+	$(GO) run ./cmd/bench -json -out BENCH_PR5.json
 
 clean:
 	$(GO) clean ./...

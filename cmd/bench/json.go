@@ -76,19 +76,34 @@ type vetBench struct {
 	Diagnostics int     `json:"diagnostics"`
 }
 
+// viewBenchEntry is one view-maintenance timing: the per-mutation cost
+// of serving a materialized view either by incremental maintenance or by
+// recomputing the goal from scratch.
+type viewBenchEntry struct {
+	Bench       string  `json:"bench"`
+	Mode        string  `json:"mode"` // "incremental_view" or "full_recompute"
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	Iterations  int     `json:"iterations"`
+}
+
 type benchReport struct {
-	Generated    string         `json:"generated"`
-	GoOS         string         `json:"goos"`
-	GoArch       string         `json:"goarch"`
-	CPUs         int            `json:"cpus"`
-	SeedCommit   string         `json:"seed_commit"`
-	SeedNote     string         `json:"seed_note"`
-	Results      []benchResult  `json:"results"`
-	SeedBaseline []seedEntry    `json:"seed_baseline"`
-	VsSeed       []improvement  `json:"improvement_vs_seed"`
-	Profiles     []profileEntry `json:"profiles"`
-	Vet          []vetBench     `json:"vet"`
-	VetNote      string         `json:"vet_note"`
+	Generated    string           `json:"generated"`
+	GoOS         string           `json:"goos"`
+	GoArch       string           `json:"goarch"`
+	CPUs         int              `json:"cpus"`
+	SeedCommit   string           `json:"seed_commit"`
+	SeedNote     string           `json:"seed_note"`
+	Results      []benchResult    `json:"results"`
+	SeedBaseline []seedEntry      `json:"seed_baseline"`
+	VsSeed       []improvement    `json:"improvement_vs_seed"`
+	Profiles     []profileEntry   `json:"profiles"`
+	Views        []viewBenchEntry `json:"views"`
+	ViewNsRatio  float64          `json:"view_ns_ratio"` // incremental/recompute; < 1 means maintenance wins
+	ViewNote     string           `json:"view_note"`
+	Vet          []vetBench       `json:"vet"`
+	VetNote      string           `json:"vet_note"`
 }
 
 // seedBaseline is the `go test -bench . -benchmem` output of the
@@ -359,6 +374,101 @@ func runJSON(outPath string) {
 	}
 	report.VetNote = "each Vet/* entry is a full db.Vet pass (parse + all analyzer passes, solver-backed " +
 		"dead-rule detection included); compare ns_per_op with the E5/E13 evaluation workloads above"
+
+	// View maintenance: the per-mutation cost of keeping a transitive
+	// closure current over a large edge base. One side-edge into the
+	// middle of a long chain is toggled on and off; the incremental view
+	// applies the one-fact delta (semi-naive insertion or DRed deletion),
+	// the recompute baseline re-evaluates the whole closure — which is
+	// exactly what every read paid before materialized views existed.
+	const chain = 200
+	buildChainDB := func() *core.DB {
+		db := core.New()
+		for _, rule := range []string{
+			"reach(X, Y) :- edge(X, Y)",
+			"reach(X, Z) :- reach(X, Y), edge(Y, Z)",
+		} {
+			if err := db.DefineRule(rule); err != nil {
+				fmt.Fprintf(os.Stderr, "bench: views: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		for i := 0; i < chain-1; i++ {
+			if err := db.Relate("edge",
+				object.OID(fmt.Sprintf("n%03d", i)), object.OID(fmt.Sprintf("n%03d", i+1))); err != nil {
+				fmt.Fprintf(os.Stderr, "bench: views: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		return db
+	}
+	toggler := func(db *core.DB) func() {
+		on := false
+		// Attach near the tail: the delta closes ~20 new reach tuples, so
+		// maintenance work is proportional to the change, not the base.
+		mid := object.OID(fmt.Sprintf("n%03d", chain-20))
+		return func() {
+			if on {
+				if _, err := db.Unrelate("edge", "side", mid); err != nil {
+					fmt.Fprintf(os.Stderr, "bench: views: %v\n", err)
+					os.Exit(1)
+				}
+			} else {
+				if err := db.Relate("edge", "side", mid); err != nil {
+					fmt.Fprintf(os.Stderr, "bench: views: %v\n", err)
+					os.Exit(1)
+				}
+			}
+			on = !on
+		}
+	}
+	addView := func(mode string, res testing.BenchmarkResult) {
+		report.Views = append(report.Views, viewBenchEntry{
+			Bench:       fmt.Sprintf("ViewMaintenance/closure/chain=%d", chain),
+			Mode:        mode,
+			NsPerOp:     float64(res.NsPerOp()),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+			AllocsPerOp: res.AllocsPerOp(),
+			Iterations:  res.N,
+		})
+		fmt.Printf("%-40s %-24s %14.0f ns/op %10d allocs/op\n",
+			fmt.Sprintf("ViewMaintenance/closure/chain=%d", chain), mode,
+			float64(res.NsPerOp()), res.AllocsPerOp())
+	}
+	{
+		db := buildChainDB()
+		if _, err := db.Materialize("closure", "?- reach(X, Y)"); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: views: %v\n", err)
+			os.Exit(1)
+		}
+		flip := toggler(db)
+		res, _ := measureFn(func(int) {
+			flip()
+			if _, err := db.View("closure"); err != nil {
+				fmt.Fprintf(os.Stderr, "bench: views: %v\n", err)
+				os.Exit(1)
+			}
+		})
+		addView("incremental_view", res)
+		db.Close()
+	}
+	{
+		db := buildChainDB()
+		flip := toggler(db)
+		res, _ := measureFn(func(int) {
+			flip()
+			if _, err := db.Query("?- reach(X, Y)"); err != nil {
+				fmt.Fprintf(os.Stderr, "bench: views: %v\n", err)
+				os.Exit(1)
+			}
+		})
+		addView("full_recompute", res)
+		db.Close()
+	}
+	report.ViewNsRatio = report.Views[0].NsPerOp / report.Views[1].NsPerOp
+	report.ViewNote = "per-mutation cost of one view read after toggling one edge fact; " +
+		"incremental_view maintains via semi-naive insertion / DRed deletion, " +
+		"full_recompute re-evaluates the goal from scratch (ratio < 1 means maintenance wins)"
 
 	// Improvement ratios for the default configuration against the seed.
 	for _, se := range seedBaseline {

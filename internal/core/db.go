@@ -11,6 +11,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"sync"
 
 	"videodb/internal/datalog"
 	"videodb/internal/interval"
@@ -34,6 +35,11 @@ type DB struct {
 	taxonomy  *Taxonomy
 	engOpts   []datalog.Option
 	noPruning bool
+
+	// Materialized views (see views.go). viewFeed attaches the store
+	// changelog subscription once, on first Materialize.
+	views    viewRegistry
+	viewFeed sync.Once
 }
 
 // New creates an empty video database.
@@ -105,9 +111,20 @@ func (db *DB) Attach(intervalOID object.OID, entities ...object.OID) error {
 	})
 }
 
-// Relate asserts the fact rel(args...) (an element of R).
-func (db *DB) Relate(rel string, args ...object.OID) {
-	db.st.AddFact(store.RefFact(rel, args...))
+// Relate asserts the fact rel(args...) (an element of R). The error is
+// non-nil only on a durable store that refuses the write because its
+// write-ahead log is poisoned or the append failed (fail-fast; the
+// in-memory state is rolled back, nothing is acknowledged).
+func (db *DB) Relate(rel string, args ...object.OID) error {
+	_, err := db.st.AddFactErr(store.RefFact(rel, args...))
+	return err
+}
+
+// Unrelate retracts the fact rel(args...). It reports whether the fact
+// was present and removed; the error mirrors Relate's durability
+// contract.
+func (db *DB) Unrelate(rel string, args ...object.OID) (bool, error) {
+	return db.st.DeleteFactErr(store.RefFact(rel, args...))
 }
 
 // Object returns the stored object, or nil.

@@ -112,6 +112,22 @@ type Engine struct {
 	// shallow copies, the private proposal buffer.
 	workers int
 	collect *[]proposal
+
+	// Incremental maintenance (see incremental.go). edbDelta carries the
+	// current round's delta rows of extensional predicates (standard runs
+	// never assign delta positions to EDB atoms, so it stays nil there).
+	// delMode redirects head firings into delSet/delNext — the DRed
+	// over-deletion bookkeeping — instead of proposing tuples; it is only
+	// ever set during the serial over-deletion phase.
+	edbDelta map[string][]row
+	delMode  bool
+	delSet   map[string]map[string]bool
+	delNext  map[string][]row
+
+	// ran records that runOnce has been consumed (by Run or
+	// RunIncremental), distinguishing "already evaluated" from "evaluated
+	// with a nil error" for RunIncremental's misuse check.
+	ran *bool
 }
 
 // RunStats reports what a fixpoint computation did.
@@ -208,6 +224,7 @@ func NewEngine(st *store.Store, prog Program, opts ...Option) (*Engine, error) {
 		statsMu:        &sync.Mutex{},
 		statsSnap:      &RunStats{},
 		runOnce:        &sync.Once{},
+		ran:            new(bool),
 		prov:           make(map[string]*Derivation),
 		predStrata:     strata,
 		maxStratum:     maxStratum,
@@ -274,11 +291,31 @@ func (e *Engine) publishStats() {
 // concurrent callers: the fixpoint runs exactly once and subsequent or
 // concurrent calls wait for it, then return its result.
 func (e *Engine) Run() error {
-	e.runOnce.Do(func() { e.runErr = e.runFixpoint() })
+	e.runOnce.Do(func() {
+		*e.ran = true
+		e.runErr = e.runFixpoint()
+	})
 	return e.runErr
 }
 
 func (e *Engine) runFixpoint() error {
+	return e.runGuarded(func() error {
+		e.seedEDB()
+		e.warmGoalPreds()
+		for s := 0; s <= e.maxStratum; s++ {
+			if err := e.runStratum(s); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// runGuarded wraps a fixpoint computation (full or incremental) with the
+// shared run scaffolding: the memo ablation toggle, the solver budget
+// that carries cancellation into constraint evaluation, the EDB
+// snapshot, and the stats/profile finalizers.
+func (e *Engine) runGuarded(body func() error) error {
 	if e.memoOff {
 		prev := constraint.SetMemoEnabled(false)
 		defer constraint.SetMemoEnabled(prev)
@@ -300,14 +337,7 @@ func (e *Engine) runFixpoint() error {
 		return err
 	}
 	e.snapshotEDB()
-	e.seedEDB()
-	e.warmGoalPreds()
-	for s := 0; s <= e.maxStratum; s++ {
-		if err := e.runStratum(s); err != nil {
-			return err
-		}
-	}
-	return nil
+	return body()
 }
 
 // warmGoalPreds pre-fills the EDB caches for predicates registered as
@@ -338,54 +368,12 @@ func (e *Engine) runStratum(s int) error {
 		}
 	}
 
-	// runRound evaluates one TP round: the tasks, the round boundary, and
-	// — when profiling — the round's wall time and firings/derived deltas.
-	// The published stats snapshot advances at every boundary, so
-	// concurrent Stats readers see live (round-granular) progress.
-	runRound := func(tasks []evalTask, guard bool) (bool, error) {
-		if err := e.checkCancel(); err != nil {
-			return false, err
-		}
-		e.stats.Rounds++
-		if guard && e.stats.Rounds > e.maxRounds {
-			return false, fmt.Errorf("%w: fixpoint did not converge within %d rounds", ErrLimitExceeded, e.maxRounds)
-		}
-		var start time.Time
-		f0, d0 := e.stats.Firings, e.stats.Derived
-		if e.prof != nil {
-			start = time.Now()
-		}
-		if err := e.runTasks(tasks); err != nil {
-			return false, err
-		}
-		changed := e.advance()
-		if e.eager {
-			if err := e.eagerClosure(); err != nil {
-				return false, err
-			}
-			changed = changed || len(e.pendingCreated) > 0
-			e.applyCreatedBoundary()
-		}
-		if e.prof != nil {
-			e.prof.rounds = append(e.prof.rounds, RoundProfile{
-				Round:   e.stats.Rounds,
-				Stratum: s,
-				Tasks:   len(tasks),
-				Firings: e.stats.Firings - f0,
-				Derived: e.stats.Derived - d0,
-				Time:    time.Since(start),
-			})
-		}
-		e.publishStats()
-		return changed, nil
-	}
-
 	// Round 1 of the stratum: every rule against the current extent.
 	round1 := make([]evalTask, len(rules))
 	for i, ri := range rules {
 		round1[i] = evalTask{ruleIdx: ri, delta: -1}
 	}
-	changed, err := runRound(round1, false)
+	changed, err := e.runRound(round1, s, false)
 	if err != nil {
 		return err
 	}
@@ -403,12 +391,55 @@ func (e *Engine) runStratum(s int) error {
 				}
 			}
 		}
-		changed, err = runRound(tasks, true)
+		changed, err = e.runRound(tasks, s, true)
 		if err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// runRound evaluates one TP round: the tasks, the round boundary, and —
+// when profiling — the round's wall time and firings/derived deltas. The
+// published stats snapshot advances at every boundary, so concurrent
+// Stats readers see live (round-granular) progress. Shared by runStratum
+// and the incremental insertion-propagation phase.
+func (e *Engine) runRound(tasks []evalTask, stratum int, guard bool) (bool, error) {
+	if err := e.checkCancel(); err != nil {
+		return false, err
+	}
+	e.stats.Rounds++
+	if guard && e.stats.Rounds > e.maxRounds {
+		return false, fmt.Errorf("%w: fixpoint did not converge within %d rounds", ErrLimitExceeded, e.maxRounds)
+	}
+	var start time.Time
+	f0, d0 := e.stats.Firings, e.stats.Derived
+	if e.prof != nil {
+		start = time.Now()
+	}
+	if err := e.runTasks(tasks); err != nil {
+		return false, err
+	}
+	changed := e.advance()
+	if e.eager {
+		if err := e.eagerClosure(); err != nil {
+			return false, err
+		}
+		changed = changed || len(e.pendingCreated) > 0
+		e.applyCreatedBoundary()
+	}
+	if e.prof != nil {
+		e.prof.rounds = append(e.prof.rounds, RoundProfile{
+			Round:   e.stats.Rounds,
+			Stratum: stratum,
+			Tasks:   len(tasks),
+			Firings: e.stats.Firings - f0,
+			Derived: e.stats.Derived - d0,
+			Time:    time.Since(start),
+		})
+	}
+	e.publishStats()
+	return changed, nil
 }
 
 func (e *Engine) snapshotEDB() {
@@ -524,6 +555,11 @@ func (e *Engine) relAccess(pred string, useDelta bool) ([]row, *relation) {
 			return rel.delta, nil
 		}
 		return rel.rows, rel
+	}
+	if useDelta {
+		// Only incremental maintenance assigns delta positions to
+		// extensional atoms; elsewhere an EDB delta is empty.
+		return e.edbDelta[pred], nil
 	}
 	rel := e.edbRelation(pred)
 	return rel.rows, rel
@@ -981,6 +1017,25 @@ func (e *Engine) fireHead(cr *compiledRule, fr *frame) error {
 	e.stats.Firings++
 	if e.prof != nil {
 		e.prof.ruleFirings[e.curRule]++
+	}
+	if e.delMode {
+		// DRed over-deletion: the body matched through a deletion delta,
+		// so this head tuple may have lost support. Mark it for deletion
+		// (once) if it is part of the maintained extent; rederivation
+		// decides later whether alternative support remains.
+		pred := r.Head.Pred
+		rel := e.derived[pred]
+		k := rowKey(tuple)
+		if rel != nil && rel.keys[k] && !e.delSet[pred][k] {
+			set := e.delSet[pred]
+			if set == nil {
+				set = make(map[string]bool)
+				e.delSet[pred] = set
+			}
+			set[k] = true
+			e.delNext[pred] = append(e.delNext[pred], tuple)
+		}
+		return nil
 	}
 	if e.collect != nil {
 		// Parallel worker: buffer the proposal for the round barrier.

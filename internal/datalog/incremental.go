@@ -1,0 +1,349 @@
+package datalog
+
+import (
+	"fmt"
+
+	"videodb/internal/object"
+)
+
+// Incremental maintenance: given the extension a previous run computed
+// and a net batch of extensional fact changes, RunIncremental brings the
+// engine's relations to the fixpoint of the mutated database without
+// recomputing from scratch.
+//
+//   - Insertions propagate semi-naively: the inserted facts form the
+//     first delta, and the standard rounds (reusing the compiled plans
+//     and the join kernel, parallel when configured) run to fixpoint.
+//   - Deletions use delete-and-rederive (DRed): an over-deletion pass
+//     marks every tuple with a derivation through a deleted fact
+//     (evaluating rule bodies with the deletion delta in each position,
+//     against the *pre-batch* extents), the marked tuples are removed,
+//     and the affected predicates' rules re-run once against the reduced
+//     database to rederive tuples with surviving alternative support;
+//     anything rederived then propagates like an insertion.
+//
+// The method is restricted to programs this is sound for: positive
+// (negation-free) and non-constructive — exactly the monotone fragment
+// where the fixpoint is determined by the EDB and DRed's
+// over-delete/rederive theorem applies. Callers fall back to a full
+// recompute otherwise (core.DB.Materialize does this automatically).
+
+// Extension is the materialized extension of a run's IDB predicates:
+// predicate name to tuples, in no particular order. The tuples are
+// shared, not copied — treat them as immutable.
+type Extension map[string][][]object.Value
+
+// FactDelta maps predicate names to tuples of extensional facts added or
+// removed since the extension was computed. Deltas must be net: a fact
+// both added and removed since the prior run must appear in neither map,
+// and inserted facts must be present in (deleted facts absent from) the
+// store the engine reads.
+type FactDelta map[string][][]object.Value
+
+// SupportsIncremental reports whether the program is in the fragment
+// RunIncremental maintains: positive (no negation) and non-constructive
+// (no ⊕ in rule heads). Such programs are monotone in the EDB, which is
+// what delete-and-rederive requires; they also always stratify into the
+// single stratum 0.
+func (p Program) SupportsIncremental() bool {
+	for _, r := range p.Rules {
+		if r.IsConstructive() {
+			return false
+		}
+		for _, l := range r.Body {
+			if _, ok := l.(NotAtom); ok {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Extensions returns the extension of every IDB predicate. Call after
+// Run or RunIncremental has completed; the result is what a later engine
+// passes to RunIncremental as prior. The tuple slices are snapshots but
+// the tuples themselves are shared with the engine — do not mutate them.
+func (e *Engine) Extensions() Extension {
+	out := make(Extension, len(e.derived))
+	for pred, rel := range e.derived {
+		ext := make([][]object.Value, len(rel.rows))
+		for i, r := range rel.rows {
+			ext[i] = r
+		}
+		out[pred] = ext
+	}
+	return out
+}
+
+// RunIncremental computes the fixpoint of the engine's program over the
+// current store by maintaining prior — the Extensions() of a previous
+// run over the pre-batch store — against the net fact changes (ins,
+// del). It occupies the engine's single run slot: afterwards Query/Rows
+// serve the maintained extension, and a second Run or RunIncremental on
+// the same engine is an error. On error (including cancellation) the
+// relations are left in an undefined state; discard the engine.
+func (e *Engine) RunIncremental(prior Extension, ins, del FactDelta) error {
+	called := false
+	e.runOnce.Do(func() {
+		called = true
+		*e.ran = true
+		e.runErr = e.runGuarded(func() error { return e.runIncremental(prior, ins, del) })
+	})
+	if !called {
+		return fmt.Errorf("datalog: RunIncremental on an engine that already ran (each engine evaluates once)")
+	}
+	return e.runErr
+}
+
+func (e *Engine) runIncremental(prior Extension, ins, del FactDelta) error {
+	switch {
+	case e.trace:
+		return fmt.Errorf("datalog: incremental maintenance does not record provenance (use a fresh traced run)")
+	case e.eager || e.naive:
+		return fmt.Errorf("datalog: incremental maintenance requires the default semi-naive evaluator")
+	case !e.prog.SupportsIncremental():
+		return fmt.Errorf("datalog: program is outside the incrementally maintainable fragment (negation or constructive rules)")
+	}
+
+	// Re-materialize the prior extension (it already contains the seeded
+	// extensional facts of IDB predicates, so seedEDB is not rerun; fact
+	// changes on IDB predicates arrive through ins/del instead). Tuples
+	// are shared with the prior run, not copied: relations never mutate
+	// a tuple in place, so aliasing is safe.
+	for pred, rel := range e.derived {
+		for _, t := range prior[pred] {
+			rel.seed(row(t))
+		}
+	}
+
+	insRows := deltaRows(ins)
+	delRows := deltaRows(del)
+
+	// Pin the *pre-batch* extents of changed extensional predicates into
+	// the EDB cache: over-deletion joins must run against the database
+	// the prior extension was computed from. Pre-batch = store minus net
+	// inserts plus net deletes.
+	changedEDB := make(map[string]bool)
+	for pred := range insRows {
+		if !e.idb[pred] {
+			changedEDB[pred] = true
+		}
+	}
+	for pred := range delRows {
+		if !e.idb[pred] {
+			changedEDB[pred] = true
+		}
+	}
+	for pred := range changedEDB {
+		skip := make(map[string]bool, len(insRows[pred]))
+		for _, t := range insRows[pred] {
+			skip[rowKey(t)] = true
+		}
+		old := newRelation()
+		for _, t := range e.edbRelation(pred).rows {
+			if !skip[rowKey(t)] {
+				old.rows = append(old.rows, t)
+			}
+		}
+		old.rows = append(old.rows, delRows[pred]...)
+		e.edbCache[pred] = old
+	}
+
+	// Phase 1: DRed over-deletion (serial; the delSet bookkeeping is not
+	// worker-safe and deletion deltas are small by construction).
+	deleted, err := e.overDelete(delRows)
+	if err != nil {
+		return err
+	}
+
+	// Apply the over-deletion, and drop the pinned pre-batch extents so
+	// every later join reads the post-batch store.
+	for pred, dels := range deleted {
+		if len(dels) == 0 {
+			continue
+		}
+		rel := e.derived[pred]
+		kept := make([]row, 0, len(rel.rows)-len(dels))
+		for _, t := range rel.rows {
+			if !dels[rowKey(t)] {
+				kept = append(kept, t)
+			}
+		}
+		rel.rows = kept
+		for k := range dels {
+			delete(rel.keys, k)
+		}
+		rel.delta, rel.next = nil, nil
+		rel.idx = nil // row indexes shifted; rebuild lazily
+	}
+	for pred := range changedEDB {
+		delete(e.edbCache, pred)
+		delete(e.edbKeys, pred)
+	}
+
+	// Phase 2: rederive. Rules whose head lost tuples re-run once against
+	// the reduced extents (and the post-batch EDB); tuples with surviving
+	// alternative derivations are re-proposed and, at the next round
+	// boundary, become deltas that propagate like insertions.
+	for ri, r := range e.prog.Rules {
+		if len(deleted[r.Head.Pred]) > 0 {
+			if err := e.evalRule(ri, -1); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Phase 3: insertion propagation. Inserted facts on IDB predicates
+	// join the proposals; inserted facts on extensional predicates form
+	// one EDB delta round. From there the standard semi-naive rounds run
+	// to fixpoint (parallel when configured).
+	for pred, rows := range insRows {
+		if rel, ok := e.derived[pred]; ok {
+			for _, t := range rows {
+				rel.propose(t)
+			}
+		}
+	}
+	e.advance()
+	e.edbDelta = make(map[string][]row)
+	for pred, rows := range insRows {
+		if !e.idb[pred] && len(rows) > 0 {
+			e.edbDelta[pred] = rows
+		}
+	}
+	var round1 []evalTask
+	for ri, r := range e.prog.Rules {
+		for pos, l := range r.Body {
+			a, ok := l.(RelAtom)
+			if !ok {
+				continue
+			}
+			n := 0
+			if e.idb[a.Pred] {
+				n = len(e.derived[a.Pred].delta)
+			} else {
+				n = len(e.edbDelta[a.Pred])
+			}
+			if n > 0 {
+				round1 = append(round1, evalTask{ruleIdx: ri, delta: pos})
+			}
+		}
+	}
+	if len(round1) == 0 {
+		e.edbDelta = nil
+		return nil
+	}
+	changed, err := e.runRound(round1, 0, false)
+	e.edbDelta = nil
+	if err != nil {
+		return err
+	}
+	for changed {
+		var tasks []evalTask
+		for ri, r := range e.prog.Rules {
+			for _, p := range e.deltaPositionsIn(r, 0) {
+				tasks = append(tasks, evalTask{ruleIdx: ri, delta: p})
+			}
+		}
+		changed, err = e.runRound(tasks, 0, true)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// overDelete runs the DRed over-deletion pass: starting from the deleted
+// base facts, it iterates "which maintained tuples have a one-step
+// derivation through the current deletion delta" to fixpoint, against
+// the pre-batch extents (relations still hold the full prior extension;
+// changed EDB predicates are pinned to their pre-batch rows). Returns
+// the per-predicate key sets of over-deleted tuples.
+func (e *Engine) overDelete(delRows map[string][]row) (map[string]map[string]bool, error) {
+	e.delMode = true
+	e.delSet = make(map[string]map[string]bool)
+	defer func() {
+		e.delMode = false
+		e.delNext = nil
+		e.edbDelta = nil
+	}()
+
+	// Seed deltas. A deleted fact on an IDB predicate is itself part of
+	// the maintained extent and loses its base support outright.
+	cur := make(map[string][]row)
+	for pred, rows := range delRows {
+		if !e.idb[pred] {
+			if len(rows) > 0 {
+				cur[pred] = rows
+			}
+			continue
+		}
+		rel := e.derived[pred]
+		set := e.delSet[pred]
+		if set == nil {
+			set = make(map[string]bool)
+			e.delSet[pred] = set
+		}
+		for _, t := range rows {
+			k := rowKey(t)
+			if rel.keys[k] && !set[k] {
+				set[k] = true
+				cur[pred] = append(cur[pred], t)
+			}
+		}
+		if len(cur[pred]) == 0 {
+			delete(cur, pred)
+		}
+	}
+
+	for len(cur) > 0 {
+		if err := e.checkCancel(); err != nil {
+			return nil, err
+		}
+		e.stats.Rounds++
+		e.edbDelta = make(map[string][]row)
+		for pred, rows := range cur {
+			if e.idb[pred] {
+				e.derived[pred].delta = rows
+			} else {
+				e.edbDelta[pred] = rows
+			}
+		}
+		e.delNext = make(map[string][]row)
+		for ri, r := range e.prog.Rules {
+			for pos, l := range r.Body {
+				if a, ok := l.(RelAtom); ok && len(cur[a.Pred]) > 0 {
+					if err := e.evalRule(ri, pos); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+		for pred := range cur {
+			if e.idb[pred] {
+				e.derived[pred].delta = nil
+			}
+		}
+		cur = e.delNext
+		e.delNext = nil
+		e.publishStats()
+	}
+	return e.delSet, nil
+}
+
+// deltaRows converts a FactDelta to internal rows, dropping empty
+// entries.
+func deltaRows(d FactDelta) map[string][]row {
+	out := make(map[string][]row, len(d))
+	for pred, tuples := range d {
+		if len(tuples) == 0 {
+			continue
+		}
+		rows := make([]row, len(tuples))
+		for i, t := range tuples {
+			rows[i] = row(t)
+		}
+		out[pred] = rows
+	}
+	return out
+}

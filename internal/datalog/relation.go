@@ -87,6 +87,18 @@ func (r *relation) propose(t row) bool {
 	return true
 }
 
+// seed installs a tuple directly into the full extent without delta
+// bookkeeping — incremental maintenance re-materializing the extension
+// of a prior run (see incremental.go).
+func (r *relation) seed(t row) {
+	k := rowKey(t)
+	if r.keys[k] {
+		return
+	}
+	r.keys[k] = true
+	r.rows = append(r.rows, t)
+}
+
 // advance applies the round boundary: next becomes delta and joins the
 // full extent. It reports whether anything changed.
 func (r *relation) advance() bool {
@@ -96,10 +108,22 @@ func (r *relation) advance() bool {
 	return len(r.delta) > 0
 }
 
-// sortedRows returns the rows in canonical (key) order.
+// sortedRows returns the rows in canonical (key) order. Keys are
+// computed once per row, not per comparison — on large extents the
+// comparator would otherwise rebuild each key O(log n) times.
 func (r *relation) sortedRows() []row {
-	out := make([]row, len(r.rows))
-	copy(out, r.rows)
-	sort.Slice(out, func(i, j int) bool { return rowKey(out[i]) < rowKey(out[j]) })
+	type keyed struct {
+		key string
+		t   row
+	}
+	ks := make([]keyed, len(r.rows))
+	for i, t := range r.rows {
+		ks[i] = keyed{rowKey(t), t}
+	}
+	sort.Slice(ks, func(i, j int) bool { return ks[i].key < ks[j].key })
+	out := make([]row, len(ks))
+	for i, k := range ks {
+		out[i] = k.t
+	}
 	return out
 }

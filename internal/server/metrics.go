@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"videodb/internal/constraint"
+	"videodb/internal/core"
 	"videodb/internal/datalog"
 	"videodb/internal/datalog/analyze"
 )
@@ -69,6 +70,14 @@ type metrics struct {
 
 	latency histogram
 
+	// Materialized-view reads by how they were served, plus maintenance
+	// failures. A high recompute share means views are being invalidated
+	// (object writes, rule changes) faster than they pay off.
+	viewCached     atomic.Uint64
+	viewIncr       atomic.Uint64
+	viewRecomputed atomic.Uint64
+	viewErrors     atomic.Uint64
+
 	// Static-analysis diagnostics reported, keyed by code (VQL0001…).
 	// The label set is open-ended, so this one counter is a guarded map
 	// rather than an atomic; vet runs are rare next to queries, and the
@@ -101,6 +110,18 @@ func (m *metrics) vetSnapshot() map[string]uint64 {
 		out[c] = v
 	}
 	return out
+}
+
+// recordView accounts one successful view read by serving mode.
+func (m *metrics) recordView(mode core.ViewMode) {
+	switch mode {
+	case core.ViewCached:
+		m.viewCached.Add(1)
+	case core.ViewIncremental:
+		m.viewIncr.Add(1)
+	default:
+		m.viewRecomputed.Add(1)
+	}
 }
 
 // isLimit reports whether an evaluation died on a resource guard.
@@ -145,6 +166,10 @@ type engineTotals struct {
 	SolverSteps    uint64            `json:"solverSteps"`
 	MemoHits       uint64            `json:"memoHits"`
 	MemoMisses     uint64            `json:"memoMisses"`
+	ViewsCached    uint64            `json:"viewsCached"`
+	ViewsIncr      uint64            `json:"viewsIncremental"`
+	ViewsRecomp    uint64            `json:"viewsRecomputed"`
+	ViewErrors     uint64            `json:"viewErrors"`
 	VetDiagnostics map[string]uint64 `json:"vetDiagnostics,omitempty"`
 }
 
@@ -159,6 +184,10 @@ func (m *metrics) totals() engineTotals {
 		SolverSteps:    m.solverSteps.Load(),
 		MemoHits:       m.memoHits.Load(),
 		MemoMisses:     m.memoMisses.Load(),
+		ViewsCached:    m.viewCached.Load(),
+		ViewsIncr:      m.viewIncr.Load(),
+		ViewsRecomp:    m.viewRecomputed.Load(),
+		ViewErrors:     m.viewErrors.Load(),
 		VetDiagnostics: m.vetSnapshot(),
 	}
 }
@@ -191,6 +220,14 @@ func (m *metrics) writeProm(b *bytes.Buffer, uptime time.Duration) {
 	counter("videodb_engine_solver_steps_total", "Constraint-solver steps across all evaluations.", m.solverSteps.Load())
 	counter("videodb_engine_memo_hits_total", "Solver-memo hits attributed to this server's evaluations.", m.memoHits.Load())
 	counter("videodb_engine_memo_misses_total", "Solver-memo misses attributed to this server's evaluations.", m.memoMisses.Load())
+
+	fmt.Fprintf(b, "# HELP videodb_view_maintenance_total Materialized-view reads by serving mode.\n")
+	fmt.Fprintf(b, "# TYPE videodb_view_maintenance_total counter\n")
+	fmt.Fprintf(b, "videodb_view_maintenance_total{mode=\"cached\"} %d\n", m.viewCached.Load())
+	fmt.Fprintf(b, "videodb_view_maintenance_total{mode=\"incremental\"} %d\n", m.viewIncr.Load())
+	fmt.Fprintf(b, "videodb_view_maintenance_total{mode=\"recompute\"} %d\n", m.viewRecomputed.Load())
+	counter("videodb_view_errors_total",
+		"Materialized-view builds or reads that failed (cancellation included).", m.viewErrors.Load())
 
 	fmt.Fprintf(b, "# HELP videodb_vet_diagnostics_total Static-analysis diagnostics reported, by code.\n")
 	fmt.Fprintf(b, "# TYPE videodb_vet_diagnostics_total counter\n")

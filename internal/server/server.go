@@ -13,6 +13,10 @@
 //	POST /v1/vet      {"script": "…"} — static analysis, no evaluation
 //	POST /v1/rules    {"rule": "q(G) :- Interval(G)."}
 //	GET  /v1/rules
+//	POST /v1/views    {"name": "n", "goal": "?- reach(X, Y)"}
+//	GET  /v1/views
+//	GET  /v1/views/{name}
+//	DELETE /v1/views/{name}
 //	GET  /v1/objects
 //	GET  /v1/objects/{oid}
 //	GET  /v1/stats
@@ -79,6 +83,8 @@ func New(db *core.DB, opts ...Option) *Server {
 	s.mux.HandleFunc("/v1/rules", s.handleRules)
 	s.mux.HandleFunc("/v1/objects", s.handleObjects)
 	s.mux.HandleFunc("/v1/objects/", s.handleObject)
+	s.mux.HandleFunc("/v1/views", s.handleViews)
+	s.mux.HandleFunc("/v1/views/", s.handleView)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	if s.pprofOn {

@@ -1,0 +1,97 @@
+package store
+
+import "videodb/internal/object"
+
+// Changelog: subscribers observe every acknowledged mutation of the
+// store, in mutation order. This is the feed that incremental view
+// maintenance (core.Materialize) consumes; WAL replay drives the same
+// mutators, so a subscriber attached after OpenDurable sees exactly the
+// post-recovery mutations.
+//
+// Contract:
+//
+//   - Events are delivered synchronously, under the store's write lock,
+//     strictly after the mutation has been applied AND (on a durable
+//     store) its WAL record appended. A mutation that is rejected or
+//     rolled back — duplicate fact, missing oid, poisoned or failing
+//     log — emits nothing: the stream contains acknowledged changes only.
+//   - Handlers must be fast and must not call back into the store (the
+//     write lock is held); queue the event and process it later.
+//   - Events fire only on actual state change, so for a given fact key
+//     the Add/Delete sequence strictly alternates.
+
+// EventKind discriminates changelog events.
+type EventKind uint8
+
+const (
+	// EventAddFact: Fact was inserted (it was not present before).
+	EventAddFact EventKind = iota + 1
+	// EventDeleteFact: Fact was removed (it was present before).
+	EventDeleteFact
+	// EventPutObject: the object named by OID was inserted or replaced
+	// (Put or Update).
+	EventPutObject
+	// EventDeleteObject: the object named by OID was removed.
+	EventDeleteObject
+	// EventReset: the store's contents were wholesale replaced (Load);
+	// no per-mutation events describe the difference.
+	EventReset
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EventAddFact:
+		return "addfact"
+	case EventDeleteFact:
+		return "delfact"
+	case EventPutObject:
+		return "putobject"
+	case EventDeleteObject:
+		return "delobject"
+	case EventReset:
+		return "reset"
+	default:
+		return "unknown"
+	}
+}
+
+// Event is one acknowledged store mutation. Fact is set for fact events,
+// OID for object events; neither for EventReset.
+type Event struct {
+	Kind EventKind
+	Fact Fact
+	OID  object.OID
+}
+
+type subscriber struct {
+	id int
+	fn func(Event)
+}
+
+// Subscribe registers fn to receive every subsequent acknowledged
+// mutation (see the changelog contract above) and returns a function
+// that unregisters it. Safe for concurrent use.
+func (s *Store) Subscribe(fn func(Event)) (cancel func()) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextSub++
+	id := s.nextSub
+	s.subs = append(s.subs, subscriber{id: id, fn: fn})
+	return func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		for i, sub := range s.subs {
+			if sub.id == id {
+				s.subs = append(s.subs[:i:i], s.subs[i+1:]...)
+				return
+			}
+		}
+	}
+}
+
+// notify delivers an event to every subscriber. Caller holds s.mu.
+func (s *Store) notify(ev Event) {
+	for _, sub := range s.subs {
+		sub.fn(ev)
+	}
+}

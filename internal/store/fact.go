@@ -1,6 +1,7 @@
 package store
 
 import (
+	"fmt"
 	"sort"
 	"strings"
 
@@ -61,71 +62,201 @@ func (f Fact) Equal(g Fact) bool {
 	return true
 }
 
+// factRel stores one relation's facts in insertion order with O(1)
+// membership and amortized O(1) deletion. Deleted slots become tombstones
+// (zero Fact) rather than shifting the list; the list compacts once
+// tombstones outnumber live facts. The position map doubles as the
+// membership set (it holds live facts only).
+type factRel struct {
+	list []Fact         // insertion order; tombstoned slots have Name == ""
+	pos  map[string]int // fact key -> index into list, live facts only
+	dead int            // tombstoned slots in list
+}
+
+func newFactRel() *factRel { return &factRel{pos: make(map[string]int)} }
+
+func (r *factRel) live() int { return len(r.pos) }
+
+func (r *factRel) has(key string) bool { _, ok := r.pos[key]; return ok }
+
+func (r *factRel) get(key string) (Fact, bool) {
+	if i, ok := r.pos[key]; ok {
+		return r.list[i], true
+	}
+	return Fact{}, false
+}
+
+func (r *factRel) add(key string, f Fact) {
+	r.pos[key] = len(r.list)
+	r.list = append(r.list, f)
+}
+
+// undoAdd reverts an add that has not been observed by anyone (WAL append
+// failed under the same critical section). The fact is necessarily the
+// last list entry.
+func (r *factRel) undoAdd(key string) {
+	delete(r.pos, key)
+	r.list = r.list[:len(r.list)-1]
+}
+
+// tombstone removes the fact by key, returning the stored fact and its
+// slot so a WAL failure can restore it in place.
+func (r *factRel) tombstone(key string) (Fact, int) {
+	i := r.pos[key]
+	f := r.list[i]
+	r.list[i] = Fact{}
+	delete(r.pos, key)
+	r.dead++
+	return f, i
+}
+
+// restore reverts a tombstone (WAL append failed before the deletion was
+// acknowledged).
+func (r *factRel) restore(key string, f Fact, i int) {
+	r.list[i] = f
+	r.pos[key] = i
+	r.dead--
+}
+
+// maybeCompact rewrites the list without tombstones once they dominate,
+// preserving insertion order; the amortized cost per delete is O(1).
+func (r *factRel) maybeCompact() {
+	if r.dead <= len(r.list)/2 || r.dead < 16 {
+		return
+	}
+	fresh := make([]Fact, 0, len(r.pos))
+	for _, f := range r.list {
+		if f.Name != "" {
+			r.pos[f.Key()] = len(fresh)
+			fresh = append(fresh, f)
+		}
+	}
+	r.list = fresh
+	r.dead = 0
+}
+
+// each calls fn for every live fact in insertion order until fn returns
+// false.
+func (r *factRel) each(fn func(Fact) bool) {
+	for _, f := range r.list {
+		if f.Name == "" {
+			continue
+		}
+		if !fn(f) {
+			return
+		}
+	}
+}
+
 // AddFact inserts the fact if not already present; it reports whether the
-// store changed. Facts with empty names are rejected (no change).
+// store changed. Facts with empty names are rejected (no change), as are
+// mutations on a durable store whose write-ahead log is poisoned (see
+// AddFactErr for the error).
 func (s *Store) AddFact(f Fact) bool {
+	ok, _ := s.AddFactErr(f)
+	return ok
+}
+
+// AddFactErr is AddFact with the failure surfaced: on a durable store it
+// returns a non-nil error — and reports no change — if the write-ahead
+// log is poisoned or the append fails. A failed append rolls the
+// in-memory insertion back, so an unacknowledged fact is never present
+// after recovery.
+func (s *Store) AddFactErr(f Fact) (bool, error) {
 	if f.Name == "" {
-		return false
+		return false, fmt.Errorf("store: fact must have a non-empty relation name")
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := s.walHealthy(); err != nil {
+		return false, err
+	}
 	key := f.Key()
-	set := s.factSet[f.Name]
-	if set == nil {
-		set = make(map[string]bool)
-		s.factSet[f.Name] = set
+	rel := s.facts[f.Name]
+	if rel == nil {
+		rel = newFactRel()
+		s.facts[f.Name] = rel
 	}
-	if set[key] {
-		return false
+	if rel.has(key) {
+		return false, nil
 	}
-	set[key] = true
 	// Store a private copy of the args slice (values are immutable).
 	args := make([]object.Value, len(f.Args))
 	copy(args, f.Args)
-	s.facts[f.Name] = append(s.facts[f.Name], Fact{Name: f.Name, Args: args})
-	_ = s.log(walRecord{Op: walAddFact, Fact: &jsonFact{Name: f.Name, Args: args}})
-	return true
+	g := Fact{Name: f.Name, Args: args}
+	rel.add(key, g)
+	if err := s.log(walRecord{Op: walAddFact, Fact: &jsonFact{Name: f.Name, Args: args}}); err != nil {
+		rel.undoAdd(key)
+		if rel.live() == 0 && rel.dead == 0 {
+			delete(s.facts, f.Name)
+		}
+		return false, err
+	}
+	s.notify(Event{Kind: EventAddFact, Fact: g})
+	return true, nil
 }
 
 // HasFact reports whether the exact fact is present.
 func (s *Store) HasFact(f Fact) bool {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return s.factSet[f.Name][f.Key()]
+	rel := s.facts[f.Name]
+	return rel != nil && rel.has(f.Key())
 }
 
-// DeleteFact removes the exact fact; it reports whether it was present.
+// DeleteFact removes the exact fact; it reports whether it was present
+// and removed. On a durable store with a poisoned write-ahead log the
+// deletion is refused (see DeleteFactErr for the error).
 func (s *Store) DeleteFact(f Fact) bool {
+	ok, _ := s.DeleteFactErr(f)
+	return ok
+}
+
+// DeleteFactErr is DeleteFact with the failure surfaced: on a durable
+// store it returns a non-nil error — and leaves the fact in place — if
+// the write-ahead log is poisoned or the append fails, so an
+// unacknowledged deletion is never applied.
+func (s *Store) DeleteFactErr(f Fact) (bool, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := s.walHealthy(); err != nil {
+		return false, err
+	}
+	rel := s.facts[f.Name]
+	if rel == nil {
+		return false, nil
+	}
 	key := f.Key()
-	set := s.factSet[f.Name]
-	if set == nil || !set[key] {
-		return false
+	if !rel.has(key) {
+		return false, nil
 	}
-	delete(set, key)
-	fs := s.facts[f.Name]
-	for i := range fs {
-		if fs[i].Key() == key {
-			s.facts[f.Name] = append(fs[:i], fs[i+1:]...)
-			break
-		}
+	stored, slot := rel.tombstone(key)
+	if err := s.log(walRecord{Op: walDeleteFact, Fact: &jsonFact{Name: stored.Name, Args: stored.Args}}); err != nil {
+		rel.restore(key, stored, slot)
+		return false, err
 	}
-	if len(s.facts[f.Name]) == 0 {
+	if rel.live() == 0 {
 		delete(s.facts, f.Name)
-		delete(s.factSet, f.Name)
+	} else {
+		rel.maybeCompact()
 	}
-	_ = s.log(walRecord{Op: walDeleteFact, Fact: &jsonFact{Name: f.Name, Args: f.Args}})
-	return true
+	s.notify(Event{Kind: EventDeleteFact, Fact: stored})
+	return true, nil
 }
 
 // Facts returns a copy of all facts of the relation, in insertion order.
 func (s *Store) Facts(name string) []Fact {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	fs := s.facts[name]
-	out := make([]Fact, len(fs))
-	copy(out, fs)
+	rel := s.facts[name]
+	if rel == nil {
+		return nil
+	}
+	out := make([]Fact, 0, rel.live())
+	rel.each(func(f Fact) bool {
+		out = append(out, f)
+		return true
+	})
 	return out
 }
 
@@ -135,8 +266,10 @@ func (s *Store) Relations() []string {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	out := make([]string, 0, len(s.facts))
-	for n := range s.facts {
-		out = append(out, n)
+	for n, rel := range s.facts {
+		if rel.live() > 0 {
+			out = append(out, n)
+		}
 	}
 	sort.Strings(out)
 	return out
@@ -148,11 +281,12 @@ func (s *Store) FactArities() map[string][]int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	out := make(map[string][]int, len(s.facts))
-	for name, fs := range s.facts {
+	for name, rel := range s.facts {
 		seen := map[int]bool{}
-		for _, f := range fs {
+		rel.each(func(f Fact) bool {
 			seen[len(f.Args)] = true
-		}
+			return true
+		})
 		arities := make([]int, 0, len(seen))
 		for a := range seen {
 			arities = append(arities, a)
@@ -170,9 +304,7 @@ func (s *Store) FactArities() map[string][]int {
 func (s *Store) ForEachFact(name string, fn func(Fact) bool) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	for _, f := range s.facts[name] {
-		if !fn(f) {
-			return
-		}
+	if rel := s.facts[name]; rel != nil {
+		rel.each(fn)
 	}
 }

@@ -61,9 +61,10 @@ func (s *Store) buildPayloadLocked() payload {
 	}
 	sort.Strings(names)
 	for _, n := range names {
-		for _, f := range s.facts[n] {
+		s.facts[n].each(func(f Fact) bool {
 			p.Facts = append(p.Facts, jsonFact{Name: f.Name, Args: f.Args})
-		}
+			return true
+		})
 	}
 	return p
 }
@@ -135,11 +136,13 @@ func (s *Store) Load(r io.Reader) error {
 	defer s.mu.Unlock()
 	s.objects = fresh.objects
 	s.facts = fresh.facts
-	s.factSet = fresh.factSet
 	s.entityIdx = fresh.entityIdx
 	s.attrIdx = fresh.attrIdx
 	s.itreeOK = false
 	s.numIdxOK = false
+	// No per-mutation events can describe a wholesale swap; subscribers
+	// (e.g. materialized views) must discard derived state.
+	s.notify(Event{Kind: EventReset})
 	return nil
 }
 

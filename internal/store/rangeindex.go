@@ -21,13 +21,27 @@ type numEntry struct {
 // FindByAttrRange returns the sorted oids of objects whose attribute attr
 // holds a numeric value within the span (endpoint openness honoured).
 // Objects whose attribute is missing or non-numeric never match.
+//
+// Concurrent readers share the cached per-attribute index under a read
+// lock; only a cache miss (first query after a write) takes the write
+// lock, re-checking the cache before rebuilding (double-checked rebuild).
 func (s *Store) FindByAttrRange(attr string, within interval.Span) []object.OID {
 	if within.IsEmpty() {
 		return nil
 	}
-	s.mu.Lock()
-	entries := s.numericIndexLocked(attr)
-	s.mu.Unlock()
+	s.mu.RLock()
+	entries, ok := []numEntry(nil), false
+	if s.numIdxOK {
+		entries, ok = s.numIdx[attr]
+	}
+	s.mu.RUnlock()
+	if !ok {
+		// Entry slices are immutable once published (writes invalidate by
+		// replacing the whole map), so scanning outside the lock is safe.
+		s.mu.Lock()
+		entries = s.numericIndexLocked(attr)
+		s.mu.Unlock()
+	}
 
 	// Binary-search the first candidate, then walk while within range.
 	start := sort.Search(len(entries), func(i int) bool { return entries[i].value >= within.Lo })

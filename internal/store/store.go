@@ -34,8 +34,11 @@ import (
 type Store struct {
 	mu      sync.RWMutex
 	objects map[object.OID]*object.Object
-	facts   map[string][]Fact          // relation name -> facts
-	factSet map[string]map[string]bool // relation name -> fact key set
+	facts   map[string]*factRel // relation name -> facts (see fact.go)
+
+	// Changelog subscribers (see changelog.go).
+	subs    []subscriber
+	nextSub int
 
 	// Secondary indexes (see package comment). Maintained incrementally
 	// except for the interval tree, which is rebuilt lazily.
@@ -52,9 +55,12 @@ type Store struct {
 	disableAttrIdx   bool
 
 	// Durability (nil for purely in-memory stores; see OpenDurable).
+	// walErr latches the first log-append failure; once set, every
+	// subsequent mutation is refused before touching state (fail-fast;
+	// see walHealthy), and Close/Checkpoint surface the error too.
 	wal    *wal
 	walDir string
-	walErr error // first log-append failure; surfaced by Close/Checkpoint
+	walErr error
 }
 
 type attrKey struct {
@@ -66,8 +72,7 @@ type attrKey struct {
 func New() *Store {
 	return &Store{
 		objects:   make(map[object.OID]*object.Object),
-		facts:     make(map[string][]Fact),
-		factSet:   make(map[string]map[string]bool),
+		facts:     make(map[string]*factRel),
 		entityIdx: make(map[object.OID]map[object.OID]bool),
 		attrIdx:   make(map[attrKey]map[object.OID]bool),
 	}
@@ -97,20 +102,36 @@ func NewWith(opts ...Option) *Store {
 }
 
 // Put inserts or replaces the object (a private copy is stored). The oid
-// must be non-empty.
+// must be non-empty. On a durable store a poisoned or failing write-ahead
+// log makes Put fail without applying the mutation.
 func (s *Store) Put(o *object.Object) error {
 	if o == nil || o.OID() == "" {
 		return fmt.Errorf("store: object must have a non-empty oid")
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if old, ok := s.objects[o.OID()]; ok {
+	if err := s.walHealthy(); err != nil {
+		return err
+	}
+	old := s.objects[o.OID()]
+	if old != nil {
 		s.unindex(old)
 	}
 	c := o.Clone()
 	s.objects[c.OID()] = c
 	s.index(c)
-	return s.log(walRecord{Op: walPut, Object: c})
+	if err := s.log(walRecord{Op: walPut, Object: c}); err != nil {
+		s.unindex(c)
+		if old != nil {
+			s.objects[o.OID()] = old
+			s.index(old)
+		} else {
+			delete(s.objects, o.OID())
+		}
+		return err
+	}
+	s.notify(Event{Kind: EventPutObject, OID: c.OID()})
+	return nil
 }
 
 // Get returns the stored object, or nil if absent. The returned object is
@@ -145,6 +166,9 @@ func (s *Store) Has(oid object.OID) bool {
 func (s *Store) Update(oid object.OID, fn func(*object.Object) error) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := s.walHealthy(); err != nil {
+		return err
+	}
 	old, ok := s.objects[oid]
 	if !ok {
 		return fmt.Errorf("store: no object %q", oid)
@@ -159,25 +183,49 @@ func (s *Store) Update(oid object.OID, fn func(*object.Object) error) error {
 	s.unindex(old)
 	s.objects[oid] = c
 	s.index(c)
-	return s.log(walRecord{Op: walPut, Object: c})
+	if err := s.log(walRecord{Op: walPut, Object: c}); err != nil {
+		s.unindex(c)
+		s.objects[oid] = old
+		s.index(old)
+		return err
+	}
+	s.notify(Event{Kind: EventPutObject, OID: oid})
+	return nil
 }
 
 // Delete removes the object and its index entries; facts mentioning the
 // oid are not touched (the model allows dangling references, which simply
-// never join). It reports whether the object existed.
+// never join). It reports whether the object existed and was removed; on
+// a durable store with a poisoned write-ahead log the deletion is refused
+// (see DeleteErr for the error).
 func (s *Store) Delete(oid object.OID) bool {
+	ok, _ := s.DeleteErr(oid)
+	return ok
+}
+
+// DeleteErr is Delete with the failure surfaced: on a durable store it
+// returns a non-nil error — and leaves the object in place — if the
+// write-ahead log is poisoned or the append fails, so an unacknowledged
+// deletion is never applied.
+func (s *Store) DeleteErr(oid object.OID) (bool, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := s.walHealthy(); err != nil {
+		return false, err
+	}
 	o, ok := s.objects[oid]
 	if !ok {
-		return false
+		return false, nil
 	}
 	s.unindex(o)
 	delete(s.objects, oid)
-	// The in-memory deletion already happened; a log failure is sticky
-	// and surfaces on Close/Checkpoint.
-	_ = s.log(walRecord{Op: walDelete, OID: string(oid)})
-	return true
+	if err := s.log(walRecord{Op: walDelete, OID: string(oid)}); err != nil {
+		s.objects[oid] = o
+		s.index(o)
+		return false, err
+	}
+	s.notify(Event{Kind: EventDeleteObject, OID: oid})
+	return true, nil
 }
 
 // Len returns the number of stored objects.
@@ -445,8 +493,8 @@ func (s *Store) Stats() Stats {
 			st.Entities++
 		}
 	}
-	for _, fs := range s.facts {
-		st.Facts += len(fs)
+	for _, rel := range s.facts {
+		st.Facts += rel.live()
 	}
 	st.IndexTerms = len(s.entityIdx) + len(s.attrIdx)
 	return st

@@ -247,16 +247,39 @@ func (s *Store) applyWALRecord(rec walRecord) error {
 	}
 }
 
+// walHealthy refuses new mutations once a WAL append has failed: the log
+// no longer reflects the store, so acknowledging further writes would
+// lose them across recovery. Callers hold s.mu and check this before
+// touching state; reads remain available. Reopening the directory with
+// OpenDurable recovers exactly the acknowledged prefix.
+func (s *Store) walHealthy() error {
+	if s.walErr != nil {
+		return fmt.Errorf("store: write-ahead log poisoned by an earlier append failure (reopen the store to resume writes): %w", s.walErr)
+	}
+	return nil
+}
+
+// testLogFail, when non-nil, intercepts WAL appends — fault injection for
+// the failing-writer tests. Returning a non-nil error simulates an append
+// failure without touching the file.
+var testLogFail func(rec walRecord) error
+
 // log appends a mutation record if the store is durable. Callers hold
 // s.mu, so records are totally ordered with the mutations they describe.
-// The first failure is remembered and surfaced by Close and Checkpoint,
-// so mutations through bool-returning APIs cannot silently lose
-// durability.
+// The first failure latches into walErr: the caller rolls its in-memory
+// mutation back (nothing is acknowledged), and every later mutation fails
+// fast in walHealthy. Close and Checkpoint surface the error too.
 func (s *Store) log(rec walRecord) error {
 	if s.wal == nil {
 		return nil
 	}
-	err := s.wal.append(rec)
+	err := error(nil)
+	if testLogFail != nil {
+		err = testLogFail(rec)
+	}
+	if err == nil {
+		err = s.wal.append(rec)
+	}
 	if err != nil && s.walErr == nil {
 		s.walErr = err
 	}
