@@ -41,7 +41,7 @@ bench:
 
 # bench-json regenerates the machine-readable acceptance benchmark report.
 bench-json:
-	$(GO) run ./cmd/bench -json -out BENCH_PR5.json
+	$(GO) run ./cmd/bench -json -out BENCH_PR6.json
 
 clean:
 	$(GO) clean ./...

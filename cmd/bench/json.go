@@ -104,6 +104,15 @@ type benchReport struct {
 	ViewNote     string           `json:"view_note"`
 	Vet          []vetBench       `json:"vet"`
 	VetNote      string           `json:"vet_note"`
+
+	// E14–E15: streaming-executor ablation and plan-cache split.
+	Streaming        []streamEntry        `json:"streaming"`
+	StreamingVs      []streamImprovement  `json:"streaming_vs_materializing"`
+	StreamingNote    string               `json:"streaming_note"`
+	PlanCache        []planCacheEntry     `json:"plan_cache"`
+	PlanCacheStats   *core.PlanCacheStats `json:"plan_cache_stats"`
+	PlanCacheNsRatio float64              `json:"plan_cache_ns_ratio"` // warm/cold; < 1 means the cache wins
+	PlanCacheNote    string               `json:"plan_cache_note"`
 }
 
 // seedBaseline is the `go test -bench . -benchmem` output of the
@@ -469,6 +478,10 @@ func runJSON(outPath string) {
 	report.ViewNote = "per-mutation cost of one view read after toggling one edge fact; " +
 		"incremental_view maintains via semi-naive insertion / DRed deletion, " +
 		"full_recompute re-evaluates the goal from scratch (ratio < 1 means maintenance wins)"
+
+	// E14: streaming executor vs materializing ablation; E15: plan-cache
+	// cold/warm query latency. Both enforce their acceptance thresholds.
+	runStreamingJSON(&report)
 
 	// Improvement ratios for the default configuration against the seed.
 	for _, se := range seedBaseline {

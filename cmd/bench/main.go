@@ -7,7 +7,7 @@
 //
 //	bench [-experiment all|figures|rope|arith|setorder|constructive|pointinterval|seminaive|indexes]
 //	      [-quick]
-//	bench -json [-out BENCH_PR5.json]
+//	bench -json [-out BENCH_PR6.json]
 //
 // With -json the binary skips the tables and instead re-measures the
 // acceptance benchmarks (E5, E8, E13 workloads) under the default engine
@@ -27,7 +27,7 @@ var quick = flag.Bool("quick", false, "smaller sizes for a fast smoke run")
 func main() {
 	exp := flag.String("experiment", "all", "which experiment to run")
 	jsonMode := flag.Bool("json", false, "write machine-readable acceptance benchmarks and exit")
-	jsonOut := flag.String("out", "BENCH_PR5.json", "output path for -json")
+	jsonOut := flag.String("out", "BENCH_PR6.json", "output path for -json")
 	flag.Parse()
 
 	if *jsonMode {
@@ -51,6 +51,8 @@ func main() {
 		{"pruning", "E11: query-reachability pruning", runPruning},
 		{"parallel", "E12: parallel rule evaluation", runParallel},
 		{"joinindex", "E13: join index ablation", runJoinIndex},
+		{"streaming", "E14: streaming executor vs materializing evaluator", runStreaming},
+		{"plancache", "E15: cross-query plan cache cold vs warm", runPlanCache},
 	}
 
 	ran := false

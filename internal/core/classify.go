@@ -18,7 +18,8 @@ import (
 //
 //	?- instance_of(O, "person").
 type Taxonomy struct {
-	parent map[string]string
+	parent  map[string]string
+	version uint64 // bumped on every Define; plan caches key on it
 }
 
 // ClassAttr is the attribute carrying an object's declared class.
@@ -46,8 +47,13 @@ func (t *Taxonomy) Define(class, parent string) error {
 		}
 	}
 	t.parent[class] = parent
+	t.version++
 	return nil
 }
+
+// Version returns a counter that increases on every Define. Cached query
+// plans embed the taxonomy's rules, so they key on it.
+func (t *Taxonomy) Version() uint64 { return t.version }
 
 // IsA reports whether class equals or descends from ancestor.
 func (t *Taxonomy) IsA(class, ancestor string) bool {

@@ -32,9 +32,14 @@ type DB struct {
 	st        *store.Store
 	rules     []datalog.Rule
 	ruleSet   map[string]bool // rendered rule -> present (dedup)
+	progVer   uint64          // bumped on every rule addition; plan-cache key component
 	taxonomy  *Taxonomy
 	engOpts   []datalog.Option
 	noPruning bool
+
+	// Cross-query plan cache (see plancache.go); nil when disabled with
+	// WithoutQueryPlanCache.
+	plans *planCache
 
 	// Materialized views (see views.go). viewFeed attaches the store
 	// changelog subscription once, on first Materialize.
@@ -48,6 +53,7 @@ func New(opts ...Option) *DB {
 		st:       store.New(),
 		ruleSet:  make(map[string]bool),
 		taxonomy: NewTaxonomy(),
+		plans:    newPlanCache(defaultPlanCacheCap),
 	}
 	for _, o := range opts {
 		o(db)
@@ -165,6 +171,7 @@ func (db *DB) addRule(r datalog.Rule) {
 	}
 	db.ruleSet[key] = true
 	db.rules = append(db.rules, r)
+	db.progVer++
 }
 
 // Rules returns the current program.
@@ -286,14 +293,9 @@ func (db *DB) QueryAtomContext(ctx context.Context, atom datalog.RelAtom) (*Resu
 // non-Background ctx is attached to the engine so the fixpoint observes
 // cancellation; Background stays off the hot path entirely.
 func (db *DB) newEngine(ctx context.Context, q parser.Query, extra ...datalog.Option) (*datalog.Engine, error) {
-	rules := append([]datalog.Rule(nil), db.rules...)
-	rules = append(rules, db.taxonomy.Rules()...)
-	if q.Rule != nil {
-		rules = append(rules, *q.Rule)
-	}
-	prog := datalog.NewProgram(rules...)
-	if !db.noPruning {
-		prog = prog.Reachable(q.Atom.Pred)
+	cp, err := db.compiledProgramFor(q.Atom.Pred, q.Rule)
+	if err != nil {
+		return nil, err
 	}
 	opts := db.engOpts
 	if ctx != nil && ctx != context.Background() {
@@ -302,7 +304,7 @@ func (db *DB) newEngine(ctx context.Context, q parser.Query, extra ...datalog.Op
 	if len(extra) > 0 {
 		opts = append(append([]datalog.Option(nil), opts...), extra...)
 	}
-	return datalog.NewEngine(db.st, prog, opts...)
+	return datalog.NewEngineWith(db.st, cp, opts...), nil
 }
 
 // engineFor parses a query and builds the engine that would answer it,

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"container/list"
+	"sync"
+
+	"videodb/internal/datalog"
+)
+
+// Cross-query plan cache: compiling a query — assembling the program
+// from the DB's rules, the taxonomy fragment, and the query's
+// synthesized rule, pruning it to the goal, validating, stratifying,
+// and building every rule's execution plan — costs more than evaluating
+// many small queries. Repeated queries (dashboards, views, the server's
+// hot endpoints) pay it every time, so the DB keeps an LRU of
+// datalog.CompiledProgram artifacts keyed by the query shape and the
+// versions of everything the compilation read:
+//
+//	(goal predicate, synthesized rule, pruning flag)
+//	  × rule-program version   (bumped on DefineRule/AddRule/LoadScript)
+//	  × taxonomy version       (bumped on DefineClass)
+//	  × store schema version   (bumped when a relation appears/disappears)
+//
+// A version bump changes the key, so stale entries are never served;
+// they age out of the LRU. Entries are immutable and shared: a hit
+// stamps out a fresh engine with datalog.NewEngineWith, skipping
+// parse-free compilation entirely.
+
+// defaultPlanCacheCap bounds the number of cached compiled programs.
+const defaultPlanCacheCap = 128
+
+// PlanCacheStats reports the cache's lifetime traffic.
+type PlanCacheStats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	Entries   int    `json:"entries"`
+}
+
+type planKey struct {
+	goal      string // goal predicate the program was pruned to
+	ruleSrc   string // rendered synthesized query rule ("" if none)
+	noPruning bool
+	progVer   uint64
+	taxVer    uint64
+	schemaVer uint64
+}
+
+type planEntry struct {
+	key planKey
+	cp  *datalog.CompiledProgram
+}
+
+type planCache struct {
+	mu        sync.Mutex
+	cap       int
+	ll        *list.List // front = most recently used
+	entries   map[planKey]*list.Element
+	hits      uint64
+	misses    uint64
+	evictions uint64
+}
+
+func newPlanCache(capacity int) *planCache {
+	return &planCache{
+		cap:     capacity,
+		ll:      list.New(),
+		entries: make(map[planKey]*list.Element),
+	}
+}
+
+// get returns the cached compiled program for the key, promoting it to
+// most-recently-used, or nil on a miss.
+func (c *planCache) get(k planKey) *datalog.CompiledProgram {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[k]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		return el.Value.(*planEntry).cp
+	}
+	c.misses++
+	return nil
+}
+
+// put inserts the compiled program, evicting the least recently used
+// entry beyond capacity. Racing puts for the same key keep the first.
+func (c *planCache) put(k planKey, cp *datalog.CompiledProgram) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.entries[k]; ok {
+		return
+	}
+	c.entries[k] = c.ll.PushFront(&planEntry{key: k, cp: cp})
+	for c.ll.Len() > c.cap {
+		el := c.ll.Back()
+		c.ll.Remove(el)
+		delete(c.entries, el.Value.(*planEntry).key)
+		c.evictions++
+	}
+}
+
+func (c *planCache) stats() PlanCacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return PlanCacheStats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Entries:   c.ll.Len(),
+	}
+}
+
+// WithoutQueryPlanCache disables the cross-query plan cache: every query
+// re-assembles and re-compiles its program, as the seed did. Ablation
+// knob for benchmarking the cache's contribution.
+func WithoutQueryPlanCache() Option { return func(db *DB) { db.plans = nil } }
+
+// PlanCacheStats reports the DB's plan-cache traffic; the zero value is
+// returned when the cache is disabled.
+func (db *DB) PlanCacheStats() PlanCacheStats {
+	if db.plans == nil {
+		return PlanCacheStats{}
+	}
+	return db.plans.stats()
+}
+
+// planKeyFor derives the cache key for a query against the DB's current
+// rule, taxonomy, and store-schema versions.
+func (db *DB) planKeyFor(goal, ruleSrc string) planKey {
+	return planKey{
+		goal:      goal,
+		ruleSrc:   ruleSrc,
+		noPruning: db.noPruning,
+		progVer:   db.progVer,
+		taxVer:    db.taxonomy.Version(),
+		schemaVer: db.st.SchemaVersion(),
+	}
+}
+
+// compiledProgramFor returns the compiled program a query needs,
+// consulting the plan cache when enabled.
+func (db *DB) compiledProgramFor(goal string, qRule *datalog.Rule) (*datalog.CompiledProgram, error) {
+	ruleSrc := ""
+	if qRule != nil {
+		ruleSrc = qRule.String()
+	}
+	var key planKey
+	if db.plans != nil {
+		key = db.planKeyFor(goal, ruleSrc)
+		if cp := db.plans.get(key); cp != nil {
+			return cp, nil
+		}
+	}
+	rules := append([]datalog.Rule(nil), db.rules...)
+	rules = append(rules, db.taxonomy.Rules()...)
+	if qRule != nil {
+		rules = append(rules, *qRule)
+	}
+	prog := datalog.NewProgram(rules...)
+	if !db.noPruning {
+		prog = prog.Reachable(goal)
+	}
+	cp, err := datalog.CompileProgram(prog)
+	if err != nil {
+		return nil, err
+	}
+	if db.plans != nil {
+		db.plans.put(key, cp)
+	}
+	return cp, nil
+}

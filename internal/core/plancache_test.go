@@ -1,0 +1,182 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"videodb/internal/datalog"
+)
+
+// resultKeys renders a result set's rows for comparison.
+func resultKeys(rs *ResultSet) []string {
+	out := make([]string, 0, len(rs.Rows))
+	for _, r := range rs.Rows {
+		key := ""
+		for i, v := range r {
+			if i > 0 {
+				key += "\x1f"
+			}
+			key += v.String()
+		}
+		out = append(out, key)
+	}
+	return out
+}
+
+func TestPlanCacheHitsOnRepeatedQuery(t *testing.T) {
+	db := buildRope(t)
+	if err := db.DefineRule(`appears(O, G) :- Interval(G), Object(O), O in G.entities`); err != nil {
+		t.Fatal(err)
+	}
+	const q = "?- appears(O, G)"
+	first, err := db.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := db.PlanCacheStats()
+	if st.Misses != 1 || st.Hits != 0 {
+		t.Fatalf("after first query: %+v", st)
+	}
+	for i := 0; i < 3; i++ {
+		again, err := db.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, b := resultKeys(first), resultKeys(again)
+		if fmt.Sprint(a) != fmt.Sprint(b) {
+			t.Fatalf("cached plan changed the answer: %v vs %v", a, b)
+		}
+	}
+	st = db.PlanCacheStats()
+	if st.Hits != 3 || st.Misses != 1 || st.Entries != 1 {
+		t.Fatalf("after repeats: %+v", st)
+	}
+}
+
+func TestPlanCacheInvalidation(t *testing.T) {
+	db := buildRope(t)
+	if err := db.DefineRule(`appears(O, G) :- Interval(G), Object(O), O in G.entities`); err != nil {
+		t.Fatal(err)
+	}
+	const q = "?- appears(O, G)"
+	query := func() {
+		t.Helper()
+		if _, err := db.Query(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	query()
+	query()
+	st := db.PlanCacheStats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("warmup: %+v", st)
+	}
+
+	// A new rule changes the program version: the next query must
+	// recompile (miss), and hit again after.
+	if err := db.DefineRule(`also(O) :- appears(O, G).`); err != nil {
+		t.Fatal(err)
+	}
+	query()
+	if st = db.PlanCacheStats(); st.Misses != 2 {
+		t.Fatalf("after rule change: %+v", st)
+	}
+
+	// A taxonomy change invalidates too (its rules join every program).
+	if err := db.DefineClass("person", ""); err != nil {
+		t.Fatal(err)
+	}
+	query()
+	if st = db.PlanCacheStats(); st.Misses != 3 {
+		t.Fatalf("after taxonomy change: %+v", st)
+	}
+
+	// A store-schema change (a relation appearing) invalidates; adding a
+	// fact to an existing relation does not.
+	if err := db.Relate("fresh_rel", "o1", "o2"); err != nil {
+		t.Fatal(err)
+	}
+	query()
+	if st = db.PlanCacheStats(); st.Misses != 4 {
+		t.Fatalf("after schema change: %+v", st)
+	}
+	if err := db.Relate("fresh_rel", "o2", "o3"); err != nil {
+		t.Fatal(err)
+	}
+	query()
+	if st = db.PlanCacheStats(); st.Misses != 4 || st.Hits < 2 {
+		t.Fatalf("fact insert into existing relation should not invalidate: %+v", st)
+	}
+}
+
+func TestPlanCacheDisabled(t *testing.T) {
+	db := buildRope(t)
+	WithoutQueryPlanCache()(db)
+	if err := db.DefineRule(`appears(O, G) :- Interval(G), Object(O), O in G.entities`); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := db.Query("?- appears(O, G)"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := db.PlanCacheStats(); st != (PlanCacheStats{}) {
+		t.Fatalf("disabled cache reported traffic: %+v", st)
+	}
+}
+
+// TestPlanCacheMatchesUncached compares every answer of a mixed query
+// workload between a cached and an uncached DB over the same store.
+func TestPlanCacheMatchesUncached(t *testing.T) {
+	queries := []string{
+		"?- appears(O, G)",
+		`?- in(X, Y, G)`,
+		"?- appears(O, G), G.subject = \"murder\"",
+		"?- appears(O, G)", // repeat: served from cache
+	}
+	cached := buildRope(t)
+	plain := New(WithStore(cached.Store()), WithoutQueryPlanCache())
+	for _, db := range []*DB{cached, plain} {
+		if err := db.DefineRule(`appears(O, G) :- Interval(G), Object(O), O in G.entities`); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, q := range queries {
+		a, err := cached.Query(q)
+		if err != nil {
+			t.Fatalf("%s (cached): %v", q, err)
+		}
+		b, err := plain.Query(q)
+		if err != nil {
+			t.Fatalf("%s (uncached): %v", q, err)
+		}
+		if fmt.Sprint(resultKeys(a)) != fmt.Sprint(resultKeys(b)) {
+			t.Fatalf("%s: cached %v vs uncached %v", q, resultKeys(a), resultKeys(b))
+		}
+	}
+	if st := cached.PlanCacheStats(); st.Hits == 0 {
+		t.Fatalf("workload never hit the cache: %+v", st)
+	}
+}
+
+// TestPlanCacheWithEngineOptions checks the NewEngineWith fallback: an
+// option that changes what compiled plans must contain (EagerExtension)
+// still evaluates correctly from a cached artifact.
+func TestPlanCacheWithEngineOptions(t *testing.T) {
+	db := buildRope(t)
+	WithEngineOptions(datalog.EagerExtension(), datalog.MaxCreated(64))(db)
+	if err := db.DefineRule(`appears(O, G) :- Interval(G), Object(O), O in G.entities`); err != nil {
+		t.Fatal(err)
+	}
+	var prev []string
+	for i := 0; i < 2; i++ {
+		rs, err := db.Query("?- appears(O, G)")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 && fmt.Sprint(resultKeys(rs)) != fmt.Sprint(prev) {
+			t.Fatalf("eager run changed between cold and warm plans")
+		}
+		prev = resultKeys(rs)
+	}
+}

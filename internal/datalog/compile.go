@@ -2,8 +2,10 @@ package datalog
 
 import (
 	"fmt"
+	"strings"
 
 	"videodb/internal/constraint"
+	"videodb/internal/interval"
 	"videodb/internal/object"
 )
 
@@ -32,20 +34,24 @@ import (
 // data (index selectivity, member-index applicability) is still made at
 // run time. WithoutPlanCache re-compiles per evaluation for ablation.
 
-// compiledRule is the execution form of one rule.
+// compiledRule is the execution form of one rule. It is immutable after
+// compilation, so engines may share it: the cross-query plan cache hands
+// the same compiledRule to every engine evaluating the program.
 type compiledRule struct {
-	rule     Rule
-	nVars    int
-	varNames []string       // slot -> variable name
-	varSlots map[string]int // variable name -> slot
-	head     []headSpec
-	plans    map[int][]planStep // delta body position (-1 = full) -> steps
+	rule         Rule
+	nVars        int
+	varNames     []string       // slot -> variable name
+	varSlots     map[string]int // variable name -> slot
+	head         []headSpec
+	constructive bool               // head contains ⊕ (precomputed for the hot path)
+	plans        map[int][]planStep // delta body position (-1 = full) -> steps
 }
 
 // headSpec instantiates one head argument from a frame.
 type headSpec struct {
 	slot   int          // >= 0: variable slot
 	val    object.Value // constant (slot < 0, concat == nil)
+	vid    uint64       // interned id of val (streaming head dedup)
 	concat *Term        // constructive term (evaluated recursively)
 }
 
@@ -68,11 +74,15 @@ type opSpec struct {
 	src  Operand // original operand, for error messages
 }
 
-// argSpec is a compiled relational-atom argument.
+// argSpec is a compiled relational-atom argument. Constants carry both
+// the rendered join-index key (materializing mode) and the globally
+// interned value id (streaming mode); ids are process-stable, so compiled
+// plans embedding them are safe to share across engines.
 type argSpec struct {
 	slot int          // >= 0: variable slot; -1: constant
 	val  object.Value // constant value
 	key  string       // precomputed join-index key for constants
+	vid  uint64       // precomputed interned id for constants
 }
 
 // memberSpec is a compiled "elem ∈ V.entities" lookahead: if elem resolves
@@ -98,12 +108,20 @@ type planStep struct {
 	pred       string
 	args       []argSpec
 	probes     []int // argument positions statically bound at this step
-	freshSlots []int // slots this step binds (cleared on backtrack)
+	varProbes  []int // probes bound by variables (probed after constant pushdown)
+	constSig   string // cache key for constant-pushdown scans ("" = no constants)
+	freshSlots []int  // slots this step binds (cleared on backtrack)
 
 	// stepClassEnum / stepClassCheck
 	classKind   object.Kind
 	classArg    argSpec
 	memberSpecs []memberSpec
+	// window, when set on an Interval enumeration, is the hull of a later
+	// solver-decidable guard pinning the variable's duration (G.duration ⇒
+	// const): the streaming executor pushes it into the store's interval
+	// tree instead of enumerating the whole active domain. The guard still
+	// runs, so the pushed scan only needs to over-approximate.
+	window *interval.Span
 
 	// stepAssign
 	assignSlot int
@@ -115,33 +133,71 @@ type planStep struct {
 
 // frame is the flat binding store for one rule evaluation: values indexed
 // by the rule's compile-time variable numbering, plus a lazily filled
-// cache of join-index key strings so String() runs at most once per
-// binding.
+// per-slot cache of join-index keys so a bound value is keyed at most
+// once per binding. Interned (streaming) frames cache uint64 ids; string
+// frames cache the rendered form. scratch is the head-instantiation
+// buffer the streaming executor fills to dedup-check a firing before
+// allocating the tuple.
 type frame struct {
 	vals  []object.Value
 	bound []bool
-	keys  []string
+
+	keys  []string // string-keyed mode
 	keyed []bool
+
+	ids  []uint64 // interned mode
+	idok []bool
+
+	scratch    row
+	scratchIDs []uint64
 }
 
-func newFrame(n int) *frame {
-	return &frame{
+func newFrame(cr *compiledRule, interned bool) *frame {
+	n := cr.nVars
+	fr := &frame{
 		vals:  make([]object.Value, n),
 		bound: make([]bool, n),
-		keys:  make([]string, n),
-		keyed: make([]bool, n),
 	}
+	if interned {
+		fr.ids = make([]uint64, n)
+		fr.idok = make([]bool, n)
+		fr.scratch = make(row, len(cr.head))
+		fr.scratchIDs = make([]uint64, len(cr.head))
+	} else {
+		fr.keys = make([]string, n)
+		fr.keyed = make([]bool, n)
+	}
+	return fr
 }
 
 func (fr *frame) bind(slot int, v object.Value) {
 	fr.vals[slot] = v
 	fr.bound[slot] = true
-	fr.keyed[slot] = false
+	if fr.idok != nil {
+		fr.idok[slot] = false
+	} else {
+		fr.keyed[slot] = false
+	}
+}
+
+// bindID binds a slot whose interned id is already known (the value came
+// from a relation row that carries its ids), pre-filling the frame's id
+// cache so later probes and head folds skip the intern-table lookup.
+// Interned (streaming) frames only.
+func (fr *frame) bindID(slot int, v object.Value, id uint64) {
+	fr.vals[slot] = v
+	fr.bound[slot] = true
+	fr.ids[slot] = id
+	fr.idok[slot] = true
 }
 
 func (fr *frame) unbind(slot int) {
 	fr.bound[slot] = false
-	fr.keyed[slot] = false
+	if fr.idok != nil {
+		fr.idok[slot] = false
+	} else {
+		fr.keyed[slot] = false
+	}
 }
 
 // key returns the join-index key of the bound slot, caching the rendering.
@@ -151,6 +207,15 @@ func (fr *frame) key(slot int) string {
 		fr.keyed[slot] = true
 	}
 	return fr.keys[slot]
+}
+
+// id returns the interned id of the bound slot, caching the intern lookup.
+func (fr *frame) id(slot int) uint64 {
+	if !fr.idok[slot] {
+		fr.ids[slot] = valueID(fr.vals[slot])
+		fr.idok[slot] = true
+	}
+	return fr.ids[slot]
 }
 
 // bindingsOf reconstructs a name->value map from the frame (provenance
@@ -232,11 +297,13 @@ func compileSkeleton(r Rule) *compiledRule {
 		switch {
 		case t.IsConcat():
 			tt := t
+			cr.constructive = true
 			cr.head = append(cr.head, headSpec{slot: -1, concat: &tt})
 		case t.IsVar():
 			cr.head = append(cr.head, headSpec{slot: slotOf(t.Name())})
 		default:
-			cr.head = append(cr.head, headSpec{slot: -1, val: t.Value()})
+			v := t.Value()
+			cr.head = append(cr.head, headSpec{slot: -1, val: v, vid: valueID(v)})
 		}
 	}
 	return cr
@@ -263,7 +330,7 @@ func (e *Engine) compilePlan(cr *compiledRule, r Rule, deltaPos int) ([]planStep
 			for k, t := range a.Args {
 				if !t.IsVar() {
 					v := t.Value()
-					st.args[k] = argSpec{slot: -1, val: v, key: v.String()}
+					st.args[k] = argSpec{slot: -1, val: v, key: v.String(), vid: valueID(v)}
 					st.probes = append(st.probes, k)
 					continue
 				}
@@ -272,6 +339,7 @@ func (e *Engine) compilePlan(cr *compiledRule, r Rule, deltaPos int) ([]planStep
 				switch {
 				case boundSlots[s]:
 					st.probes = append(st.probes, k)
+					st.varProbes = append(st.varProbes, k)
 				case !seenHere[s]:
 					st.freshSlots = append(st.freshSlots, s)
 					seenHere[s] = true
@@ -279,6 +347,20 @@ func (e *Engine) compilePlan(cr *compiledRule, r Rule, deltaPos int) ([]planStep
 			}
 			for _, s := range st.freshSlots {
 				boundSlots[s] = true
+			}
+			// Constant arguments are pushdown candidates: an extensional
+			// scan can filter them inside the store instead of copying the
+			// full extent and probing an engine-side index. constSig keys
+			// the per-engine cache of pushed scans.
+			if nc := len(st.probes) - len(st.varProbes); nc > 0 {
+				var sig strings.Builder
+				sig.WriteString(a.Pred)
+				for k, as := range st.args {
+					if as.slot < 0 {
+						fmt.Fprintf(&sig, "\x00%d\x1f%s", k, as.key)
+					}
+				}
+				st.constSig = sig.String()
 			}
 
 		case ClassAtom:
@@ -296,6 +378,9 @@ func (e *Engine) compilePlan(cr *compiledRule, r Rule, deltaPos int) ([]planStep
 			}
 			st.kind = stepClassEnum
 			st.memberSpecs = e.compileMemberLookahead(cr, r, plan[i+1:], a.Arg.Name(), boundSlots)
+			if a.Kind == object.GenInterval {
+				st.window = compileWindowLookahead(r, plan[i+1:], a.Arg.Name())
+			}
 			boundSlots[s] = true
 
 		case CmpAtom:
@@ -403,6 +488,36 @@ func (e *Engine) compileMemberLookahead(cr *compiledRule, r Rule, rest []int, cl
 		}
 	}
 	return specs
+}
+
+// compileWindowLookahead finds a later solver-decidable guard that pins
+// the enumerated interval's duration against a constant temporal value —
+// the paper's frame-query shape "G.duration ⇒ (t > a ∧ t < b)" — and
+// returns the constant's hull as a pushdown window. Only entailment
+// qualifies: its semantics (every instant of G.duration satisfies the
+// constant) guarantee that any satisfying nonempty duration lies within
+// the hull, so the store's interval-tree scan over-approximates the guard
+// (empty durations entail vacuously and are re-added by the executor).
+func compileWindowLookahead(r Rule, rest []int, classVar string) *interval.Span {
+	for _, pos := range rest {
+		a, ok := r.Body[pos].(EntailAtom)
+		if !ok {
+			continue
+		}
+		if a.Left.Attr != object.AttrDuration || !a.Left.Term.IsVar() || a.Left.Term.Name() != classVar {
+			continue
+		}
+		if a.Right.Attr != "" || a.Right.Term.IsVar() || a.Right.Term.IsConcat() {
+			continue
+		}
+		rt, ok := a.Right.Term.Value().AsTemporal()
+		if !ok || rt.IsEmpty() {
+			continue
+		}
+		w := rt.Hull()
+		return &w
+	}
+	return nil
 }
 
 // compileOperand resolves an operand's variable to its slot.
@@ -593,6 +708,40 @@ func (st *planStep) match(fr *frame, tuple row) bool {
 	return true
 }
 
+// matchIDs is match for a tuple that carries its interned value ids:
+// fresh slots bind value and id together, so downstream index probes and
+// head folds read the frame's id cache instead of the intern table.
+// Equality checks are unchanged (ids are a cache, not a semantics); ids
+// may be nil or short (rows from sources that don't carry them), in
+// which case the affected slots bind lazily like match.
+func (st *planStep) matchIDs(fr *frame, tuple row, ids []uint64) bool {
+	if len(tuple) != len(st.args) {
+		return false // arity mismatch: the fact cannot unify
+	}
+	withIDs := len(ids) == len(tuple)
+	for k := range st.args {
+		a := &st.args[k]
+		if a.slot < 0 {
+			if !a.val.Equal(tuple[k]) {
+				return false
+			}
+			continue
+		}
+		if fr.bound[a.slot] {
+			if !fr.vals[a.slot].Equal(tuple[k]) {
+				return false
+			}
+			continue
+		}
+		if withIDs {
+			fr.bindID(a.slot, tuple[k], ids[k])
+		} else {
+			fr.bind(a.slot, tuple[k])
+		}
+	}
+	return true
+}
+
 // clearFresh unbinds the slots this step binds (backtracking).
 func (st *planStep) clearFresh(fr *frame) {
 	for _, s := range st.freshSlots {
@@ -608,4 +757,13 @@ func (st *planStep) probeKey(fr *frame, k int) string {
 		return a.key
 	}
 	return fr.key(a.slot)
+}
+
+// probeID is probeKey for interned (streaming) evaluation.
+func (st *planStep) probeID(fr *frame, k int) uint64 {
+	a := &st.args[k]
+	if a.slot < 0 {
+		return a.vid
+	}
+	return fr.id(a.slot)
 }

@@ -26,6 +26,7 @@ type Engine struct {
 
 	naive          bool
 	eager          bool
+	streaming      bool
 	useMemberIndex bool
 	useJoinIndex   bool
 	usePlanCache   bool
@@ -33,6 +34,12 @@ type Engine struct {
 	maxRounds      int
 	maxCreated     int
 	maxDerived     int
+
+	// in is the engine's pair interner (streaming mode): tuples are keyed
+	// by interned 64-bit ids instead of rendered strings. nil in the
+	// materializing ablation (WithoutStreaming), whose relations fall back
+	// to string keys. Shared by parallel worker copies (pointer field).
+	in *pairInterner
 
 	// Cancellation (WithContext): ctx is checked once per fixpoint round
 	// and every cancelCheckInterval join-kernel tuples (ticks counts them;
@@ -67,7 +74,14 @@ type Engine struct {
 	baseEntities  []object.OID
 	allIntervals  []object.OID // baseIntervals + activeCreated, rebuilt at round boundaries
 	edbCache      map[string]*relation
-	edbKeys       map[string]map[string]bool // negation membership for EDB preds
+	edbKeys       map[string]*keySet // negation membership for EDB preds
+
+	// Interval-window pushdown support: base intervals with empty
+	// durations (excluded from the store's interval tree but vacuously
+	// satisfying entailment guards), computed once per run when the
+	// program contains entailment atoms.
+	needEmpties    bool
+	emptyIntervals []object.OID
 
 	// Query-goal predicates registered before Run so warmEDBCaches covers
 	// them: no worker or concurrent reader ever lazily writes edbCache.
@@ -119,10 +133,15 @@ type Engine struct {
 	// delMode redirects head firings into delSet/delNext — the DRed
 	// over-deletion bookkeeping — instead of proposing tuples; it is only
 	// ever set during the serial over-deletion phase.
-	edbDelta map[string][]row
-	delMode  bool
-	delSet   map[string]map[string]bool
-	delNext  map[string][]row
+	edbDelta  map[string][]row
+	delMode   bool
+	delSet    map[string]*keySet
+	delTuples map[string][]row // all marked tuples, for key removal at apply time
+	delNext   map[string][]row
+
+	// curRel caches the head relation of the task being evaluated, saving
+	// a map lookup per firing (worker copies are private).
+	curRel *relation
 
 	// ran records that runOnce has been consumed (by Run or
 	// RunIncremental), distinguishing "already evaluated" from "evaluated
@@ -165,6 +184,13 @@ func Naive() Option { return func(e *Engine) { e.naive = true } }
 // MaxCreated.
 func EagerExtension() Option { return func(e *Engine) { e.eager = true } }
 
+// WithoutStreaming selects the materializing evaluator: the recursive
+// join kernel with rendered string row keys and no store pushdown, as it
+// existed before the streaming executor. Ablation knob — it preserves the
+// seed-comparable allocation profile the streaming benchmarks measure
+// against.
+func WithoutStreaming() Option { return func(e *Engine) { e.streaming = false } }
+
 // WithoutMemberIndex disables the planner's use of the store's
 // entity→interval inverted index for "o ∈ G.entities" generators (E10
 // ablation).
@@ -203,37 +229,10 @@ func NewEngine(st *store.Store, prog Program, opts ...Option) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	e := &Engine{
-		st:             st,
-		prog:           prog,
-		idb:            make(map[string]bool),
-		useMemberIndex: true,
-		useJoinIndex:   true,
-		usePlanCache:   true,
-		maxRounds:      1 << 20,
-		maxCreated:     1 << 20,
-		maxDerived:     1 << 20,
-		derived:        make(map[string]*relation),
-		created:        make(map[object.OID]*object.Object),
-		baseIDs:        make(map[object.OID][]object.OID),
-		concatKey:      make(map[string]object.OID),
-		edbCache:       make(map[string]*relation),
-		edbKeys:        make(map[string]map[string]bool),
-		goalMu:         &sync.Mutex{},
-		goalPreds:      make(map[string]bool),
-		statsMu:        &sync.Mutex{},
-		statsSnap:      &RunStats{},
-		runOnce:        &sync.Once{},
-		ran:            new(bool),
-		prov:           make(map[string]*Derivation),
-		predStrata:     strata,
-		maxStratum:     maxStratum,
-		growsAt:        make([]bool, maxStratum+1),
-	}
-	for _, pred := range prog.IDB() {
-		e.idb[pred] = true
-		e.derived[pred] = newRelation()
-	}
+	e := newEngineShell(st, prog)
+	e.predStrata = strata
+	e.maxStratum = maxStratum
+	e.growsAt = make([]bool, maxStratum+1)
 	e.ruleStrata = make([]int, len(prog.Rules))
 	for i, r := range prog.Rules {
 		e.ruleStrata[i] = strata[r.Head.Pred]
@@ -242,16 +241,7 @@ func NewEngine(st *store.Store, prog Program, opts ...Option) (*Engine, error) {
 			e.growsAt[e.ruleStrata[i]] = true
 		}
 	}
-	for _, o := range opts {
-		o(e)
-	}
-	if e.profiling {
-		e.prof = newProfileState(len(prog.Rules))
-	}
-	if e.eager {
-		e.intervalsGrow = true
-		e.growsAt[0] = true
-	}
+	e.finishInit(opts)
 	// Compile every rule once. A rule that fails to compile (e.g. a
 	// constraint atom over variables no body literal binds) keeps a nil
 	// entry so the error surfaces at evaluation time, exactly as the
@@ -265,6 +255,70 @@ func NewEngine(st *store.Store, prog Program, opts ...Option) (*Engine, error) {
 		}
 	}
 	return e, nil
+}
+
+// newEngineShell builds an engine with every field that does not depend
+// on stratification, options, or compilation. Shared by NewEngine and
+// NewEngineWith (the plan-cache entry point, which skips re-validating
+// and re-stratifying an already-compiled program).
+func newEngineShell(st *store.Store, prog Program) *Engine {
+	return &Engine{
+		st:             st,
+		prog:           prog,
+		idb:            make(map[string]bool),
+		streaming:      true,
+		useMemberIndex: true,
+		useJoinIndex:   true,
+		usePlanCache:   true,
+		maxRounds:      1 << 20,
+		maxCreated:     1 << 20,
+		maxDerived:     1 << 20,
+		derived:        make(map[string]*relation),
+		created:        make(map[object.OID]*object.Object),
+		baseIDs:        make(map[object.OID][]object.OID),
+		concatKey:      make(map[string]object.OID),
+		edbCache:       make(map[string]*relation),
+		edbKeys:        make(map[string]*keySet),
+		goalMu:         &sync.Mutex{},
+		goalPreds:      make(map[string]bool),
+		statsMu:        &sync.Mutex{},
+		statsSnap:      &RunStats{},
+		runOnce:        &sync.Once{},
+		ran:            new(bool),
+		prov:           make(map[string]*Derivation),
+	}
+}
+
+// finishInit applies the options and builds the option-dependent state:
+// the pair interner and the derived relations (keyed according to the
+// execution mode), the profiler, and the eager-extension flags.
+func (e *Engine) finishInit(opts []Option) {
+	for _, o := range opts {
+		o(e)
+	}
+	if e.streaming {
+		e.in = newPairInterner()
+	}
+	for _, pred := range e.prog.IDB() {
+		e.idb[pred] = true
+		e.derived[pred] = newRelation(e.in)
+	}
+	if e.profiling {
+		e.prof = newProfileState(len(e.prog.Rules))
+	}
+	if e.eager {
+		e.intervalsGrow = true
+		e.growsAt[0] = true
+	}
+	// Entailment guards admit empty durations vacuously; the window
+	// pushdown needs the empty-duration interval list to stay a superset.
+	for _, r := range e.prog.Rules {
+		for _, l := range r.Body {
+			if _, ok := l.(EntailAtom); ok {
+				e.needEmpties = true
+			}
+		}
+	}
 }
 
 // Stats returns the statistics of the last Run. It is safe to call
@@ -446,12 +500,23 @@ func (e *Engine) snapshotEDB() {
 	e.baseIntervals = e.st.Intervals()
 	e.baseEntities = e.st.Entities()
 	e.allIntervals = append([]object.OID(nil), e.baseIntervals...)
+	if e.streaming && e.needEmpties {
+		for _, oid := range e.baseIntervals {
+			if o := e.st.Get(oid); o != nil && o.Duration().IsEmpty() {
+				e.emptyIntervals = append(e.emptyIntervals, oid)
+			}
+		}
+	}
 }
 
 // seedEDB loads extensional facts of IDB predicates into their relations
-// so duplicates are suppressed and the first delta is well-defined.
+// so duplicates are suppressed and the first delta is well-defined. The
+// dedup sets are pre-sized from the store's fact counts.
 func (e *Engine) seedEDB() {
 	for pred, rel := range e.derived {
+		if n := e.st.FactCount(pred); n > 0 {
+			rel.keys.presize(n)
+		}
 		for _, f := range e.st.Facts(pred) {
 			rel.propose(append(row(nil), f.Args...))
 		}
@@ -535,10 +600,16 @@ func (e *Engine) edbRelation(pred string) *relation {
 		return rel
 	}
 	facts := e.st.Facts(pred)
-	rel := newRelation()
+	rel := newRelation(e.in)
 	rel.rows = make([]row, len(facts))
+	if rel.interned() {
+		rel.vids = make([][]uint64, len(facts))
+	}
 	for i, f := range facts {
 		rel.rows[i] = row(f.Args)
+		if rel.interned() {
+			rel.vids[i] = vidsOf(rel.rows[i])
+		}
 	}
 	e.edbCache[pred] = rel
 	return rel
@@ -563,6 +634,23 @@ func (e *Engine) relAccess(pred string, useDelta bool) ([]row, *relation) {
 	}
 	rel := e.edbRelation(pred)
 	return rel.rows, rel
+}
+
+// relAccessIDs is relAccess for the streaming executor: it additionally
+// returns the rows' carried value ids (aligned with rows; nil when the
+// source doesn't carry them, e.g. incremental EDB deltas).
+func (e *Engine) relAccessIDs(pred string, useDelta bool) ([]row, [][]uint64, *relation) {
+	if rel, ok := e.derived[pred]; ok {
+		if useDelta {
+			return rel.delta, rel.deltaVids, nil
+		}
+		return rel.rows, rel.vids, rel
+	}
+	if useDelta {
+		return e.edbDelta[pred], nil, nil
+	}
+	rel := e.edbRelation(pred)
+	return rel.rows, rel.vids, rel
 }
 
 // Object resolves an oid against the extended domain: ⊕-created objects
@@ -617,7 +705,11 @@ func (e *Engine) evalRule(ruleIdx, deltaPos int) error {
 			return fmt.Errorf("datalog: rule %s: %w", cr.rule.label(), err)
 		}
 	}
-	fr := newFrame(cr.nVars)
+	e.curRel = e.derived[cr.rule.Head.Pred]
+	fr := newFrame(cr, e.streaming)
+	if e.streaming {
+		return e.runPipeline(cr, steps, fr)
+	}
 	return e.runSteps(cr, steps, 0, fr)
 }
 
@@ -637,7 +729,7 @@ func (e *Engine) runSteps(cr *compiledRule, steps []planStep, i int, fr *frame) 
 		if e.useJoinIndex && rel != nil && len(rows) >= 16 && len(st.probes) > 0 {
 			var ids []int
 			for pi, k := range st.probes {
-				cand := rel.lookup(k, st.probeKey(fr, k))
+				cand := rel.lookupStr(k, st.probeKey(fr, k))
 				if pi == 0 || len(cand) < len(ids) {
 					ids = cand
 					if len(ids) == 0 {
@@ -749,6 +841,26 @@ func (e *Engine) classEnumCandidates(st *planStep, fr *frame) []object.OID {
 			}
 			return cands
 		}
+	}
+	if e.streaming && st.window != nil {
+		// Guard pushdown: a later entailment pins this interval's duration
+		// inside a constant window, so the store's interval tree yields the
+		// candidates whose duration lies within the window's hull. The set
+		// stays a superset of the guard's models — empty durations entail
+		// vacuously and are re-added, created intervals are screened with
+		// the same hull test — and the guard itself still runs.
+		cands := e.st.IntervalsWithin(*st.window)
+		cands = append(cands, e.emptyIntervals...)
+		if len(e.activeCreated) > 0 {
+			win := interval.New(*st.window)
+			for _, oid := range e.activeCreated {
+				d := e.created[oid].Duration()
+				if d.IsEmpty() || win.ContainsGen(d) {
+					cands = append(cands, oid)
+				}
+			}
+		}
+		return cands
 	}
 	return e.allIntervals
 }
@@ -918,19 +1030,20 @@ func (e *Engine) evalFilter(l Literal, b bindings) (bool, error) {
 // guarantees the predicate's stratum is below the current one, so its
 // extent is complete.
 func (e *Engine) hasTuple(pred string, tuple row) bool {
-	key := rowKey(tuple)
 	if rel, ok := e.derived[pred]; ok {
-		return rel.keys[key] // EDB facts were seeded into the relation
+		return rel.keys.has(tuple) // EDB facts were seeded into the relation
 	}
-	keys, ok := e.edbKeys[pred]
+	ks, ok := e.edbKeys[pred]
 	if !ok {
-		keys = make(map[string]bool)
-		for _, r := range e.edbRows(pred) {
-			keys[rowKey(r)] = true
+		rows := e.edbRows(pred)
+		set := newKeySet(e.in, len(rows))
+		for _, r := range rows {
+			set.add(r)
 		}
-		e.edbKeys[pred] = keys
+		ks = &set
+		e.edbKeys[pred] = ks
 	}
-	return keys[key]
+	return ks.has(tuple)
 }
 
 // EvalTemporal evaluates an Allen-style temporal relation between two
@@ -996,6 +1109,54 @@ func compareValues(l object.Value, op constraint.Op, r object.Value) bool {
 
 func (e *Engine) fireHead(cr *compiledRule, fr *frame) error {
 	r := cr.rule
+	// Streaming fast path: instantiate the head into the frame's scratch
+	// buffer and dedup-check by interned key before allocating anything —
+	// duplicate firings (the majority of firings near the fixpoint)
+	// allocate nothing. Constructive heads, over-deletion, and provenance
+	// tracing need the materialized tuple or its side effects and take the
+	// general path below.
+	if e.in != nil && !e.delMode && !e.trace && !cr.constructive {
+		s, sids := fr.scratch, fr.scratchIDs
+		for i, h := range cr.head {
+			if h.slot >= 0 {
+				if !fr.bound[h.slot] {
+					return fmt.Errorf("datalog: rule %s: head variable %s unbound (range restriction violated)", r.label(), cr.varNames[h.slot])
+				}
+				s[i] = fr.vals[h.slot]
+				sids[i] = fr.id(h.slot)
+			} else {
+				s[i] = h.val
+				sids[i] = h.vid
+			}
+		}
+		e.stats.Firings++
+		if e.prof != nil {
+			e.prof.ruleFirings[e.curRule]++
+		}
+		rel := e.curRel
+		// Workers read the extent's key set without locking: within a
+		// round it is immutable (proposals merge at the barrier), so this
+		// filters firings already in the extent; cross-worker duplicates
+		// of genuinely new tuples resolve at the merge.
+		if rel.keys.hasIDs(sids) {
+			return nil
+		}
+		if e.collect != nil {
+			tuple := append(row(nil), s...)
+			*e.collect = append(*e.collect, proposal{pred: r.Head.Pred, tuple: tuple, rule: e.curRule})
+			return nil
+		}
+		rel.proposeIDs(s, sids)
+		e.stats.Derived++
+		if e.prof != nil {
+			e.prof.ruleDerived[e.curRule]++
+		}
+		if e.stats.Derived > e.maxDerived {
+			return e.derivedLimitErr()
+		}
+		return nil
+	}
+
 	tuple := make(row, len(cr.head))
 	for i, h := range cr.head {
 		switch {
@@ -1025,15 +1186,18 @@ func (e *Engine) fireHead(cr *compiledRule, fr *frame) error {
 		// decides later whether alternative support remains.
 		pred := r.Head.Pred
 		rel := e.derived[pred]
-		k := rowKey(tuple)
-		if rel != nil && rel.keys[k] && !e.delSet[pred][k] {
-			set := e.delSet[pred]
-			if set == nil {
-				set = make(map[string]bool)
-				e.delSet[pred] = set
-			}
-			set[k] = true
+		if rel == nil || !rel.keys.has(tuple) {
+			return nil
+		}
+		set := e.delSet[pred]
+		if set == nil {
+			ns := newKeySet(e.in, 0)
+			set = &ns
+			e.delSet[pred] = set
+		}
+		if set.add(tuple) {
 			e.delNext[pred] = append(e.delNext[pred], tuple)
+			e.delTuples[pred] = append(e.delTuples[pred], tuple)
 		}
 		return nil
 	}

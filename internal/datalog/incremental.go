@@ -135,13 +135,13 @@ func (e *Engine) runIncremental(prior Extension, ins, del FactDelta) error {
 		}
 	}
 	for pred := range changedEDB {
-		skip := make(map[string]bool, len(insRows[pred]))
+		skip := newKeySet(e.in, len(insRows[pred]))
 		for _, t := range insRows[pred] {
-			skip[rowKey(t)] = true
+			skip.add(t)
 		}
-		old := newRelation()
+		old := newRelation(e.in)
 		for _, t := range e.edbRelation(pred).rows {
-			if !skip[rowKey(t)] {
+			if !skip.has(t) {
 				old.rows = append(old.rows, t)
 			}
 		}
@@ -159,21 +159,30 @@ func (e *Engine) runIncremental(prior Extension, ins, del FactDelta) error {
 	// Apply the over-deletion, and drop the pinned pre-batch extents so
 	// every later join reads the post-batch store.
 	for pred, dels := range deleted {
-		if len(dels) == 0 {
+		if dels.len() == 0 {
 			continue
 		}
 		rel := e.derived[pred]
-		kept := make([]row, 0, len(rel.rows)-len(dels))
-		for _, t := range rel.rows {
-			if !dels[rowKey(t)] {
+		kept := make([]row, 0, len(rel.rows)-dels.len())
+		var keptVids [][]uint64
+		withVids := len(rel.vids) == len(rel.rows) && rel.interned()
+		if withVids {
+			keptVids = make([][]uint64, 0, cap(kept))
+		}
+		for i, t := range rel.rows {
+			if !dels.has(t) {
 				kept = append(kept, t)
+				if withVids {
+					keptVids = append(keptVids, rel.vids[i])
+				}
 			}
 		}
-		rel.rows = kept
-		for k := range dels {
-			delete(rel.keys, k)
+		rel.rows, rel.vids = kept, keptVids
+		for _, t := range e.delTuples[pred] {
+			rel.keys.remove(t)
 		}
-		rel.delta, rel.next = nil, nil
+		rel.delta, rel.deltaVids = nil, nil
+		rel.next, rel.nextVids = nil, nil
 		rel.idx = nil // row indexes shifted; rebuild lazily
 	}
 	for pred := range changedEDB {
@@ -186,7 +195,7 @@ func (e *Engine) runIncremental(prior Extension, ins, del FactDelta) error {
 	// alternative derivations are re-proposed and, at the next round
 	// boundary, become deltas that propagate like insertions.
 	for ri, r := range e.prog.Rules {
-		if len(deleted[r.Head.Pred]) > 0 {
+		if dels := deleted[r.Head.Pred]; dels != nil && dels.len() > 0 {
 			if err := e.evalRule(ri, -1); err != nil {
 				return err
 			}
@@ -259,9 +268,10 @@ func (e *Engine) runIncremental(prior Extension, ins, del FactDelta) error {
 // the pre-batch extents (relations still hold the full prior extension;
 // changed EDB predicates are pinned to their pre-batch rows). Returns
 // the per-predicate key sets of over-deleted tuples.
-func (e *Engine) overDelete(delRows map[string][]row) (map[string]map[string]bool, error) {
+func (e *Engine) overDelete(delRows map[string][]row) (map[string]*keySet, error) {
 	e.delMode = true
-	e.delSet = make(map[string]map[string]bool)
+	e.delSet = make(map[string]*keySet)
+	e.delTuples = make(map[string][]row)
 	defer func() {
 		e.delMode = false
 		e.delNext = nil
@@ -281,14 +291,14 @@ func (e *Engine) overDelete(delRows map[string][]row) (map[string]map[string]boo
 		rel := e.derived[pred]
 		set := e.delSet[pred]
 		if set == nil {
-			set = make(map[string]bool)
+			ns := newKeySet(e.in, len(rows))
+			set = &ns
 			e.delSet[pred] = set
 		}
 		for _, t := range rows {
-			k := rowKey(t)
-			if rel.keys[k] && !set[k] {
-				set[k] = true
+			if rel.keys.has(t) && set.add(t) {
 				cur[pred] = append(cur[pred], t)
+				e.delTuples[pred] = append(e.delTuples[pred], t)
 			}
 		}
 		if len(cur[pred]) == 0 {
@@ -304,7 +314,10 @@ func (e *Engine) overDelete(delRows map[string][]row) (map[string]map[string]boo
 		e.edbDelta = make(map[string][]row)
 		for pred, rows := range cur {
 			if e.idb[pred] {
-				e.derived[pred].delta = rows
+				// The deletion delta replaces the relation's own: drop the
+				// carried ids so the executor re-interns lazily rather than
+				// reading ids aligned with the displaced delta.
+				e.derived[pred].delta, e.derived[pred].deltaVids = rows, nil
 			} else {
 				e.edbDelta[pred] = rows
 			}
@@ -321,7 +334,7 @@ func (e *Engine) overDelete(delRows map[string][]row) (map[string]map[string]boo
 		}
 		for pred := range cur {
 			if e.idb[pred] {
-				e.derived[pred].delta = nil
+				e.derived[pred].delta, e.derived[pred].deltaVids = nil, nil
 			}
 		}
 		cur = e.delNext

@@ -63,6 +63,7 @@ func (e *Engine) runTasks(tasks []evalTask) error {
 	}
 
 	e.warmEDBCaches()
+	e.warmFilteredScans()
 	workers := e.workers
 	if workers > len(par) {
 		workers = len(par)

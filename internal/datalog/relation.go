@@ -11,6 +11,10 @@ import (
 // row is one derived tuple.
 type row []object.Value
 
+// rowKey renders the tuple's canonical string key. The streaming executor
+// identifies tuples by interned 64-bit keys instead (see intern.go);
+// rendered keys remain the canonical *ordering* for query results and the
+// dedup key of the materializing ablation (WithoutStreaming).
 func rowKey(r row) string {
 	var b strings.Builder
 	for i, v := range r {
@@ -22,6 +26,146 @@ func rowKey(r row) string {
 	return b.String()
 }
 
+// rowID is the interned membership key of a tuple with at most four
+// values: its value ids, padded with invalidID (which is never issued, so
+// padding cannot collide with a real id and shorter rows cannot alias
+// longer ones). One fixed-width map probe — no string rendering, no pair
+// folding — is the dedup cost of a duplicate firing.
+type rowID [4]uint64
+
+// keySet is a membership set of tuples. Interned (streaming) sets key
+// rows of arity ≤ 4 by their padded value-id array and longer rows by the
+// pair-interner fold; string sets render the row (the materializing
+// ablation keeps the seed evaluator's allocation profile).
+type keySet struct {
+	in   *pairInterner
+	arr  map[rowID]bool
+	ids  map[uint64]bool // fold keys of rows with arity > 4
+	strs map[string]bool
+}
+
+func newKeySet(in *pairInterner, n int) keySet {
+	if in != nil {
+		return keySet{in: in, arr: make(map[rowID]bool, n)}
+	}
+	return keySet{strs: make(map[string]bool, n)}
+}
+
+// presize replaces an empty set's map with one sized for n entries.
+func (s *keySet) presize(n int) {
+	if s.in != nil {
+		if len(s.arr) == 0 && n > 0 {
+			s.arr = make(map[rowID]bool, n)
+		}
+		return
+	}
+	if len(s.strs) == 0 && n > 0 {
+		s.strs = make(map[string]bool, n)
+	}
+}
+
+// arrKey builds the fixed-width key from a tuple's value ids, reporting
+// false when the arity exceeds the array (fold fallback).
+func arrKey(t row) (rowID, bool) {
+	var k rowID
+	if len(t) > len(k) {
+		return k, false
+	}
+	for i, v := range t {
+		k[i] = valueID(v)
+	}
+	return k, true
+}
+
+// arrKeyIDs is arrKey over already-interned ids.
+func arrKeyIDs(ids []uint64) (rowID, bool) {
+	var k rowID
+	if len(ids) > len(k) {
+		return k, false
+	}
+	copy(k[:], ids)
+	return k, true
+}
+
+// add inserts the tuple, reporting whether it was new.
+func (s *keySet) add(t row) bool {
+	if s.in != nil {
+		if k, ok := arrKey(t); ok {
+			if s.arr[k] {
+				return false
+			}
+			s.arr[k] = true
+			return true
+		}
+		k := s.in.rowKey64(t)
+		if s.ids[k] {
+			return false
+		}
+		if s.ids == nil {
+			s.ids = make(map[uint64]bool)
+		}
+		s.ids[k] = true
+		return true
+	}
+	k := rowKey(t)
+	if s.strs[k] {
+		return false
+	}
+	s.strs[k] = true
+	return true
+}
+
+func (s *keySet) has(t row) bool {
+	if s.in != nil {
+		if k, ok := arrKey(t); ok {
+			return s.arr[k]
+		}
+		return s.ids[s.in.rowKey64(t)]
+	}
+	return s.strs[rowKey(t)]
+}
+
+// hasIDs answers membership for a tuple whose value ids are already in
+// hand (interned mode only — the zero-allocation dedup probe of the
+// streaming head path).
+func (s *keySet) hasIDs(ids []uint64) bool {
+	if k, ok := arrKeyIDs(ids); ok {
+		return s.arr[k]
+	}
+	return s.ids[s.in.foldIDs(ids)]
+}
+
+// addIDs inserts a tuple by its value ids (interned mode only).
+func (s *keySet) addIDs(ids []uint64) {
+	if k, ok := arrKeyIDs(ids); ok {
+		s.arr[k] = true
+		return
+	}
+	if s.ids == nil {
+		s.ids = make(map[uint64]bool)
+	}
+	s.ids[s.in.foldIDs(ids)] = true
+}
+
+func (s *keySet) remove(t row) {
+	if s.in != nil {
+		if k, ok := arrKey(t); ok {
+			delete(s.arr, k)
+			return
+		}
+		delete(s.ids, s.in.rowKey64(t))
+		return
+	}
+	delete(s.strs, rowKey(t))
+}
+
+func (s *keySet) len() int {
+	if s.in != nil {
+		return len(s.arr) + len(s.ids)
+	}
+	return len(s.strs)
+}
+
 // relation holds the derived tuples of one IDB predicate, with the delta
 // bookkeeping needed by semi-naive evaluation: rows is the full extent,
 // delta the tuples added in the previous round, next the tuples derived
@@ -29,82 +173,202 @@ func rowKey(r row) string {
 // TP-iteration semantics of Definition 22).
 type relation struct {
 	rows  []row
-	keys  map[string]bool
+	keys  keySet
 	delta []row
 	next  []row
 
+	// Interned mode: per-row value ids, aligned with rows/delta/next.
+	// Computed once when a tuple enters the relation, so index building
+	// and match bindings never re-probe the value intern table.
+	vids      [][]uint64
+	deltaVids [][]uint64
+	nextVids  [][]uint64
+
+	// Proposal arena: newly derived tuples and their ids are sliced off
+	// chunked backing arrays — one allocation per chunk, not two per
+	// tuple (see proposeIDs).
+	valChunk []object.Value
+	idChunk  []uint64
+
 	// Join index: argument position -> value key -> indexes into rows.
 	// Built lazily per position on first use, extended incrementally as
-	// rows grow; guarded for parallel workers.
-	idxMu sync.Mutex
+	// rows grow. Rows only grow at the single-threaded round boundary, so
+	// within a round the index is read-mostly: probes take the read lock
+	// and fall through to the write lock only when the index has to be
+	// created or extended.
+	idxMu sync.RWMutex
 	idx   map[int]*posIndex
 }
 
-// posIndex indexes one argument position of a relation.
+// posIndex indexes one argument position of a relation, keyed like the
+// relation's keySet: interned ids or rendered strings.
 type posIndex struct {
-	vals    map[string][]int
+	vals    map[uint64][]int
+	valsS   map[string][]int
 	covered int // rows[:covered] are indexed
 }
 
-func newRelation() *relation {
-	return &relation{keys: make(map[string]bool)}
+func newRelation(in *pairInterner) *relation { return newRelationSized(in, 0) }
+
+// newRelationSized pre-sizes the dedup set for n expected tuples (the
+// store's cardinality estimate for EDB-seeded relations).
+func newRelationSized(in *pairInterner, n int) *relation {
+	return &relation{keys: newKeySet(in, n)}
 }
 
-// lookup returns the indexes of rows whose argument at pos has the given
-// canonical value key. The index for a position is built on first use
-// and extended to cover new rows on later calls.
-func (r *relation) lookup(pos int, key string) []int {
+func (r *relation) interned() bool { return r.keys.in != nil }
+
+// lookup64 returns the indexes of rows whose argument at pos has the
+// given interned value id. The index for a position is built on first use
+// and extended to cover new rows on later calls; the covering check and
+// probe run under the read lock, so concurrent workers only serialize
+// while the index actually grows.
+func (r *relation) lookup64(pos int, key uint64) []int {
+	r.idxMu.RLock()
+	if pi, ok := r.idx[pos]; ok && pi.covered == len(r.rows) {
+		ids := pi.vals[key]
+		r.idxMu.RUnlock()
+		return ids
+	}
+	r.idxMu.RUnlock()
+
 	r.idxMu.Lock()
 	defer r.idxMu.Unlock()
+	pi := r.extendIndex(pos)
+	return pi.vals[key]
+}
+
+// lookupStr is lookup64 for string-keyed (materializing) relations.
+func (r *relation) lookupStr(pos int, key string) []int {
+	r.idxMu.RLock()
+	if pi, ok := r.idx[pos]; ok && pi.covered == len(r.rows) {
+		ids := pi.valsS[key]
+		r.idxMu.RUnlock()
+		return ids
+	}
+	r.idxMu.RUnlock()
+
+	r.idxMu.Lock()
+	defer r.idxMu.Unlock()
+	pi := r.extendIndex(pos)
+	return pi.valsS[key]
+}
+
+// extendIndex creates or extends the position index to cover all rows.
+// Caller holds the write lock. The value map is pre-sized from the row
+// count — the distinct-value upper bound — so building a large index does
+// not rehash repeatedly.
+func (r *relation) extendIndex(pos int) *posIndex {
 	if r.idx == nil {
 		r.idx = make(map[int]*posIndex)
 	}
 	pi, ok := r.idx[pos]
 	if !ok {
-		pi = &posIndex{vals: make(map[string][]int)}
+		pi = &posIndex{}
+		if r.interned() {
+			pi.vals = make(map[uint64][]int, len(r.rows))
+		} else {
+			pi.valsS = make(map[string][]int, len(r.rows))
+		}
 		r.idx[pos] = pi
 	}
-	for i := pi.covered; i < len(r.rows); i++ {
-		if pos < len(r.rows[i]) {
-			k := r.rows[i][pos].String()
-			pi.vals[k] = append(pi.vals[k], i)
+	if r.interned() {
+		for i := pi.covered; i < len(r.rows); i++ {
+			if pos < len(r.rows[i]) {
+				var k uint64
+				if i < len(r.vids) && pos < len(r.vids[i]) {
+					k = r.vids[i][pos]
+				} else {
+					k = valueID(r.rows[i][pos])
+				}
+				pi.vals[k] = append(pi.vals[k], i)
+			}
+		}
+	} else {
+		for i := pi.covered; i < len(r.rows); i++ {
+			if pos < len(r.rows[i]) {
+				k := r.rows[i][pos].String()
+				pi.valsS[k] = append(pi.valsS[k], i)
+			}
 		}
 	}
 	pi.covered = len(r.rows)
-	return pi.vals[key]
+	return pi
 }
 
 // propose records a tuple derived this round; duplicates of existing or
 // already-proposed tuples are ignored. It reports whether the tuple was
 // new.
 func (r *relation) propose(t row) bool {
-	k := rowKey(t)
-	if r.keys[k] {
+	if !r.keys.add(t) {
 		return false
 	}
-	r.keys[k] = true
 	r.next = append(r.next, t)
+	if r.interned() {
+		r.nextVids = append(r.nextVids, vidsOf(t))
+	}
 	return true
+}
+
+// proposalChunk sizes the arena backing arrays of proposeIDs.
+const proposalChunk = 2048
+
+// proposeIDs records a freshly derived tuple whose value ids are already
+// computed (the streaming head path reads them from frame caches). The
+// values and ids are copied out of the caller's scratch buffers into the
+// relation's arena — tuples are sliced off chunked backing arrays, so
+// admitting a new tuple costs amortized zero allocations. The caller has
+// already established the tuple is new (hasIDs).
+func (r *relation) proposeIDs(s row, sids []uint64) {
+	r.keys.addIDs(sids)
+	n := len(s)
+	if cap(r.valChunk)-len(r.valChunk) < n {
+		c := proposalChunk
+		if n > c {
+			c = n
+		}
+		r.valChunk = make([]object.Value, 0, c)
+		r.idChunk = make([]uint64, 0, c)
+	}
+	vOff := len(r.valChunk)
+	r.valChunk = append(r.valChunk, s...)
+	iOff := len(r.idChunk)
+	r.idChunk = append(r.idChunk, sids...)
+	r.next = append(r.next, row(r.valChunk[vOff:len(r.valChunk):len(r.valChunk)]))
+	r.nextVids = append(r.nextVids, r.idChunk[iOff:len(r.idChunk):len(r.idChunk)])
 }
 
 // seed installs a tuple directly into the full extent without delta
 // bookkeeping — incremental maintenance re-materializing the extension
 // of a prior run (see incremental.go).
 func (r *relation) seed(t row) {
-	k := rowKey(t)
-	if r.keys[k] {
+	if !r.keys.add(t) {
 		return
 	}
-	r.keys[k] = true
 	r.rows = append(r.rows, t)
+	if r.interned() {
+		r.vids = append(r.vids, vidsOf(t))
+	}
 }
 
 // advance applies the round boundary: next becomes delta and joins the
-// full extent. It reports whether anything changed.
+// full extent. The new proposal buffer is pre-sized from the delta it
+// replaces — the previous round's cardinality is the best available
+// estimate for the next one. It reports whether anything changed.
 func (r *relation) advance() bool {
-	r.delta = r.next
-	r.next = nil
+	r.delta, r.deltaVids = r.next, r.nextVids
+	if n := len(r.delta); n > 0 {
+		r.next = make([]row, 0, n)
+		if r.interned() {
+			r.nextVids = make([][]uint64, 0, n)
+		}
+	} else {
+		r.next, r.nextVids = nil, nil
+	}
 	r.rows = append(r.rows, r.delta...)
+	if r.interned() {
+		r.vids = append(r.vids, r.deltaVids...)
+	}
 	return len(r.delta) > 0
 }
 

@@ -6,70 +6,90 @@ import (
 	"videodb/internal/object"
 )
 
+// both runs a relation test in the interned-key (streaming) and
+// string-key (materializing ablation) modes.
+func both(t *testing.T, fn func(t *testing.T, in *pairInterner)) {
+	t.Run("interned", func(t *testing.T) { fn(t, newPairInterner()) })
+	t.Run("strings", func(t *testing.T) { fn(t, nil) })
+}
+
 func TestRelationProposeAdvance(t *testing.T) {
-	r := newRelation()
-	a := row{object.Num(1), object.Str("x")}
-	if !r.propose(a) {
-		t.Error("first propose should be new")
+	both(t, func(t *testing.T, in *pairInterner) {
+		r := newRelation(in)
+		a := row{object.Num(1), object.Str("x")}
+		if !r.propose(a) {
+			t.Error("first propose should be new")
+		}
+		if r.propose(row{object.Num(1), object.Str("x")}) {
+			t.Error("duplicate propose should be rejected")
+		}
+		if len(r.rows) != 0 {
+			t.Error("proposals must not be visible before advance")
+		}
+		if !r.advance() {
+			t.Error("advance with pending proposals should report change")
+		}
+		if len(r.rows) != 1 || len(r.delta) != 1 {
+			t.Errorf("rows=%d delta=%d", len(r.rows), len(r.delta))
+		}
+		if r.advance() {
+			t.Error("advance with nothing pending should report no change")
+		}
+		if len(r.delta) != 0 {
+			t.Error("delta should drain")
+		}
+	})
+}
+
+// lookupVal probes position pos for the value through whichever index
+// the relation's key mode uses.
+func lookupVal(r *relation, pos int, v object.Value) []int {
+	if r.interned() {
+		return r.lookup64(pos, valueID(v))
 	}
-	if r.propose(row{object.Num(1), object.Str("x")}) {
-		t.Error("duplicate propose should be rejected")
-	}
-	if len(r.rows) != 0 {
-		t.Error("proposals must not be visible before advance")
-	}
-	if !r.advance() {
-		t.Error("advance with pending proposals should report change")
-	}
-	if len(r.rows) != 1 || len(r.delta) != 1 {
-		t.Errorf("rows=%d delta=%d", len(r.rows), len(r.delta))
-	}
-	if r.advance() {
-		t.Error("advance with nothing pending should report no change")
-	}
-	if len(r.delta) != 0 {
-		t.Error("delta should drain")
-	}
+	return r.lookupStr(pos, v.String())
 }
 
 func TestRelationLookup(t *testing.T) {
-	r := newRelation()
-	for i := 0; i < 10; i++ {
-		r.propose(row{object.Num(float64(i % 3)), object.Num(float64(i))})
-	}
-	r.advance()
-	hits := r.lookup(0, object.Num(1).String())
-	want := 0
-	for i := 0; i < 10; i++ {
-		if i%3 == 1 {
-			want++
+	both(t, func(t *testing.T, in *pairInterner) {
+		r := newRelation(in)
+		for i := 0; i < 10; i++ {
+			r.propose(row{object.Num(float64(i % 3)), object.Num(float64(i))})
 		}
-	}
-	if len(hits) != want {
-		t.Errorf("lookup(0, 1) = %d hits, want %d", len(hits), want)
-	}
-	for _, ri := range hits {
-		if n, _ := r.rows[ri][0].AsNumber(); n != 1 {
-			t.Errorf("row %d has key %v", ri, r.rows[ri][0])
+		r.advance()
+		hits := lookupVal(r, 0, object.Num(1))
+		want := 0
+		for i := 0; i < 10; i++ {
+			if i%3 == 1 {
+				want++
+			}
 		}
-	}
-	// Index extends over rows added later.
-	r.propose(row{object.Num(1), object.Num(100)})
-	r.advance()
-	if got := r.lookup(0, object.Num(1).String()); len(got) != want+1 {
-		t.Errorf("after growth: %d hits, want %d", len(got), want+1)
-	}
-	// Secondary position and misses.
-	if got := r.lookup(1, object.Num(100).String()); len(got) != 1 {
-		t.Errorf("lookup(1, 100) = %d hits", len(got))
-	}
-	if got := r.lookup(0, object.Num(99).String()); len(got) != 0 {
-		t.Errorf("miss returned %d hits", len(got))
-	}
-	// Out-of-range position is safe.
-	if got := r.lookup(7, "x"); len(got) != 0 {
-		t.Errorf("out-of-range position returned %d hits", len(got))
-	}
+		if len(hits) != want {
+			t.Errorf("lookup(0, 1) = %d hits, want %d", len(hits), want)
+		}
+		for _, ri := range hits {
+			if n, _ := r.rows[ri][0].AsNumber(); n != 1 {
+				t.Errorf("row %d has key %v", ri, r.rows[ri][0])
+			}
+		}
+		// Index extends over rows added later.
+		r.propose(row{object.Num(1), object.Num(100)})
+		r.advance()
+		if got := lookupVal(r, 0, object.Num(1)); len(got) != want+1 {
+			t.Errorf("after growth: %d hits, want %d", len(got), want+1)
+		}
+		// Secondary position and misses.
+		if got := lookupVal(r, 1, object.Num(100)); len(got) != 1 {
+			t.Errorf("lookup(1, 100) = %d hits", len(got))
+		}
+		if got := lookupVal(r, 0, object.Num(99)); len(got) != 0 {
+			t.Errorf("miss returned %d hits", len(got))
+		}
+		// Out-of-range position is safe.
+		if got := lookupVal(r, 7, object.Str("x")); len(got) != 0 {
+			t.Errorf("out-of-range position returned %d hits", len(got))
+		}
+	})
 }
 
 func TestJoinIndexAblationEquivalence(t *testing.T) {

@@ -78,6 +78,11 @@ type metrics struct {
 	viewRecomputed atomic.Uint64
 	viewErrors     atomic.Uint64
 
+	// planCache reads the database's cross-query plan-cache counters (the
+	// cache lives on core.DB, not here); nil-safe for tests constructing
+	// bare metrics.
+	planCache func() core.PlanCacheStats
+
 	// Static-analysis diagnostics reported, keyed by code (VQL0001…).
 	// The label set is open-ended, so this one counter is a guarded map
 	// rather than an atomic; vet runs are rare next to queries, and the
@@ -171,10 +176,19 @@ type engineTotals struct {
 	ViewsRecomp    uint64            `json:"viewsRecomputed"`
 	ViewErrors     uint64            `json:"viewErrors"`
 	VetDiagnostics map[string]uint64 `json:"vetDiagnostics,omitempty"`
+
+	PlanCache    core.PlanCacheStats `json:"planCache"`
+	InternValues int                 `json:"internValues"` // process-wide value-interner size
 }
 
 func (m *metrics) totals() engineTotals {
+	var pcs core.PlanCacheStats
+	if m.planCache != nil {
+		pcs = m.planCache()
+	}
 	return engineTotals{
+		PlanCache:    pcs,
+		InternValues: datalog.InternStats().Values,
 		Queries:        m.queries.Load(),
 		ErrorsCanceled: m.errCanceled.Load(),
 		ErrorsLimit:    m.errLimit.Load(),
@@ -245,6 +259,16 @@ func (m *metrics) writeProm(b *bytes.Buffer, uptime time.Duration) {
 	gauge("videodb_memo_entries", "Entries currently cached in the process-wide solver memo.", float64(ms.Entries))
 	counter("videodb_memo_flushes_total", "Generation clears of the process-wide solver memo.", ms.Flushes)
 	gauge("videodb_memo_hit_rate", "Process-wide solver-memo hit rate.", ms.HitRate())
+
+	var pcs core.PlanCacheStats
+	if m.planCache != nil {
+		pcs = m.planCache()
+	}
+	counter("videodb_plan_cache_hits_total", "Cross-query plan-cache hits.", pcs.Hits)
+	counter("videodb_plan_cache_misses_total", "Cross-query plan-cache misses.", pcs.Misses)
+	counter("videodb_plan_cache_evictions_total", "Cross-query plan-cache LRU evictions.", pcs.Evictions)
+	gauge("videodb_plan_cache_entries", "Compiled programs currently cached.", float64(pcs.Entries))
+	gauge("videodb_intern_table_values", "Distinct values in the process-wide row-key interner.", float64(datalog.InternStats().Values))
 
 	fmt.Fprintf(b, "# HELP videodb_query_duration_seconds Evaluation latency.\n")
 	fmt.Fprintf(b, "# TYPE videodb_query_duration_seconds histogram\n")

@@ -73,6 +73,11 @@ func WithQueryTimeout(d time.Duration) Option {
 // New wraps the database in an HTTP handler.
 func New(db *core.DB, opts ...Option) *Server {
 	s := &Server{db: db, mux: http.NewServeMux(), start: time.Now(), metrics: &metrics{}}
+	s.metrics.planCache = func() core.PlanCacheStats {
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+		return s.db.PlanCacheStats()
+	}
 	for _, o := range opts {
 		o(s)
 	}
@@ -394,9 +399,15 @@ func (s *Server) handleObject(w http.ResponseWriter, r *http.Request) {
 // uptime.
 type StatsResponse struct {
 	store.Stats
-	Engine engineTotals `json:"engine"`
-	Memo   memoJSON     `json:"memo"`
-	Uptime float64      `json:"uptimeSeconds"`
+	Engine    engineTotals        `json:"engine"`
+	Memo      memoJSON            `json:"memo"`
+	PlanCache core.PlanCacheStats `json:"planCache"`
+	Intern    internJSON          `json:"intern"`
+	Uptime    float64             `json:"uptimeSeconds"`
+}
+
+type internJSON struct {
+	Values int `json:"values"` // distinct values in the process-wide interner
 }
 
 type memoJSON struct {
@@ -414,6 +425,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.RLock()
 	st := s.db.Store().Stats()
+	pcs := s.db.PlanCacheStats()
 	s.mu.RUnlock()
 	ms := constraint.MemoSnapshot()
 	writeJSON(w, http.StatusOK, StatsResponse{
@@ -426,7 +438,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Entries: ms.Entries,
 			Flushes: ms.Flushes,
 		},
-		Uptime: time.Since(s.start).Seconds(),
+		PlanCache: pcs,
+		Intern:    internJSON{Values: datalog.InternStats().Values},
+		Uptime:    time.Since(s.start).Seconds(),
 	})
 }
 

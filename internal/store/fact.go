@@ -176,6 +176,7 @@ func (s *Store) AddFactErr(f Fact) (bool, error) {
 	if rel == nil {
 		rel = newFactRel()
 		s.facts[f.Name] = rel
+		s.schemaVer++
 	}
 	if rel.has(key) {
 		return false, nil
@@ -189,6 +190,7 @@ func (s *Store) AddFactErr(f Fact) (bool, error) {
 		rel.undoAdd(key)
 		if rel.live() == 0 && rel.dead == 0 {
 			delete(s.facts, f.Name)
+			s.schemaVer++
 		}
 		return false, err
 	}
@@ -237,6 +239,7 @@ func (s *Store) DeleteFactErr(f Fact) (bool, error) {
 	}
 	if rel.live() == 0 {
 		delete(s.facts, f.Name)
+		s.schemaVer++
 	} else {
 		rel.maybeCompact()
 	}

@@ -1,0 +1,57 @@
+package store
+
+import "videodb/internal/object"
+
+// Pushdown scan API: the datalog executor's streaming operators push
+// constant argument bindings into the store so a rule body literal like
+// in(O, "o4", G) scans only the matching facts, selected under the
+// store's lock in one pass, instead of materializing the full relation
+// and filtering tuple by tuple on the engine side.
+
+// ArgBind constrains one argument position of a fact scan to an exact
+// value (canonical Value.Equal comparison).
+type ArgBind struct {
+	Pos int
+	Val object.Value
+}
+
+// ScanFacts calls fn for every fact of the relation whose arguments
+// match all binds, in insertion order, until fn returns false. A bind
+// position beyond a fact's arity never matches that fact.
+func (s *Store) ScanFacts(name string, binds []ArgBind, fn func(Fact) bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	rel := s.facts[name]
+	if rel == nil {
+		return
+	}
+	rel.each(func(f Fact) bool {
+		for _, b := range binds {
+			if b.Pos >= len(f.Args) || !f.Args[b.Pos].Equal(b.Val) {
+				return true // skip, keep scanning
+			}
+		}
+		return fn(f)
+	})
+}
+
+// FactCount returns the number of live facts in the relation — the
+// cardinality estimate the engine uses to pre-size its hash structures.
+func (s *Store) FactCount(name string) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if rel := s.facts[name]; rel != nil {
+		return rel.live()
+	}
+	return 0
+}
+
+// SchemaVersion returns a counter that increases whenever the set of
+// stored relations changes (a relation appears or disappears). Cached
+// query plans key on it: a plan compiled against one relation schema is
+// invalid once the schema moves.
+func (s *Store) SchemaVersion() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.schemaVer
+}

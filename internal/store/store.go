@@ -54,6 +54,10 @@ type Store struct {
 	disableTreeIdx   bool
 	disableAttrIdx   bool
 
+	// Relation-schema version: bumped whenever the set of relation names
+	// changes. Read by SchemaVersion; plan caches key on it.
+	schemaVer uint64
+
 	// Durability (nil for purely in-memory stores; see OpenDurable).
 	// walErr latches the first log-append failure; once set, every
 	// subsequent mutation is refused before touching state (fail-fast;
