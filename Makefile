@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all tier1 build vet vet-examples test race bench bench-json clean
+.PHONY: all tier1 build vet vet-examples test test-segment race bench bench-json clean
 
 all: tier1
 
@@ -29,9 +29,15 @@ vet-examples:
 test:
 	$(GO) test ./...
 
+# test-segment re-runs the integration scenario against the persistent
+# segment backend (the default run uses the WAL/mem backend).
+test-segment:
+	VIDEODB_TEST_BACKEND=segment $(GO) test ./internal/integration/...
+
 # race exercises the parallel evaluator, the shared EDB/memo caches, the
 # store write path (WAL fault injection, range-index readers, changelog),
-# the materialized-view oracle, and the server's observability counters
+# the segment backend (crash injection, mem/segment equivalence), the
+# materialized-view oracle, and the server's observability counters
 # under the race detector.
 race:
 	$(GO) test -race ./internal/datalog/... ./internal/store/... ./internal/core/... ./internal/server/...
@@ -41,7 +47,7 @@ bench:
 
 # bench-json regenerates the machine-readable acceptance benchmark report.
 bench-json:
-	$(GO) run ./cmd/bench -json -out BENCH_PR6.json
+	$(GO) run ./cmd/bench -json -out BENCH_PR7.json
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,204 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"videodb/internal/core"
+	"videodb/internal/object"
+)
+
+// E16: the persistent segment store. Two claims back the backend:
+//
+//  1. Restart cost is O(active set), not O(history). The WAL backend
+//     replays every logged write on open, so a churny corpus (adds that
+//     were later deleted) pays for its past; the segment backend opens
+//     from the manifest and reads only segment indexes — the fact blocks
+//     stay on disk until a query touches them.
+//
+//  2. Query latency over segments approaches memory once the block
+//     cache is warm; the cold run bounds the worst case (every block
+//     read, CRC-checked and decoded).
+//
+// Table mode prints the comparison; -json writes it to the report so CI
+// tracks the restart and cold/warm ratios.
+
+type diskEntry struct {
+	Bench      string  `json:"bench"`
+	Config     string  `json:"config"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	Facts      int     `json:"facts"`
+	Iterations int     `json:"iterations"`
+}
+
+// diskCorpus writes n live chain facts plus n churned (added then
+// deleted) facts through the given DB, so the write history is 3n
+// records but the active set is n.
+func diskCorpus(db *core.DB, n int) error {
+	for i := 0; i < n; i++ {
+		a := object.OID(fmt.Sprintf("v%06d", i))
+		b := object.OID(fmt.Sprintf("v%06d", i+1))
+		if err := db.Relate("next", a, b); err != nil {
+			return err
+		}
+		tmp := object.OID(fmt.Sprintf("tmp%06d", i))
+		if err := db.Relate("scratch", tmp, a); err != nil {
+			return err
+		}
+		if _, err := db.Unrelate("scratch", tmp, a); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// diskSizes returns the corpus size for the current -quick setting.
+func diskSizes() int {
+	if *quick {
+		return 2000
+	}
+	return 20000
+}
+
+type diskResult struct {
+	facts       int
+	walOpen     time.Duration
+	segOpen     time.Duration
+	memQuery    time.Duration
+	segColdQ    time.Duration
+	segWarmQ    time.Duration
+	segStats    string
+	boundedMiss bool
+}
+
+// runDiskOnce builds both corpora and measures restart and query cost.
+func runDiskOnce() (diskResult, error) {
+	var out diskResult
+	n := diskSizes()
+	out.facts = n
+	base, err := os.MkdirTemp("", "videodb-e16-*")
+	if err != nil {
+		return out, err
+	}
+	defer os.RemoveAll(base)
+	walDir := filepath.Join(base, "wal")
+	segDir := filepath.Join(base, "seg")
+	const probe = "?- next(v000100, Y)"
+
+	// WAL backend: build, close, time the replay on reopen.
+	wdb, err := core.Open(walDir)
+	if err != nil {
+		return out, err
+	}
+	if err := diskCorpus(wdb, n); err != nil {
+		return out, err
+	}
+	if err := wdb.Close(); err != nil {
+		return out, err
+	}
+	start := time.Now()
+	wdb, err = core.Open(walDir)
+	if err != nil {
+		return out, err
+	}
+	out.walOpen = time.Since(start)
+	out.memQuery = timeIt(func() {
+		if _, err := wdb.Query(probe); err != nil {
+			panic(err)
+		}
+	})
+	if err := wdb.Close(); err != nil {
+		return out, err
+	}
+
+	// Segment backend: build, close (final flush), time the manifest
+	// open, then a cold query (empty block cache) and warm repeats.
+	sdb, err := core.OpenSegment(segDir)
+	if err != nil {
+		return out, err
+	}
+	if err := diskCorpus(sdb, n); err != nil {
+		return out, err
+	}
+	if err := sdb.Close(); err != nil {
+		return out, err
+	}
+	start = time.Now()
+	sdb, err = core.OpenSegment(segDir)
+	if err != nil {
+		return out, err
+	}
+	out.segOpen = time.Since(start)
+	coldStart := time.Now()
+	if _, err := sdb.Query(probe); err != nil {
+		return out, err
+	}
+	out.segColdQ = time.Since(coldStart)
+	out.segWarmQ = timeIt(func() {
+		if _, err := sdb.Query(probe); err != nil {
+			panic(err)
+		}
+	})
+	bs := sdb.Store().BackendStats()
+	out.segStats = fmt.Sprintf("segments=%d segmentFacts=%d cacheBytes=%d/%d hits=%d misses=%d",
+		bs.Segments, bs.SegmentFacts, bs.CacheBytes, bs.CacheBudget, bs.CacheHits, bs.CacheMisses)
+	out.boundedMiss = bs.CacheBytes <= bs.CacheBudget
+	if err := sdb.Close(); err != nil {
+		return out, err
+	}
+	return out, nil
+}
+
+// runDisk is the table-mode E16 experiment.
+func runDisk() {
+	res, err := runDiskOnce()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: disk: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("corpus: %d live facts, %d total logged writes (2/3 churned away)\n", res.facts, 3*res.facts)
+	fmt.Printf("%-44s %12v\n", "restart/wal_replay", res.walOpen.Round(time.Microsecond))
+	fmt.Printf("%-44s %12v\n", "restart/segment_manifest", res.segOpen.Round(time.Microsecond))
+	fmt.Printf("%-44s %12v\n", "query/mem", res.memQuery.Round(time.Microsecond))
+	fmt.Printf("%-44s %12v\n", "query/segment_cold", res.segColdQ.Round(time.Microsecond))
+	fmt.Printf("%-44s %12v\n", "query/segment_warm", res.segWarmQ.Round(time.Microsecond))
+	fmt.Printf("%s\n", res.segStats)
+	if res.segOpen < res.walOpen {
+		fmt.Printf("restart speedup: %.1fx (manifest open vs full WAL replay)\n",
+			float64(res.walOpen)/float64(res.segOpen))
+	}
+}
+
+// runDiskJSON adds the E16 measurements to the -json report.
+func runDiskJSON(report *benchReport) {
+	res, err := runDiskOnce()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: disk: %v\n", err)
+		os.Exit(1)
+	}
+	add := func(bench, config string, d time.Duration) {
+		report.Disk = append(report.Disk, diskEntry{
+			Bench:   bench,
+			Config:  config,
+			NsPerOp: float64(d.Nanoseconds()),
+			Facts:   res.facts,
+		})
+		fmt.Printf("%-40s %-24s %14.0f ns/op\n", bench, config, float64(d.Nanoseconds()))
+	}
+	add("E16DiskRestart", "wal_replay", res.walOpen)
+	add("E16DiskRestart", "segment_manifest", res.segOpen)
+	add("E16DiskQuery", "mem", res.memQuery)
+	add("E16DiskQuery", "segment_cold", res.segColdQ)
+	add("E16DiskQuery", "segment_warm", res.segWarmQ)
+	report.DiskRestartRatio = float64(res.segOpen) / float64(res.walOpen)
+	report.DiskNote = "E16: restart cost opens an existing store (wal_replay re-applies every logged write, " +
+		"segment_manifest reads the manifest + segment indexes only; ratio = segment/wal, < 1 means segments win); " +
+		"query cost is one bound probe over " + fmt.Sprint(res.facts) + " live facts — " +
+		"segment_cold starts with an empty block cache, segment_warm repeats it; " + res.segStats
+	if !res.boundedMiss {
+		fmt.Fprintf(os.Stderr, "bench: disk: block cache exceeded its budget: %s\n", res.segStats)
+		os.Exit(1)
+	}
+}

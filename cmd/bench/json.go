@@ -113,6 +113,12 @@ type benchReport struct {
 	PlanCacheStats   *core.PlanCacheStats `json:"plan_cache_stats"`
 	PlanCacheNsRatio float64              `json:"plan_cache_ns_ratio"` // warm/cold; < 1 means the cache wins
 	PlanCacheNote    string               `json:"plan_cache_note"`
+
+	// E16: persistent segment store — restart and query cost vs the WAL
+	// backend.
+	Disk             []diskEntry `json:"disk"`
+	DiskRestartRatio float64     `json:"disk_restart_ratio"` // segment/wal open time; < 1 means segments win
+	DiskNote         string      `json:"disk_note"`
 }
 
 // seedBaseline is the `go test -bench . -benchmem` output of the
@@ -482,6 +488,9 @@ func runJSON(outPath string) {
 	// E14: streaming executor vs materializing ablation; E15: plan-cache
 	// cold/warm query latency. Both enforce their acceptance thresholds.
 	runStreamingJSON(&report)
+
+	// E16: persistent segment store restart/query cost vs the WAL backend.
+	runDiskJSON(&report)
 
 	// Improvement ratios for the default configuration against the seed.
 	for _, se := range seedBaseline {

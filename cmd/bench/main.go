@@ -5,9 +5,10 @@
 //
 // Usage:
 //
-//	bench [-experiment all|figures|rope|arith|setorder|constructive|pointinterval|seminaive|indexes]
+//	bench [-experiment all|figures|rope|arith|setorder|constructive|pointinterval|seminaive|indexes|
+//	       pruning|parallel|joinindex|streaming|plancache|disk]
 //	      [-quick]
-//	bench -json [-out BENCH_PR6.json]
+//	bench -json [-out BENCH_PR7.json]
 //
 // With -json the binary skips the tables and instead re-measures the
 // acceptance benchmarks (E5, E8, E13 workloads) under the default engine
@@ -27,7 +28,7 @@ var quick = flag.Bool("quick", false, "smaller sizes for a fast smoke run")
 func main() {
 	exp := flag.String("experiment", "all", "which experiment to run")
 	jsonMode := flag.Bool("json", false, "write machine-readable acceptance benchmarks and exit")
-	jsonOut := flag.String("out", "BENCH_PR6.json", "output path for -json")
+	jsonOut := flag.String("out", "BENCH_PR7.json", "output path for -json")
 	flag.Parse()
 
 	if *jsonMode {
@@ -53,6 +54,7 @@ func main() {
 		{"joinindex", "E13: join index ablation", runJoinIndex},
 		{"streaming", "E14: streaming executor vs materializing evaluator", runStreaming},
 		{"plancache", "E15: cross-query plan cache cold vs warm", runPlanCache},
+		{"disk", "E16: persistent segment store vs WAL backend", runDisk},
 	}
 
 	ran := false

@@ -45,9 +45,16 @@ type DB struct {
 	// changelog subscription once, on first Materialize.
 	views    viewRegistry
 	viewFeed sync.Once
+
+	// closeOnce releases the DB's pin on the global value-interner epoch
+	// exactly once, however many times Close is called.
+	closeOnce sync.Once
 }
 
-// New creates an empty video database.
+// New creates an empty video database. The DB pins the process-wide
+// value-interner epoch until Close — call Close (even on in-memory
+// databases) when discarding a DB so the intern table can be reclaimed
+// once no database remains open.
 func New(opts ...Option) *DB {
 	db := &DB{
 		st:       store.New(),
@@ -58,6 +65,7 @@ func New(opts ...Option) *DB {
 	for _, o := range opts {
 		o(db)
 	}
+	datalog.AcquireInterner()
 	return db
 }
 

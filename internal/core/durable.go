@@ -8,6 +8,7 @@ import (
 	"videodb/internal/object"
 	"videodb/internal/parser"
 	"videodb/internal/store"
+	"videodb/internal/store/segment"
 )
 
 // Open opens (or creates) a durable video database in dir: mutations are
@@ -23,12 +24,39 @@ func Open(dir string, opts ...store.DurableOption) (*DB, error) {
 	return New(WithStore(st)), nil
 }
 
-// Checkpoint compacts the durable database's log into a snapshot.
+// OpenSegment opens (or creates) a video database on the persistent
+// segment backend in dir: facts live in immutable segment files served
+// through a byte-budgeted block cache (the corpus does not need to fit
+// in memory), recovery reads the manifest plus a short tail log instead
+// of replaying a full WAL, and Checkpoint/Close flush the memtable into
+// a new segment. Rules are program source, not data — re-add them after
+// opening.
+func OpenSegment(dir string, opts ...segment.Option) (*DB, error) {
+	b, err := segment.Open(dir, opts...)
+	if err != nil {
+		return nil, err
+	}
+	st, err := store.OpenBackend(b)
+	if err != nil {
+		b.Close()
+		return nil, err
+	}
+	return New(WithStore(st)), nil
+}
+
+// Checkpoint compacts the durable database's log into a snapshot (on the
+// segment backend: flushes the memtable and truncates the tail log).
 func (db *DB) Checkpoint() error { return db.st.Checkpoint() }
 
-// Close flushes and closes the durable database (no-op for in-memory
-// databases).
-func (db *DB) Close() error { return db.st.Close() }
+// Close flushes and closes the database's durable state (a no-op for
+// in-memory stores) and releases the DB's pin on the value-interner
+// epoch; once every DB in the process is closed the intern table is
+// reclaimed. Safe to call more than once.
+func (db *DB) Close() error {
+	err := db.st.Close()
+	db.closeOnce.Do(datalog.ReleaseInterner)
+	return err
+}
 
 // Explain renders the evaluation strategy for the database's current
 // rules (plus the query's synthesized rule, if any) — strata, body

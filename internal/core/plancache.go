@@ -2,6 +2,7 @@ package core
 
 import (
 	"container/list"
+	"math/bits"
 	"sync"
 
 	"videodb/internal/datalog"
@@ -44,6 +45,7 @@ type planKey struct {
 	progVer   uint64
 	taxVer    uint64
 	schemaVer uint64
+	sizeClass int // log2 bucket of the total fact count (see planKeyFor)
 }
 
 type planEntry struct {
@@ -126,7 +128,13 @@ func (db *DB) PlanCacheStats() PlanCacheStats {
 }
 
 // planKeyFor derives the cache key for a query against the DB's current
-// rule, taxonomy, and store-schema versions.
+// rule, taxonomy, and store-schema versions, plus a coarse cardinality
+// bucket. The schema version only moves when a relation appears or
+// disappears, so a plan costed against a near-empty database used to be
+// served forever even after a bulk load grew the same relations by
+// orders of magnitude; bucketing the total fact count by its bit length
+// forces a replan whenever the corpus crosses a power of two, while
+// steady-state workloads (same bucket) keep hitting.
 func (db *DB) planKeyFor(goal, ruleSrc string) planKey {
 	return planKey{
 		goal:      goal,
@@ -135,6 +143,7 @@ func (db *DB) planKeyFor(goal, ruleSrc string) planKey {
 		progVer:   db.progVer,
 		taxVer:    db.taxonomy.Version(),
 		schemaVer: db.st.SchemaVersion(),
+		sizeClass: bits.Len(uint(db.st.TotalFacts())),
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"videodb/internal/datalog"
+	"videodb/internal/object"
 )
 
 // resultKeys renders a result set's rows for comparison.
@@ -92,7 +93,8 @@ func TestPlanCacheInvalidation(t *testing.T) {
 	}
 
 	// A store-schema change (a relation appearing) invalidates; adding a
-	// fact to an existing relation does not.
+	// fact to an existing relation does not (total 2 -> 3 facts stays in
+	// size class 2).
 	if err := db.Relate("fresh_rel", "o1", "o2"); err != nil {
 		t.Fatal(err)
 	}
@@ -100,12 +102,84 @@ func TestPlanCacheInvalidation(t *testing.T) {
 	if st = db.PlanCacheStats(); st.Misses != 4 {
 		t.Fatalf("after schema change: %+v", st)
 	}
+	// Crossing a power of two (3 -> 4 facts) moves the cardinality
+	// bucket: the next query re-costs the plan (miss)...
 	if err := db.Relate("fresh_rel", "o2", "o3"); err != nil {
 		t.Fatal(err)
 	}
 	query()
-	if st = db.PlanCacheStats(); st.Misses != 4 || st.Hits < 2 {
-		t.Fatalf("fact insert into existing relation should not invalidate: %+v", st)
+	if st = db.PlanCacheStats(); st.Misses != 5 {
+		t.Fatalf("after size-class change: %+v", st)
+	}
+	// ...while an insert within the same bucket (4 -> 5, class 3) does
+	// not invalidate.
+	if err := db.Relate("fresh_rel", "o3", "o4"); err != nil {
+		t.Fatal(err)
+	}
+	query()
+	if st = db.PlanCacheStats(); st.Misses != 5 || st.Hits < 2 {
+		t.Fatalf("fact insert within the size class should not invalidate: %+v", st)
+	}
+}
+
+// TestPlanCacheReplansAfterBulkLoad is the regression test for the
+// stale-plan bug: plan keys carried only the schema version, so a plan
+// compiled against a near-empty relation kept serving after the
+// relation grew by orders of magnitude, freezing a join order chosen
+// for the wrong cardinalities. Keys now include a coarse size class
+// (log2 of total facts), so a 100x bulk load forces exactly one replan
+// while steady-state inserts keep hitting.
+func TestPlanCacheReplansAfterBulkLoad(t *testing.T) {
+	db := buildRope(t)
+	if err := db.DefineRule(`linked(X, Y) :- edge(X, Y)`); err != nil {
+		t.Fatal(err)
+	}
+	// Seed a small relation and warm the cache on it.
+	for i := 0; i < 4; i++ {
+		if err := db.Relate("edge", object.OID(fmt.Sprintf("a%d", i)), object.OID(fmt.Sprintf("a%d", i+1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const q = "?- linked(X, Y)"
+	for i := 0; i < 2; i++ {
+		if _, err := db.Query(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	warm := db.PlanCacheStats()
+	if warm.Hits == 0 {
+		t.Fatalf("cache never warmed: %+v", warm)
+	}
+
+	// Bulk-load 100x the facts into the existing relation — no schema
+	// change, no new relation, just cardinality growth.
+	before := db.Store().FactCount("edge")
+	for i := 0; i < 100*4; i++ {
+		if err := db.Relate("edge", object.OID(fmt.Sprintf("b%d", i)), object.OID(fmt.Sprintf("b%d", i+1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if after := db.Store().FactCount("edge"); after < before*100 {
+		t.Fatalf("bulk load too small: %d -> %d facts", before, after)
+	}
+
+	rs, err := db.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grown := db.PlanCacheStats()
+	if grown.Misses <= warm.Misses {
+		t.Fatalf("100x bulk load did not force a replan: warm %+v, grown %+v", warm, grown)
+	}
+	if len(rs.Rows) != 4+100*4 {
+		t.Fatalf("replanned query lost rows: %d", len(rs.Rows))
+	}
+	// Steady state after the load: repeats hit again.
+	if _, err := db.Query(q); err != nil {
+		t.Fatal(err)
+	}
+	if st := db.PlanCacheStats(); st.Misses != grown.Misses || st.Hits <= grown.Hits {
+		t.Fatalf("replanned entry not reused: %+v", st)
 	}
 }
 

@@ -107,15 +107,54 @@ func newValueInterner() *valueInterner {
 	return in
 }
 
-// globalValues is the process-wide value interner. It only ever grows; the
-// id of a value is stable for the process lifetime, which is what lets
-// compiled plans embed constant ids and the metrics layer report the
-// table size (InternStats).
-var globalValues = newValueInterner()
+// globalValues is the process-wide value interner. Within an epoch it
+// only ever grows; the id of a value is stable for as long as any
+// acquirer (an open core.DB) exists, which is what lets compiled plans
+// embed constant ids and the metrics layer report the table size
+// (InternStats). When the last acquirer releases, the table is replaced
+// with a fresh one — see AcquireInterner — so open/close cycles do not
+// leak every value the process has ever interned.
+var globalValues atomic.Pointer[valueInterner]
+
+func init() { globalValues.Store(newValueInterner()) }
+
+// internEpoch counts the live acquirers of the global value interner.
+var internEpoch struct {
+	mu     sync.Mutex
+	active int
+}
+
+// AcquireInterner pins the global value-interner epoch. Every engine
+// owner that caches compiled plans (core.DB) acquires on construction
+// and releases on Close; interned ids are stable between the two.
+func AcquireInterner() {
+	internEpoch.mu.Lock()
+	internEpoch.active++
+	internEpoch.mu.Unlock()
+}
+
+// ReleaseInterner undoes one AcquireInterner. When the last acquirer
+// releases, the interner is swapped for an empty one, bounding the
+// table's footprint across open/close cycles instead of growing for the
+// process lifetime. Engines and compiled plans from the closed epoch
+// must not be used afterwards (their embedded ids are meaningless in the
+// new epoch); per-DB plan caches die with their DB, which is what makes
+// the swap safe.
+func ReleaseInterner() {
+	internEpoch.mu.Lock()
+	defer internEpoch.mu.Unlock()
+	if internEpoch.active == 0 {
+		return
+	}
+	internEpoch.active--
+	if internEpoch.active == 0 {
+		globalValues.Store(newValueInterner())
+	}
+}
 
 // valueID returns the interned id of a value.
 func valueID(v object.Value) uint64 {
-	in := globalValues
+	in := globalValues.Load()
 	if k, ok := scalarKeyOf(v); ok {
 		if id, ok := in.base.Load().scalars[k]; ok {
 			return id
@@ -190,7 +229,7 @@ type InternTableStats struct {
 
 // InternStats returns the current size of the global value interner.
 func InternStats() InternTableStats {
-	in := globalValues
+	in := globalValues.Load()
 	in.mu.Lock()
 	defer in.mu.Unlock()
 	base := in.base.Load()

@@ -1,0 +1,101 @@
+package datalog
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"videodb/internal/object"
+)
+
+// Regression test for the unbounded global value interner: before the
+// epoch mechanism, every value a process ever interned stayed in the
+// table forever, so a server that opened and closed databases leaked
+// the union of all their constants. Now the table resets when the last
+// acquirer releases; repeated open/intern/close cycles must not grow it.
+//
+// This test must live in package datalog: here we can guarantee no other
+// acquirer is active, so the release actually drops the epoch to zero.
+// (core-package tests routinely leave DBs un-Closed, pinning the epoch.)
+func TestInternerEpochReset(t *testing.T) {
+	// Earlier tests in this package intern values without acquiring;
+	// flush them so every cycle starts from a clean table.
+	AcquireInterner()
+	ReleaseInterner()
+
+	const perCycle = 1000
+	var sizes []int
+	for cycle := 0; cycle < 5; cycle++ {
+		AcquireInterner()
+		for i := 0; i < perCycle; i++ {
+			valueID(object.Str(fmt.Sprintf("cycle%d-value%d", cycle, i)))
+		}
+		got := InternStats().Values
+		if got < perCycle {
+			t.Fatalf("cycle %d: interned %d values but table reports %d", cycle, perCycle, got)
+		}
+		sizes = append(sizes, got)
+		ReleaseInterner()
+	}
+	// Each cycle interns distinct strings; without the epoch reset the
+	// table would grow by ~perCycle per cycle. With it, every cycle
+	// starts empty and ends at the same size.
+	for i, n := range sizes {
+		if n != sizes[0] {
+			t.Fatalf("intern table grew across open/close cycles: %v", sizes)
+		}
+		_ = i
+	}
+	if InternStats().Values != 0 {
+		t.Fatalf("table not empty after last release: %d values", InternStats().Values)
+	}
+}
+
+// Ids stay stable while any acquirer is live: an overlapping acquire
+// must see the same id for the same value, and the reset only happens
+// after the last release.
+func TestInternerEpochOverlap(t *testing.T) {
+	AcquireInterner()
+	idA := valueID(object.Str("pinned"))
+	AcquireInterner() // second DB opens
+	ReleaseInterner() // first DB closes — epoch still pinned
+	if got := valueID(object.Str("pinned")); got != idA {
+		t.Fatalf("id changed while epoch pinned: %d vs %d", got, idA)
+	}
+	if InternStats().Values == 0 {
+		t.Fatal("table reset while an acquirer was still live")
+	}
+	ReleaseInterner() // last release: reset
+	if got := InternStats().Values; got != 0 {
+		t.Fatalf("table has %d values after last release", got)
+	}
+}
+
+// Concurrent interning against acquire/release churn must be safe
+// (valueID loads the epoch pointer atomically). Run under -race.
+func TestInternerEpochConcurrent(t *testing.T) {
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				AcquireInterner()
+				valueID(object.Str(fmt.Sprintf("w%d-%d", w, i%100)))
+				valueID(object.Num(float64(i % 50)))
+				ReleaseInterner()
+			}
+		}(w)
+	}
+	for i := 0; i < 200; i++ {
+		_ = InternStats()
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -3,6 +3,7 @@
 package integration
 
 import (
+	"os"
 	"strings"
 	"testing"
 
@@ -12,6 +13,31 @@ import (
 	"videodb/internal/video"
 )
 
+// openTestDB opens the durable database under the backend selected by
+// VIDEODB_TEST_BACKEND ("mem", the default, or "segment"), so CI can run
+// this whole scenario — crash cycle included — against both storage
+// layouts.
+func openTestDB(t *testing.T, dir string) *core.DB {
+	t.Helper()
+	backend := os.Getenv("VIDEODB_TEST_BACKEND")
+	var (
+		db  *core.DB
+		err error
+	)
+	switch backend {
+	case "", "mem":
+		db, err = core.Open(dir)
+	case "segment":
+		db, err = core.OpenSegment(dir)
+	default:
+		t.Fatalf("VIDEODB_TEST_BACKEND = %q (want mem or segment)", backend)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
 // TestFullSystemIntegration drives the whole stack in one scenario: a
 // synthetic broadcast is generated and populated into a durable database;
 // rules using negation, temporal operators, assignments and constructive
@@ -19,10 +45,7 @@ import (
 // classification, aggregation and presentation operate on the answers.
 func TestFullSystemIntegration(t *testing.T) {
 	dir := t.TempDir()
-	db, err := core.Open(dir)
-	if err != nil {
-		t.Fatal(err)
-	}
+	db := openTestDB(t, dir)
 
 	// 1. Populate from the video substrate.
 	seq := video.Generate(video.GenConfig{
@@ -101,10 +124,7 @@ func TestFullSystemIntegration(t *testing.T) {
 	if err := db.Close(); err != nil {
 		t.Fatal(err)
 	}
-	db, err = core.Open(dir)
-	if err != nil {
-		t.Fatal(err)
-	}
+	db = openTestDB(t, dir)
 	defer db.Close()
 	for _, r := range rules {
 		if err := db.DefineRule(r); err != nil {

@@ -1,0 +1,111 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"videodb/internal/core"
+	"videodb/internal/store/segment"
+)
+
+func segmentTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	db, err := core.OpenSegment(t.TempDir(), segment.WithFlushThreshold(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	if _, err := db.LoadScript(`
+object o1 { name: "David" }.
+object o2 { name: "Philip" }.
+in(o1, o2, gi1).
+next(gi1, gi2).
+next(gi2, gi3).
+next(gi3, gi4).
+next(gi4, gi5).
+`); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(db))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// The metrics endpoint must expose the storage backend and, for the
+// segment backend, the segment-file and block-cache counters.
+func TestMetricsSegmentBackend(t *testing.T) {
+	ts := segmentTestServer(t)
+
+	// Drive at least one read through the disk path so the cache counters
+	// are live.
+	resp, _ := postJSON(t, ts.URL+"/v1/query", map[string]string{"query": "?- next(X, Y)"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query status = %d", resp.StatusCode)
+	}
+
+	body, _ := scrape(t, ts.URL)
+	if !strings.Contains(body, `videodb_store_backend{kind="segment"} 1`) {
+		t.Fatalf("backend kind metric missing:\n%s", body)
+	}
+	if v := promValue(t, body, "videodb_segment_files"); v < 1 {
+		t.Errorf("videodb_segment_files = %g, want >= 1", v)
+	}
+	if v := promValue(t, body, "videodb_segment_facts"); v < 5 {
+		t.Errorf("videodb_segment_facts = %g, want >= 5", v)
+	}
+	hits := promValue(t, body, "videodb_block_cache_hits_total")
+	misses := promValue(t, body, "videodb_block_cache_misses_total")
+	if hits+misses == 0 {
+		t.Error("block cache saw no traffic")
+	}
+	if promValue(t, body, "videodb_block_cache_budget_bytes") <= 0 {
+		t.Error("cache budget not exported")
+	}
+}
+
+// The mem backend reports its kind but no segment series.
+func TestMetricsMemBackend(t *testing.T) {
+	ts := testServer(t)
+	body, _ := scrape(t, ts.URL)
+	if !strings.Contains(body, `videodb_store_backend{kind="mem"} 1`) {
+		t.Fatalf("backend kind metric missing:\n%s", body)
+	}
+	if strings.Contains(body, "videodb_segment_files") {
+		t.Error("mem backend exported segment series")
+	}
+}
+
+// /v1/stats carries the backend block alongside the existing sections.
+func TestStatsBackendSection(t *testing.T) {
+	ts := segmentTestServer(t)
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		Backend struct {
+			Kind         string `json:"kind"`
+			Segments     int    `json:"segments"`
+			SegmentFacts int    `json:"segmentFacts"`
+			CacheBudget  int64  `json:"cacheBudget"`
+		} `json:"backend"`
+	}
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatalf("stats not JSON: %v\n%s", err, raw)
+	}
+	if got.Backend.Kind != "segment" || got.Backend.Segments < 1 || got.Backend.SegmentFacts < 5 || got.Backend.CacheBudget <= 0 {
+		t.Fatalf("backend section = %+v\n%s", got.Backend, raw)
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"videodb/internal/core"
 	"videodb/internal/datalog"
 	"videodb/internal/datalog/analyze"
+	"videodb/internal/store"
 )
 
 // Observability: cumulative counters for every evaluation the server
@@ -82,6 +83,10 @@ type metrics struct {
 	// cache lives on core.DB, not here); nil-safe for tests constructing
 	// bare metrics.
 	planCache func() core.PlanCacheStats
+
+	// backendStats reads the store's storage-backend counters (segment
+	// files, block cache, flushes); nil-safe like planCache.
+	backendStats func() store.BackendStats
 
 	// Static-analysis diagnostics reported, keyed by code (VQL0001…).
 	// The label set is open-ended, so this one counter is a guarded map
@@ -269,6 +274,29 @@ func (m *metrics) writeProm(b *bytes.Buffer, uptime time.Duration) {
 	counter("videodb_plan_cache_evictions_total", "Cross-query plan-cache LRU evictions.", pcs.Evictions)
 	gauge("videodb_plan_cache_entries", "Compiled programs currently cached.", float64(pcs.Entries))
 	gauge("videodb_intern_table_values", "Distinct values in the process-wide row-key interner.", float64(datalog.InternStats().Values))
+
+	if m.backendStats != nil {
+		bs := m.backendStats()
+		fmt.Fprintf(b, "# HELP videodb_store_backend Storage backend serving this database (1 = active).\n")
+		fmt.Fprintf(b, "# TYPE videodb_store_backend gauge\n")
+		fmt.Fprintf(b, "videodb_store_backend{kind=%q} 1\n", bs.Kind)
+		if bs.Kind == "segment" {
+			gauge("videodb_segment_files", "Immutable segment files in the active manifest.", float64(bs.Segments))
+			gauge("videodb_segment_facts", "Fact records resident in segment files (pre-tombstone).", float64(bs.SegmentFacts))
+			gauge("videodb_segment_tombstones", "Tombstones resident in segment files.", float64(bs.Tombstones))
+			gauge("videodb_segment_memtable_facts", "Adds and deletes buffered since the last flush.", float64(bs.MemtableFacts))
+			gauge("videodb_segment_dict_values", "On-disk dictionary entries across segment files.", float64(bs.DictValues))
+			counter("videodb_segment_flushes_total", "Memtable flushes since this backend opened.", bs.Flushes)
+			counter("videodb_segment_compactions_total", "Full-merge compactions since this backend opened.", bs.Compactions)
+			counter("videodb_segment_read_errors_total", "Block or dictionary reads that failed checksum or I/O.", bs.ReadErrors)
+			counter("videodb_block_cache_hits_total", "Block-cache hits since this backend opened.", bs.CacheHits)
+			counter("videodb_block_cache_misses_total", "Block-cache misses since this backend opened.", bs.CacheMisses)
+			counter("videodb_block_cache_evictions_total", "Block-cache evictions since this backend opened.", bs.CacheEvictions)
+			gauge("videodb_block_cache_bytes", "Decoded bytes currently held by the block cache.", float64(bs.CacheBytes))
+			gauge("videodb_block_cache_budget_bytes", "Configured block-cache byte budget.", float64(bs.CacheBudget))
+			gauge("videodb_block_cache_blocks", "Decoded blocks currently cached.", float64(bs.CachedBlocks))
+		}
+	}
 
 	fmt.Fprintf(b, "# HELP videodb_query_duration_seconds Evaluation latency.\n")
 	fmt.Fprintf(b, "# TYPE videodb_query_duration_seconds histogram\n")

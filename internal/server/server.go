@@ -78,6 +78,11 @@ func New(db *core.DB, opts ...Option) *Server {
 		defer s.mu.RUnlock()
 		return s.db.PlanCacheStats()
 	}
+	s.metrics.backendStats = func() store.BackendStats {
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+		return s.db.Store().BackendStats()
+	}
 	for _, o := range opts {
 		o(s)
 	}
@@ -403,6 +408,7 @@ type StatsResponse struct {
 	Memo      memoJSON            `json:"memo"`
 	PlanCache core.PlanCacheStats `json:"planCache"`
 	Intern    internJSON          `json:"intern"`
+	Backend   store.BackendStats  `json:"backend"`
 	Uptime    float64             `json:"uptimeSeconds"`
 }
 
@@ -426,6 +432,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.mu.RLock()
 	st := s.db.Store().Stats()
 	pcs := s.db.PlanCacheStats()
+	bs := s.db.Store().BackendStats()
 	s.mu.RUnlock()
 	ms := constraint.MemoSnapshot()
 	writeJSON(w, http.StatusOK, StatsResponse{
@@ -440,6 +447,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		},
 		PlanCache: pcs,
 		Intern:    internJSON{Values: datalog.InternStats().Values},
+		Backend:   bs,
 		Uptime:    time.Since(s.start).Seconds(),
 	})
 }

@@ -171,6 +171,9 @@ func (s *Store) AddFactErr(f Fact) (bool, error) {
 	if err := s.walHealthy(); err != nil {
 		return false, err
 	}
+	if s.backend != nil {
+		return s.addFactBackend(f)
+	}
 	key := f.Key()
 	rel := s.facts[f.Name]
 	if rel == nil {
@@ -202,6 +205,9 @@ func (s *Store) AddFactErr(f Fact) (bool, error) {
 func (s *Store) HasFact(f Fact) bool {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	if s.backend != nil {
+		return s.backend.HasFact(f.Name, f.Key())
+	}
 	rel := s.facts[f.Name]
 	return rel != nil && rel.has(f.Key())
 }
@@ -223,6 +229,9 @@ func (s *Store) DeleteFactErr(f Fact) (bool, error) {
 	defer s.mu.Unlock()
 	if err := s.walHealthy(); err != nil {
 		return false, err
+	}
+	if s.backend != nil {
+		return s.deleteFactBackend(f)
 	}
 	rel := s.facts[f.Name]
 	if rel == nil {
@@ -251,6 +260,14 @@ func (s *Store) DeleteFactErr(f Fact) (bool, error) {
 func (s *Store) Facts(name string) []Fact {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	if s.backend != nil {
+		var out []Fact
+		s.backend.ScanFacts(name, nil, func(f Fact) bool {
+			out = append(out, f)
+			return true
+		})
+		return out
+	}
 	rel := s.facts[name]
 	if rel == nil {
 		return nil
@@ -268,6 +285,9 @@ func (s *Store) Facts(name string) []Fact {
 func (s *Store) Relations() []string {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	if s.backend != nil {
+		return s.backend.Relations()
+	}
 	out := make([]string, 0, len(s.facts))
 	for n, rel := range s.facts {
 		if rel.live() > 0 {
@@ -283,6 +303,9 @@ func (s *Store) Relations() []string {
 func (s *Store) FactArities() map[string][]int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	if s.backend != nil {
+		return s.backend.FactArities()
+	}
 	out := make(map[string][]int, len(s.facts))
 	for name, rel := range s.facts {
 		seen := map[int]bool{}
@@ -307,6 +330,10 @@ func (s *Store) FactArities() map[string][]int {
 func (s *Store) ForEachFact(name string, fn func(Fact) bool) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	if s.backend != nil {
+		s.backend.ScanFacts(name, nil, fn)
+		return
+	}
 	if rel := s.facts[name]; rel != nil {
 		rel.each(fn)
 	}

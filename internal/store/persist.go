@@ -55,6 +55,15 @@ func (s *Store) buildPayloadLocked() payload {
 	for _, id := range oids {
 		p.Objects = append(p.Objects, s.objects[id])
 	}
+	if s.backend != nil {
+		for _, n := range s.backend.Relations() { // already sorted
+			s.backend.ScanFacts(n, nil, func(f Fact) bool {
+				p.Facts = append(p.Facts, jsonFact{Name: f.Name, Args: f.Args})
+				return true
+			})
+		}
+		return p
+	}
 	names := make([]string, 0, len(s.facts))
 	for n := range s.facts {
 		names = append(names, n)
@@ -91,12 +100,22 @@ func savePayload(w io.Writer, p payload) error {
 }
 
 // Load replaces the contents of the store with a snapshot read from r. On
-// any error the store is left unchanged. Durable stores refuse Load:
-// replacing state behind the write-ahead log would desynchronize
-// recovery — use Checkpoint-managed directories instead.
+// any error the store is left unchanged. Durable and backend stores
+// refuse Load: replacing state behind the write-ahead log would
+// desynchronize recovery — use Checkpoint-managed directories instead.
+//
+// Decoding and verification happen outside the lock; the durability
+// check, the state swap, the schema-version bump, and the reset
+// notification then share one write-lock critical section. (An earlier
+// version checked durability under a read lock, released it, and swapped
+// under a second lock — mutations racing the gap could be lost without
+// the swap ever observing them, and the missing schema bump left plan
+// caches serving plans compiled against the pre-Load relation schema.)
 func (s *Store) Load(r io.Reader) error {
+	// Advisory fail-fast before paying for the decode; the authoritative
+	// check runs again inside the write-lock critical section below.
 	s.mu.RLock()
-	durable := s.wal != nil
+	durable := s.wal != nil || s.backend != nil
 	s.mu.RUnlock()
 	if durable {
 		return fmt.Errorf("store: Load is not supported on a durable store")
@@ -118,7 +137,14 @@ func (s *Store) Load(r io.Reader) error {
 		return fmt.Errorf("store: snapshot checksum mismatch (corrupted file?)")
 	}
 
-	// Build fresh state, then swap in atomically.
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.wal != nil || s.backend != nil {
+		return fmt.Errorf("store: Load is not supported on a durable store")
+	}
+
+	// Build fresh state, then swap in. fresh is private to this call, so
+	// locking its own mutex per Put/AddFact is cheap and cannot deadlock.
 	fresh := NewWith()
 	fresh.disableEntityIdx = s.disableEntityIdx
 	fresh.disableTreeIdx = s.disableTreeIdx
@@ -132,14 +158,15 @@ func (s *Store) Load(r io.Reader) error {
 		fresh.AddFact(Fact{Name: f.Name, Args: f.Args})
 	}
 
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.objects = fresh.objects
 	s.facts = fresh.facts
 	s.entityIdx = fresh.entityIdx
 	s.attrIdx = fresh.attrIdx
 	s.itreeOK = false
 	s.numIdxOK = false
+	// The relation set may have changed wholesale; invalidate cached
+	// plans keyed on the schema version.
+	s.schemaVer++
 	// No per-mutation events can describe a wholesale swap; subscribers
 	// (e.g. materialized views) must discard derived state.
 	s.notify(Event{Kind: EventReset})

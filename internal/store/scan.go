@@ -21,6 +21,10 @@ type ArgBind struct {
 func (s *Store) ScanFacts(name string, binds []ArgBind, fn func(Fact) bool) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	if s.backend != nil {
+		s.backend.ScanFacts(name, binds, fn)
+		return
+	}
 	rel := s.facts[name]
 	if rel == nil {
 		return
@@ -40,10 +44,29 @@ func (s *Store) ScanFacts(name string, binds []ArgBind, fn func(Fact) bool) {
 func (s *Store) FactCount(name string) int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	if s.backend != nil {
+		return s.backend.FactCount(name)
+	}
 	if rel := s.facts[name]; rel != nil {
 		return rel.live()
 	}
 	return 0
+}
+
+// TotalFacts returns the number of live facts across all relations — the
+// coarse corpus-size signal the plan cache folds into its keys so a plan
+// chosen against a tiny database is re-costed after a bulk load.
+func (s *Store) TotalFacts() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.backend != nil {
+		return s.backend.TotalFacts()
+	}
+	n := 0
+	for _, rel := range s.facts {
+		n += rel.live()
+	}
+	return n
 }
 
 // SchemaVersion returns a counter that increases whenever the set of

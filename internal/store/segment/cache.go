@@ -1,0 +1,133 @@
+package segment
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"videodb/internal/store"
+)
+
+// decodedBlock is one fact block resident in the cache: the decoded
+// facts in key order with their canonical keys (for membership binary
+// search), and the cost charged against the cache budget.
+type decodedBlock struct {
+	facts []store.Fact
+	keys  []string // sorted; parallel to facts
+	cost  int64
+}
+
+// find returns the position of key in the block, or -1.
+func (b *decodedBlock) find(key string) int {
+	lo, hi := 0, len(b.keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if b.keys[mid] < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(b.keys) && b.keys[lo] == key {
+		return lo
+	}
+	return -1
+}
+
+type blockKey struct {
+	seg   uint64
+	block int
+}
+
+// blockCache is a byte-budgeted LRU over decoded blocks. It has its own
+// lock because fact reads run under the store's read lock — many readers
+// hit the cache concurrently, and a get mutates LRU order. The budget is
+// soft by one block: the block being served is always admitted, so a
+// single block larger than the whole budget still works (and evicts
+// everything else).
+type blockCache struct {
+	mu      sync.Mutex
+	budget  int64
+	used    int64
+	ll      *list.List // front = most recently used
+	entries map[blockKey]*list.Element
+
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	evictions atomic.Uint64
+}
+
+type cacheEntry struct {
+	key blockKey
+	blk *decodedBlock
+}
+
+func newBlockCache(budget int64) *blockCache {
+	return &blockCache{
+		budget:  budget,
+		ll:      list.New(),
+		entries: make(map[blockKey]*list.Element),
+	}
+}
+
+func (c *blockCache) get(k blockKey) (*decodedBlock, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[k]; ok {
+		c.ll.MoveToFront(el)
+		c.hits.Add(1)
+		return el.Value.(*cacheEntry).blk, true
+	}
+	c.misses.Add(1)
+	return nil, false
+}
+
+// put admits a block, evicting least-recently-used entries until the
+// budget holds. Racing puts for the same key keep the first.
+func (c *blockCache) put(k blockKey, blk *decodedBlock) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.entries[k]; ok {
+		return
+	}
+	c.entries[k] = c.ll.PushFront(&cacheEntry{key: k, blk: blk})
+	c.used += blk.cost
+	for c.used > c.budget && c.ll.Len() > 1 {
+		el := c.ll.Back()
+		ent := el.Value.(*cacheEntry)
+		c.ll.Remove(el)
+		delete(c.entries, ent.key)
+		c.used -= ent.blk.cost
+		c.evictions.Add(1)
+	}
+}
+
+// dropSegment discards every cached block of a segment (called after
+// compaction retires the file; the ids are never reused, so stale
+// entries would only waste budget).
+func (c *blockCache) dropSegment(seg uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for el := c.ll.Front(); el != nil; {
+		next := el.Next()
+		ent := el.Value.(*cacheEntry)
+		if ent.key.seg == seg {
+			c.ll.Remove(el)
+			delete(c.entries, ent.key)
+			c.used -= ent.blk.cost
+		}
+		el = next
+	}
+}
+
+func (c *blockCache) bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.used
+}
+
+func (c *blockCache) entriesLen() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -1,0 +1,126 @@
+package segment
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// The manifest is the root of the on-disk state: it names the live
+// segment files (oldest first), the current object snapshot, and the
+// tail-log sequence number up to which mutations are already baked into
+// those files. Files not named by the manifest are orphans from a crash
+// mid-flush or mid-compaction and are deleted at open.
+//
+// Crash-ordering invariant: a manifest is only renamed into place after
+// every file it references has been written AND fsynced, and the rename
+// itself is followed by a directory fsync. Recovery therefore always
+// sees a manifest whose referenced files are complete; the TailSeq
+// watermark makes tail replay idempotent across a crash between the
+// manifest publish and the tail truncation.
+
+const (
+	manifestName    = "MANIFEST"
+	tailName        = "tail.log"
+	manifestVersion = 1
+)
+
+type manifest struct {
+	Version  int      `json:"version"`
+	NextID   uint64   `json:"nextId"`  // next file id to allocate
+	TailSeq  uint64   `json:"tailSeq"` // tail records with Seq <= TailSeq are baked in
+	Segments []string `json:"segments"`
+	ObjFile  string   `json:"objFile,omitempty"`
+	Checksum string   `json:"checksum"` // hex SHA-256 of the payload
+}
+
+type manifestPayload struct {
+	Version  int      `json:"version"`
+	NextID   uint64   `json:"nextId"`
+	TailSeq  uint64   `json:"tailSeq"`
+	Segments []string `json:"segments"`
+	ObjFile  string   `json:"objFile,omitempty"`
+}
+
+func (m manifest) payload() manifestPayload {
+	return manifestPayload{
+		Version: m.Version, NextID: m.NextID, TailSeq: m.TailSeq,
+		Segments: m.Segments, ObjFile: m.ObjFile,
+	}
+}
+
+// writeManifest atomically publishes m: write to a temp file in dir,
+// fsync, rename over MANIFEST, fsync the directory.
+func writeManifest(dir string, m manifest) error {
+	body, err := json.Marshal(m.payload())
+	if err != nil {
+		return fmt.Errorf("segment: encoding manifest: %w", err)
+	}
+	sum := sha256.Sum256(body)
+	m.Checksum = hex.EncodeToString(sum[:])
+	full, err := json.Marshal(m)
+	if err != nil {
+		return fmt.Errorf("segment: encoding manifest: %w", err)
+	}
+	tmp, err := os.CreateTemp(dir, ".manifest-*.tmp")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(append(full, '\n')); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(dir, manifestName)); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// readManifest loads and verifies the manifest; ok is false if none
+// exists yet (a fresh directory).
+func readManifest(dir string) (manifest, bool, error) {
+	data, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if os.IsNotExist(err) {
+		return manifest{}, false, nil
+	}
+	if err != nil {
+		return manifest{}, false, err
+	}
+	var m manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return manifest{}, false, fmt.Errorf("segment: decoding manifest: %w", err)
+	}
+	if m.Version != manifestVersion {
+		return manifest{}, false, fmt.Errorf("segment: unsupported manifest version %d", m.Version)
+	}
+	body, err := json.Marshal(m.payload())
+	if err != nil {
+		return manifest{}, false, err
+	}
+	sum := sha256.Sum256(body)
+	if got := hex.EncodeToString(sum[:]); got != m.Checksum {
+		return manifest{}, false, fmt.Errorf("segment: manifest checksum mismatch (corrupted file?)")
+	}
+	return m, true, nil
+}
+
+// syncDir fsyncs a directory so completed renames survive a crash.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

@@ -65,6 +65,11 @@ type Store struct {
 	wal    *wal
 	walDir string
 	walErr error
+
+	// Pluggable fact/durability engine (see backend.go). When non-nil,
+	// facts live in the backend instead of s.facts, and object mutations
+	// are logged through it instead of the WAL.
+	backend Backend
 }
 
 type attrKey struct {
@@ -489,7 +494,7 @@ type Stats struct {
 func (s *Store) Stats() Stats {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	st := Stats{Objects: len(s.objects), Relations: len(s.facts)}
+	st := Stats{Objects: len(s.objects)}
 	for _, o := range s.objects {
 		if o.Kind() == object.GenInterval {
 			st.Intervals++
@@ -497,8 +502,14 @@ func (s *Store) Stats() Stats {
 			st.Entities++
 		}
 	}
-	for _, rel := range s.facts {
-		st.Facts += rel.live()
+	if s.backend != nil {
+		st.Relations = len(s.backend.Relations())
+		st.Facts = s.backend.TotalFacts()
+	} else {
+		st.Relations = len(s.facts)
+		for _, rel := range s.facts {
+			st.Facts += rel.live()
+		}
 	}
 	st.IndexTerms = len(s.entityIdx) + len(s.attrIdx)
 	return st

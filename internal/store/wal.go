@@ -269,8 +269,12 @@ var testLogFail func(rec walRecord) error
 // The first failure latches into walErr: the caller rolls its in-memory
 // mutation back (nothing is acknowledged), and every later mutation fails
 // fast in walHealthy. Close and Checkpoint surface the error too.
+//
+// On a backend store, object records route to the backend's own log;
+// fact records never reach here (AddFactErr/DeleteFactErr call the
+// backend directly).
 func (s *Store) log(rec walRecord) error {
-	if s.wal == nil {
+	if s.wal == nil && s.backend == nil {
 		return nil
 	}
 	err := error(nil)
@@ -278,7 +282,18 @@ func (s *Store) log(rec walRecord) error {
 		err = testLogFail(rec)
 	}
 	if err == nil {
-		err = s.wal.append(rec)
+		if s.backend != nil {
+			switch rec.Op {
+			case walPut:
+				err = s.backend.LogPutObject(rec.Object)
+			case walDelete:
+				err = s.backend.LogDeleteObject(object.OID(rec.OID))
+			default:
+				err = fmt.Errorf("store: unexpected backend log op %q", rec.Op)
+			}
+		} else {
+			err = s.wal.append(rec)
+		}
 	}
 	if err != nil && s.walErr == nil {
 		s.walErr = err
@@ -292,6 +307,9 @@ func (s *Store) log(rec walRecord) error {
 func (s *Store) Checkpoint() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.backend != nil {
+		return s.backend.Flush()
+	}
 	if s.wal == nil {
 		return fmt.Errorf("store: Checkpoint requires a durable store (OpenDurable)")
 	}
@@ -319,6 +337,9 @@ func (s *Store) Checkpoint() error {
 func (s *Store) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.backend != nil {
+		return s.backend.Close()
+	}
 	if s.wal == nil {
 		return nil
 	}
