@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all tier1 build vet vet-examples test test-segment race bench bench-json clean
+.PHONY: all tier1 build vet vet-examples test test-segment test-stream race bench bench-json clean
 
 all: tier1
 
@@ -34,6 +34,15 @@ test:
 test-segment:
 	VIDEODB_TEST_BACKEND=segment $(GO) test ./internal/integration/...
 
+# test-stream runs the live-subscription suite: the core pump and
+# changelog tests, the SSE/webhook server surface, and the end-to-end
+# replay demo (videogen -stream into a live server with an SSE
+# subscriber converging on the one-shot answer), honoring
+# VIDEODB_TEST_BACKEND for the integration part.
+test-stream:
+	$(GO) test -run 'TestSubscri|TestSSE|TestWebhook|TestServerClose|TestStatusWriter' ./internal/core/ ./internal/server/ ./internal/store/
+	$(GO) test -run 'TestStreamingSubscriptionE2E' ./internal/integration/
+
 # race exercises the parallel evaluator, the shared EDB/memo caches, the
 # store write path (WAL fault injection, range-index readers, changelog),
 # the segment backend (crash injection, mem/segment equivalence), the
@@ -47,7 +56,7 @@ bench:
 
 # bench-json regenerates the machine-readable acceptance benchmark report.
 bench-json:
-	$(GO) run ./cmd/bench -json -out BENCH_PR7.json
+	$(GO) run ./cmd/bench -json -out BENCH_PR8.json
 
 clean:
 	$(GO) clean ./...

@@ -119,6 +119,9 @@ type benchReport struct {
 	Disk             []diskEntry `json:"disk"`
 	DiskRestartRatio float64     `json:"disk_restart_ratio"` // segment/wal open time; < 1 means segments win
 	DiskNote         string      `json:"disk_note"`
+
+	// E17: ingest-to-notification latency of the subscription subsystem.
+	IngestLatency *streamSubReport `json:"ingest_latency"`
 }
 
 // seedBaseline is the `go test -bench . -benchmem` output of the
@@ -491,6 +494,10 @@ func runJSON(outPath string) {
 
 	// E16: persistent segment store restart/query cost vs the WAL backend.
 	runDiskJSON(&report)
+
+	// E17: ingest-to-notification latency of live subscriptions; enforces
+	// exact convergence and zero drops.
+	runStreamSubJSON(&report)
 
 	// Improvement ratios for the default configuration against the seed.
 	for _, se := range seedBaseline {

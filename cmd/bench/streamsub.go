@@ -1,0 +1,354 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"videodb/internal/core"
+	"videodb/internal/server"
+	"videodb/internal/video"
+)
+
+// E17: ingest-to-notification latency of the subscription subsystem. A
+// synthetic broadcast is replayed shot by shot into a live HTTP server
+// (the videogen -stream path) while one SSE subscriber holds the
+// standing query ?- appears_with(X, Y, S). For every batch that changes
+// the answer we measure the wall time from the /v1/script POST starting
+// to the subscriber's accumulated state matching the oracle — a local
+// database fed the same batches. At quiescence the accumulated rows
+// must equal the one-shot /v1/query answer exactly (the differential
+// oracle), and nothing may have been dropped: the subscriber keeps up,
+// so the bounded queue never overflows.
+
+// streamSubReport is the machine-readable E17 record.
+type streamSubReport struct {
+	Bench        string  `json:"bench"`
+	Batches      int     `json:"batches"`
+	Measured     int     `json:"measured_batches"` // batches that changed the answer
+	Rows         int     `json:"final_rows"`
+	P50Ms        float64 `json:"p50_ms"`
+	P99Ms        float64 `json:"p99_ms"`
+	MeanMs       float64 `json:"mean_ms"`
+	MaxMs        float64 `json:"max_ms"`
+	DeltasPlus   uint64  `json:"deltas_plus"`
+	DeltasMinus  uint64  `json:"deltas_minus"`
+	Dropped      uint64  `json:"dropped"`
+	Resyncs      uint64  `json:"resyncs"`
+	Converged    bool    `json:"converged"` // accumulated == one-shot answer
+	ZeroDrops    bool    `json:"zero_drops_below_rate_limit"`
+	Note         string  `json:"note"`
+}
+
+const streamSubGoal = "?- appears_with(X, Y, S)"
+
+// streamSubConfig sizes the replay: ~100 shots (quick: ~25).
+func streamSubConfig() video.GenConfig {
+	cfg := video.GenConfig{Seed: 17, DurationSec: 600, NumObjects: 8, AvgShotSec: 6, Presence: 0.3}
+	if *quick {
+		cfg.DurationSec = 150
+	}
+	return cfg
+}
+
+// sseAccumulator tracks the subscriber's view of the answer, keyed by
+// the rows' wire JSON so oracle rows compare byte-for-byte.
+type sseAccumulator struct {
+	rows map[string]bool
+}
+
+type sseWireEvent struct {
+	Seq  uint64            `json:"seq"`
+	Kind string            `json:"kind"`
+	Sign int               `json:"sign,omitempty"`
+	Row  []json.RawMessage `json:"row,omitempty"`
+	Rows [][]json.RawMessage `json:"rows,omitempty"`
+}
+
+func wireRowKey(row []json.RawMessage) string {
+	parts := make([]string, len(row))
+	for i, r := range row {
+		parts[i] = string(r)
+	}
+	return strings.Join(parts, "\x1f")
+}
+
+func (a *sseAccumulator) apply(ev sseWireEvent) {
+	switch ev.Kind {
+	case "snapshot":
+		a.rows = make(map[string]bool, len(ev.Rows))
+		for _, row := range ev.Rows {
+			a.rows[wireRowKey(row)] = true
+		}
+	case "delta":
+		if a.rows == nil {
+			a.rows = make(map[string]bool)
+		}
+		k := wireRowKey(ev.Row)
+		if ev.Sign > 0 {
+			a.rows[k] = true
+		} else {
+			delete(a.rows, k)
+		}
+	}
+}
+
+// oracleRowKeys renders a local one-shot answer with the same keying as
+// the wire rows.
+func oracleRowKeys(db *core.DB, goal string) (map[string]bool, error) {
+	rs, err := db.Query(goal)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]bool, len(rs.Rows))
+	for _, row := range rs.Rows {
+		raw := make([]json.RawMessage, len(row))
+		for i, v := range row {
+			b, err := json.Marshal(v)
+			if err != nil {
+				return nil, err
+			}
+			raw[i] = b
+		}
+		out[wireRowKey(raw)] = true
+	}
+	return out, nil
+}
+
+func sameRowSet(a, b map[string]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// streamSubRun replays the broadcast and measures per-batch latency.
+func streamSubRun() (streamSubReport, error) {
+	rep := streamSubReport{Bench: "E17IngestToNotify/appears_with"}
+	seq := video.Generate(streamSubConfig())
+	batches := video.StreamBatches(seq)
+	rep.Batches = len(batches)
+
+	db := core.New()
+	srv := server.New(db)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	defer srv.Close()
+
+	oracle := core.New()
+	defer oracle.Close()
+
+	// Subscribe before any data arrives. A generous queue keeps the
+	// experiment below the overflow threshold: E17's claim is zero drops
+	// for a consumer that keeps up, not survival of a slow one.
+	subURL := ts.URL + "/v1/subscribe?queue=4096&goal=" + url.QueryEscape(streamSubGoal)
+	req, err := http.NewRequestWithContext(context.Background(), http.MethodGet, subURL, nil)
+	if err != nil {
+		return rep, err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return rep, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return rep, fmt.Errorf("subscribe: status %d: %s", resp.StatusCode, msg)
+	}
+
+	// Reader goroutine: applies frames and reports state generations, so
+	// the main loop can await convergence without polling the parser.
+	type stateMsg struct {
+		rows map[string]bool
+		err  error
+	}
+	states := make(chan stateMsg, 64)
+	go func() {
+		defer close(states)
+		br := bufio.NewReader(resp.Body)
+		var acc sseAccumulator
+		for {
+			ev, err := server.ReadSSE(br)
+			if err != nil {
+				states <- stateMsg{err: err}
+				return
+			}
+			if ev.Event == "close" {
+				states <- stateMsg{err: fmt.Errorf("subscription closed by server: %s", ev.Data)}
+				return
+			}
+			var wire sseWireEvent
+			if err := json.Unmarshal([]byte(ev.Data), &wire); err != nil {
+				states <- stateMsg{err: fmt.Errorf("bad frame %q: %v", ev.Data, err)}
+				return
+			}
+			acc.apply(wire)
+			snapshot := make(map[string]bool, len(acc.rows))
+			for k := range acc.rows {
+				snapshot[k] = true
+			}
+			states <- stateMsg{rows: snapshot}
+		}
+	}()
+
+	// awaitRows blocks until the subscriber's state matches want.
+	current := make(map[string]bool)
+	awaitRows := func(want map[string]bool, deadline time.Duration) error {
+		if sameRowSet(current, want) {
+			return nil
+		}
+		timer := time.NewTimer(deadline)
+		defer timer.Stop()
+		for {
+			select {
+			case msg, ok := <-states:
+				if !ok {
+					return fmt.Errorf("sse stream ended")
+				}
+				if msg.err != nil {
+					return msg.err
+				}
+				current = msg.rows
+				if sameRowSet(current, want) {
+					return nil
+				}
+			case <-timer.C:
+				return fmt.Errorf("timed out waiting for %d rows (have %d)", len(want), len(current))
+			}
+		}
+	}
+
+	client := &http.Client{Timeout: 30 * time.Second}
+	post := func(batch string) error {
+		body, err := json.Marshal(map[string]string{"script": batch})
+		if err != nil {
+			return err
+		}
+		presp, err := client.Post(ts.URL+"/v1/script", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		defer presp.Body.Close()
+		if presp.StatusCode != http.StatusOK {
+			msg, _ := io.ReadAll(io.LimitReader(presp.Body, 4096))
+			return fmt.Errorf("script: status %d: %s", presp.StatusCode, msg)
+		}
+		io.Copy(io.Discard, presp.Body)
+		return nil
+	}
+
+	// Wait for the initial (empty) snapshot so measurement starts from an
+	// attached subscriber.
+	if err := awaitRows(map[string]bool{}, 10*time.Second); err != nil {
+		return rep, fmt.Errorf("initial snapshot: %w", err)
+	}
+
+	var latencies []time.Duration
+	for i, batch := range batches {
+		if _, err := oracle.LoadScript(batch); err != nil {
+			return rep, fmt.Errorf("oracle batch %d: %w", i, err)
+		}
+		want, err := oracleRowKeys(oracle, streamSubGoal)
+		if err != nil {
+			return rep, err
+		}
+		changed := !sameRowSet(current, want)
+		start := time.Now()
+		if err := post(batch); err != nil {
+			return rep, fmt.Errorf("batch %d: %w", i, err)
+		}
+		if err := awaitRows(want, 30*time.Second); err != nil {
+			return rep, fmt.Errorf("batch %d: %w", i, err)
+		}
+		if changed {
+			latencies = append(latencies, time.Since(start))
+		}
+	}
+	rep.Measured = len(latencies)
+	rep.Rows = len(current)
+
+	// Differential oracle: the accumulated state equals the server's own
+	// one-shot answer for the same goal.
+	want, err := oracleRowKeys(db, streamSubGoal)
+	if err != nil {
+		return rep, err
+	}
+	rep.Converged = sameRowSet(current, want)
+
+	totals := db.SubscriptionStats()
+	rep.DeltasPlus = totals.DeltasPlus
+	rep.DeltasMinus = totals.DeltasMinus
+	rep.Dropped = totals.Dropped
+	rep.Resyncs = totals.Resyncs
+	rep.ZeroDrops = totals.Dropped == 0
+
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	if n := len(latencies); n > 0 {
+		var sum time.Duration
+		for _, d := range latencies {
+			sum += d
+		}
+		rep.P50Ms = ms(latencies[n/2])
+		rep.P99Ms = ms(latencies[(n*99)/100])
+		rep.MeanMs = ms(sum / time.Duration(n))
+		rep.MaxMs = ms(latencies[n-1])
+	}
+	rep.Note = "per-batch wall time from the /v1/script POST starting until the SSE subscriber's " +
+		"accumulated state matches a local oracle fed the same batch; converged compares the final " +
+		"accumulated state with the server's one-shot answer; zero_drops holds because the consumer " +
+		"keeps up with the unpaced replay (no rate limit, queue 4096)"
+	return rep, nil
+}
+
+// runStreamSub is the table-mode E17 experiment.
+func runStreamSub() {
+	rep, err := streamSubRun()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: streamsub: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%-44s %10s %10s %10s %10s\n", "replay", "batches", "p50", "p99", "max")
+	fmt.Printf("%-44s %10d %9.2fms %9.2fms %9.2fms\n",
+		rep.Bench, rep.Measured, rep.P50Ms, rep.P99Ms, rep.MaxMs)
+	fmt.Printf("final rows %d, +%d/-%d deltas, %d dropped, %d resyncs, converged=%v\n",
+		rep.Rows, rep.DeltasPlus, rep.DeltasMinus, rep.Dropped, rep.Resyncs, rep.Converged)
+	fmt.Println("shape check: notification lags ingest by one incremental maintenance pass, not a recompute")
+}
+
+// runStreamSubJSON attaches the E17 record to the report and enforces
+// its acceptance criteria: exact convergence with the one-shot answer
+// and zero dropped deltas.
+func runStreamSubJSON(report *benchReport) {
+	rep, err := streamSubRun()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: streamsub: %v\n", err)
+		os.Exit(1)
+	}
+	report.IngestLatency = &rep
+	fmt.Printf("%-44s %-24s %10.2f ms p50 %10.2f ms p99  %d batches\n",
+		rep.Bench, "sse_subscriber", rep.P50Ms, rep.P99Ms, rep.Measured)
+	if !rep.Converged {
+		fmt.Fprintf(os.Stderr, "bench: E17 subscriber did not converge to the one-shot answer\n")
+		os.Exit(1)
+	}
+	if !rep.ZeroDrops {
+		fmt.Fprintf(os.Stderr, "bench: E17 dropped %d deltas below the rate limit\n", rep.Dropped)
+		os.Exit(1)
+	}
+}

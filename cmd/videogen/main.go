@@ -6,13 +6,26 @@
 //
 //	videogen [-seed N] [-duration SECONDS] [-objects N] [-shot SECONDS]
 //	         [-presence P] [-format vql|snapshot] [-o FILE]
+//	videogen -stream [-rate BATCHES_PER_SEC] [-url http://host:port]
+//
+// With -stream the sequence is replayed as live annotation: one script
+// batch of object declarations followed by one batch per shot in
+// timeline order. With -url each batch is POSTed to the server's
+// /v1/script endpoint (paced by -rate), so standing queries registered
+// via /v1/subscribe see the broadcast arrive; without -url the batches
+// are written to the output separated by "// ---" markers.
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
+	"strings"
+	"time"
 
 	"videodb/internal/core"
 	"videodb/internal/video"
@@ -26,6 +39,9 @@ func main() {
 	presence := flag.Float64("presence", 0.25, "per-shot object presence probability")
 	format := flag.String("format", "vql", "output format: vql or snapshot")
 	out := flag.String("o", "", "output file (default stdout)")
+	stream := flag.Bool("stream", false, "replay the sequence as per-shot script batches")
+	rate := flag.Float64("rate", 0, "streaming pace in batches per second (0 = unpaced)")
+	url := flag.String("url", "", "server base URL to POST streamed batches to (default: write batches to output)")
 	flag.Parse()
 
 	seq := video.Generate(video.GenConfig{
@@ -46,6 +62,13 @@ func main() {
 		w = f
 	}
 
+	if *stream {
+		if err := streamReplay(w, seq, *url, *rate); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
 	switch *format {
 	case "vql":
 		if err := video.WriteVQL(w, seq); err != nil {
@@ -62,6 +85,65 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown format %q", *format))
 	}
+}
+
+// streamReplay emits the sequence's script batches in timeline order,
+// either to a running server's /v1/script endpoint or to w. rate > 0
+// paces delivery at that many batches per second — the replay analogue
+// of real-time annotation.
+func streamReplay(w io.Writer, seq *video.Sequence, baseURL string, rate float64) error {
+	batches := video.StreamBatches(seq)
+	var gap time.Duration
+	if rate > 0 {
+		gap = time.Duration(float64(time.Second) / rate)
+	}
+	base := strings.TrimSuffix(baseURL, "/")
+	client := &http.Client{Timeout: 30 * time.Second}
+	start := time.Now()
+	for i, batch := range batches {
+		if gap > 0 && i > 0 {
+			// Pace against the schedule, not the previous send, so slow
+			// posts don't accumulate drift.
+			if d := time.Until(start.Add(time.Duration(i) * gap)); d > 0 {
+				time.Sleep(d)
+			}
+		}
+		if base == "" {
+			if i > 0 {
+				fmt.Fprintf(w, "// --- batch %d ---\n", i)
+			}
+			if _, err := io.WriteString(w, batch); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := postScript(client, base, batch); err != nil {
+			return fmt.Errorf("batch %d: %w", i, err)
+		}
+	}
+	if base != "" {
+		fmt.Fprintf(os.Stderr, "videogen: streamed %d batches to %s in %s\n",
+			len(batches), base, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}
+
+func postScript(client *http.Client, base, script string) error {
+	body, err := json.Marshal(map[string]string{"script": script})
+	if err != nil {
+		return err
+	}
+	resp, err := client.Post(base+"/v1/script", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("server returned %d: %s", resp.StatusCode, msg)
+	}
+	io.Copy(io.Discard, resp.Body)
+	return nil
 }
 
 func fatal(err error) {

@@ -135,9 +135,10 @@ func run() error {
 	if *pprofOn {
 		srvOpts = append(srvOpts, server.WithPprof())
 	}
+	api := server.New(db, srvOpts...)
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           server.New(db, srvOpts...),
+		Handler:           api,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 
@@ -155,6 +156,9 @@ func run() error {
 	}
 	stop()
 	log.Print("videoserver: shutting down")
+	// Close live subscriptions first: an open SSE stream never finishes on
+	// its own, so Shutdown would otherwise block for the full grace period.
+	api.Close()
 	sctx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
 	defer cancel()
 	if err := srv.Shutdown(sctx); err != nil {

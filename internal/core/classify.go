@@ -104,6 +104,8 @@ func (t *Taxonomy) Rules() []datalog.Rule {
 
 // DefineClass declares a class in the database's taxonomy.
 func (db *DB) DefineClass(class, parent string) error {
+	db.defMu.Lock()
+	defer db.defMu.Unlock()
 	return db.taxonomy.Define(class, parent)
 }
 

@@ -46,6 +46,15 @@ type DB struct {
 	views    viewRegistry
 	viewFeed sync.Once
 
+	// Continuous queries (see subscribe.go). subFeed attaches the store
+	// changelog subscription once, on first SubscribeQuery. defMu guards
+	// the rule/taxonomy definitions against the subscription pumps, which
+	// assemble programs from background goroutines (one-shot queries keep
+	// the documented external-serialization contract above).
+	subs    subRegistry
+	subFeed sync.Once
+	defMu   sync.RWMutex
+
 	// closeOnce releases the DB's pin on the global value-interner epoch
 	// exactly once, however many times Close is called.
 	closeOnce sync.Once
@@ -174,6 +183,8 @@ func (db *DB) AddRule(r datalog.Rule) error {
 
 func (db *DB) addRule(r datalog.Rule) {
 	key := r.String()
+	db.defMu.Lock()
+	defer db.defMu.Unlock()
 	if db.ruleSet[key] {
 		return
 	}

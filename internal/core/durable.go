@@ -48,11 +48,12 @@ func OpenSegment(dir string, opts ...segment.Option) (*DB, error) {
 // segment backend: flushes the memtable and truncates the tail log).
 func (db *DB) Checkpoint() error { return db.st.Checkpoint() }
 
-// Close flushes and closes the database's durable state (a no-op for
-// in-memory stores) and releases the DB's pin on the value-interner
-// epoch; once every DB in the process is closed the intern table is
-// reclaimed. Safe to call more than once.
+// Close stops all live subscriptions, flushes and closes the database's
+// durable state (a no-op for in-memory stores), and releases the DB's
+// pin on the value-interner epoch; once every DB in the process is
+// closed the intern table is reclaimed. Safe to call more than once.
 func (db *DB) Close() error {
+	db.closeSubscriptions()
 	err := db.st.Close()
 	db.closeOnce.Do(datalog.ReleaseInterner)
 	return err

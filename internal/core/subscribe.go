@@ -1,0 +1,1005 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"videodb/internal/datalog"
+	"videodb/internal/object"
+	"videodb/internal/parser"
+	"videodb/internal/store"
+)
+
+// Continuous queries: a subscription is a standing VideoQL goal whose
+// answer set is maintained against the live store changelog — the
+// situation-monitoring counterpart of materialized views (views pull at
+// read time; subscriptions push on change). Each subscription owns a
+// pump goroutine that drains queued store events, brings the answer set
+// up to date (incrementally via datalog.RunIncremental when the slice is
+// in the maintainable fragment, full recompute otherwise — the exact
+// mode logic of views.go), diffs the old and new visible answer sets,
+// and emits +tuple/-tuple deltas into a bounded per-subscriber queue.
+//
+// Delivery contract:
+//
+//   - The first event is always a snapshot (SubSnapshot) carrying the
+//     full answer set at subscribe time; deltas follow.
+//   - Every event carries a per-subscription monotone sequence number;
+//     a consumer that reconnects can discard events it already saw.
+//   - A consumer slower than the delta rate hits the queue bound. Under
+//     SubDropResync (the default) the backlog is dropped and replaced by
+//     one fresh snapshot — the client replaces its accumulated state and
+//     is exact again. Under SubDisconnect the subscription is closed with
+//     ErrSlowConsumer.
+//   - After a quiescent store, the accumulated answer set (snapshot plus
+//     applied deltas) equals the one-shot query answer: maintenance runs
+//     that raced concurrent writers taint the extension and force the
+//     next flush to recompute, so the final flush is always exact.
+//
+// Windows: the goal may conjoin window(F, N) — F a goal variable, N a
+// positive integer — restricting answers to those whose F binds to one
+// of the last N generalized-interval objects ingested since the
+// subscription started ("the last N frames of live ingest"). Objects
+// present before the subscription age out after N live frames. Window
+// atoms are stripped before evaluation; aging out emits a -tuple delta
+// even though the tuple is still derivable.
+
+// WindowPred is the reserved goal predicate selecting a sliding ingest
+// window; it never reaches the evaluator.
+const WindowPred = "window"
+
+// maxWindowFrames bounds window widths: the frame clock shares the
+// bounded event queue, so wider windows could silently age tuples early.
+const maxWindowFrames = maxPendingEvents
+
+// SubPolicy says what happens to a subscriber that cannot keep up with
+// its delta stream.
+type SubPolicy string
+
+const (
+	// SubDropResync (default): drop the queued backlog and replace it
+	// with one fresh snapshot event; delivery continues.
+	SubDropResync SubPolicy = "drop-resync"
+	// SubDisconnect: close the subscription with ErrSlowConsumer.
+	SubDisconnect SubPolicy = "disconnect"
+)
+
+// SubOptions configures a subscription.
+type SubOptions struct {
+	// QueueSize bounds the outbound event queue (default 256, min 1).
+	QueueSize int
+	// Policy is the slow-consumer policy (default SubDropResync).
+	Policy SubPolicy
+	// MaxPerSec rate-limits maintenance flushes (0 = unlimited). Store
+	// events arriving faster coalesce into fewer, larger delta batches;
+	// the queue never sees more than MaxPerSec flushes worth of deltas
+	// per second.
+	MaxPerSec float64
+	// RefreshBudget bounds each maintenance pass (0 = unbounded). A pass
+	// that exceeds it closes the subscription with the deadline error —
+	// the per-delta analogue of the server's query timeout.
+	RefreshBudget time.Duration
+}
+
+func (o SubOptions) withDefaults() SubOptions {
+	if o.QueueSize <= 0 {
+		o.QueueSize = 256
+	}
+	if o.Policy == "" {
+		o.Policy = SubDropResync
+	}
+	return o
+}
+
+// SubEventKind discriminates subscription events.
+type SubEventKind uint8
+
+const (
+	// SubSnapshot carries the full current answer set in Rows; the
+	// consumer replaces any accumulated state. Sent as the first event
+	// and after a drop-resync.
+	SubSnapshot SubEventKind = iota + 1
+	// SubDelta carries one answer tuple in Row with Sign +1 (entered the
+	// answer set) or -1 (left it).
+	SubDelta
+)
+
+func (k SubEventKind) String() string {
+	switch k {
+	case SubSnapshot:
+		return "snapshot"
+	case SubDelta:
+		return "delta"
+	default:
+		return "unknown"
+	}
+}
+
+// SubEvent is one subscription notification.
+type SubEvent struct {
+	Seq  uint64
+	Kind SubEventKind
+	Sign int              // +1 / -1 for SubDelta
+	Row  []object.Value   // SubDelta
+	Rows [][]object.Value // SubSnapshot
+}
+
+// Errors surfaced by Subscription.Next after the stream ends.
+var (
+	ErrSubscriptionClosed = errors.New("core: subscription closed")
+	ErrSlowConsumer       = errors.New("core: subscription dropped: consumer too slow (disconnect policy)")
+)
+
+// windowSpec is one parsed window(F, N) atom: the goal-column index F
+// occupies and the width N in ingest frames.
+type windowSpec struct {
+	col int
+	n   uint64
+}
+
+// Subscription is a registered standing query. One consumer at a time
+// reads it with Next; Close is idempotent and safe from any goroutine.
+type Subscription struct {
+	id      uint64
+	db      *DB
+	goalSrc string
+	goal    parser.Query // window atoms stripped
+	rules   []datalog.Rule
+	columns []string
+	windows []windowSpec
+	opts    SubOptions
+
+	// Intake: store events queued under the store's write lock, drained
+	// by the pump. Mirrors viewState's queue/overflow/recompute
+	// machinery, except object puts are additionally retained (bounded)
+	// as the frame clock when the goal is windowed.
+	pendingMu  sync.Mutex
+	pending    []store.Event
+	reset      bool
+	clockReset bool
+	relevant   map[string]bool
+	framePuts  []object.OID
+	frameLost  uint64
+	stopped    bool
+
+	wake chan struct{} // capacity 1; tokens mean "pending work"
+
+	// Pump-private maintenance state.
+	valid       bool
+	tainted     bool
+	incremental bool
+	fingerprint string
+	ext         datalog.Extension
+	fullRows    [][]object.Value
+	cur         map[string][]object.Value // visible answers by row key
+	frames      uint64
+	stamps      map[object.OID]uint64
+
+	pumpCtx    context.Context
+	pumpCancel context.CancelFunc
+	done       chan struct{}
+
+	// Outbound queue.
+	qmu          sync.Mutex
+	queue        []SubEvent
+	nextSeq      uint64
+	closed       bool
+	closeErr     error
+	consumerWake chan struct{}
+
+	delivered atomic.Uint64
+	dropped   atomic.Uint64
+	resyncs   atomic.Uint64
+	flushes   atomic.Uint64
+	recomps   atomic.Uint64
+	incrs     atomic.Uint64
+}
+
+// subRegistry tracks a DB's live subscriptions plus cumulative totals
+// (which outlive individual subscriptions, for metrics).
+type subRegistry struct {
+	mu     sync.Mutex
+	m      map[uint64]*Subscription
+	nextID uint64
+
+	deltasPlus  atomic.Uint64
+	deltasMinus atomic.Uint64
+	dropped     atomic.Uint64
+	resyncs     atomic.Uint64
+	opened      atomic.Uint64
+}
+
+// SubTotals is the cumulative subscription accounting for /metrics.
+type SubTotals struct {
+	Active      int    `json:"active"`
+	Opened      uint64 `json:"opened"`
+	DeltasPlus  uint64 `json:"deltasPlus"`
+	DeltasMinus uint64 `json:"deltasMinus"`
+	Dropped     uint64 `json:"dropped"`
+	Resyncs     uint64 `json:"resyncs"`
+}
+
+// SubscriptionStats returns the DB's cumulative subscription totals.
+func (db *DB) SubscriptionStats() SubTotals {
+	db.subs.mu.Lock()
+	active := len(db.subs.m)
+	db.subs.mu.Unlock()
+	return SubTotals{
+		Active:      active,
+		Opened:      db.subs.opened.Load(),
+		DeltasPlus:  db.subs.deltasPlus.Load(),
+		DeltasMinus: db.subs.deltasMinus.Load(),
+		Dropped:     db.subs.dropped.Load(),
+		Resyncs:     db.subs.resyncs.Load(),
+	}
+}
+
+// SubInfo summarizes one live subscription.
+type SubInfo struct {
+	ID        uint64 `json:"id"`
+	Goal      string `json:"goal"`
+	Rules     int    `json:"rules"`
+	Windowed  bool   `json:"windowed"`
+	Queued    int    `json:"queued"`
+	Delivered uint64 `json:"delivered"`
+	Dropped   uint64 `json:"dropped"`
+	Resyncs   uint64 `json:"resyncs"`
+	Flushes   uint64 `json:"flushes"`
+}
+
+// Subscriptions lists the live subscriptions, sorted by id.
+func (db *DB) Subscriptions() []SubInfo {
+	db.subs.mu.Lock()
+	subs := make([]*Subscription, 0, len(db.subs.m))
+	for _, s := range db.subs.m {
+		subs = append(subs, s)
+	}
+	db.subs.mu.Unlock()
+	sort.Slice(subs, func(i, j int) bool { return subs[i].id < subs[j].id })
+	out := make([]SubInfo, len(subs))
+	for i, s := range subs {
+		s.qmu.Lock()
+		queued := len(s.queue)
+		s.qmu.Unlock()
+		out[i] = SubInfo{
+			ID:        s.id,
+			Goal:      s.goalSrc,
+			Rules:     len(s.rules),
+			Windowed:  len(s.windows) > 0,
+			Queued:    queued,
+			Delivered: s.delivered.Load(),
+			Dropped:   s.dropped.Load(),
+			Resyncs:   s.resyncs.Load(),
+			Flushes:   s.flushes.Load(),
+		}
+	}
+	return out
+}
+
+// SubscribeQuery registers a standing query: the goal (plus optional
+// subscription-local rules, in VideoQL syntax) is evaluated once and
+// then maintained against every acknowledged store mutation, pushing
+// answer deltas to the returned Subscription. The caller must Close it.
+func (db *DB) SubscribeQuery(rules []string, goal string, opts SubOptions) (*Subscription, error) {
+	q, err := parser.ParseQuery(goal)
+	if err != nil {
+		return nil, err
+	}
+	var parsed []datalog.Rule
+	for _, src := range rules {
+		r, err := parser.ParseRule(src)
+		if err != nil {
+			return nil, err
+		}
+		if mentionsWindow(r) {
+			return nil, fmt.Errorf("core: window(...) is only allowed in the subscription goal, not in rules")
+		}
+		parsed = append(parsed, r)
+	}
+	stripped, windows, err := extractWindows(q)
+	if err != nil {
+		return nil, err
+	}
+
+	opts = opts.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Subscription{
+		db:           db,
+		goalSrc:      strings.TrimSpace(goal),
+		goal:         stripped,
+		rules:        parsed,
+		columns:      goalColumns(stripped.Atom),
+		windows:      windows,
+		opts:         opts,
+		wake:         make(chan struct{}, 1),
+		consumerWake: make(chan struct{}, 1),
+		pumpCtx:      ctx,
+		pumpCancel:   cancel,
+		done:         make(chan struct{}),
+		cur:          make(map[string][]object.Value),
+		stamps:       make(map[object.OID]uint64),
+	}
+
+	// Validate the assembled program now, so a bad goal or rule fails
+	// the subscribe call instead of killing the pump later.
+	prog, _ := db.subProgram(s)
+	if _, err := datalog.NewEngine(db.st, prog, db.engOpts...); err != nil {
+		cancel()
+		return nil, err
+	}
+
+	// Register and attach the changelog feed before the initial compute,
+	// so no acknowledged mutation slips between registration and the
+	// snapshot (same ordering as Materialize).
+	db.subFeed.Do(func() { db.st.Subscribe(db.onStoreEventSub) })
+	db.subs.mu.Lock()
+	if db.subs.m == nil {
+		db.subs.m = make(map[uint64]*Subscription)
+	}
+	db.subs.nextID++
+	s.id = db.subs.nextID
+	db.subs.m[s.id] = s
+	db.subs.mu.Unlock()
+	db.subs.opened.Add(1)
+
+	s.wake <- struct{}{} // prime the pump: first flush emits the snapshot
+	go s.pump()
+	return s, nil
+}
+
+// mentionsWindow reports whether the rule body uses the reserved window
+// predicate.
+func mentionsWindow(r datalog.Rule) bool {
+	for _, l := range r.Body {
+		if a, ok := l.(datalog.RelAtom); ok && a.Pred == WindowPred {
+			return true
+		}
+	}
+	return false
+}
+
+// extractWindows strips window(F, N) atoms from the goal's synthesized
+// rule and maps each onto the goal column F occupies.
+func extractWindows(q parser.Query) (parser.Query, []windowSpec, error) {
+	if q.Rule == nil {
+		if q.Atom.Pred == WindowPred {
+			return q, nil, fmt.Errorf("core: window(F, N) must be conjoined with other goal literals")
+		}
+		return q, nil, nil
+	}
+	var kept []datalog.Literal
+	type w struct {
+		v string
+		n uint64
+	}
+	var found []w
+	for _, l := range q.Rule.Body {
+		a, ok := l.(datalog.RelAtom)
+		if !ok || a.Pred != WindowPred {
+			kept = append(kept, l)
+			continue
+		}
+		if len(a.Args) != 2 || !a.Args[0].IsVar() {
+			return q, nil, fmt.Errorf("core: window wants window(Var, N), got %s", a)
+		}
+		nv, ok := a.Args[1].Value().AsNumber()
+		if !ok || nv != float64(uint64(nv)) || nv < 1 {
+			return q, nil, fmt.Errorf("core: window width must be a positive integer, got %s", a.Args[1])
+		}
+		if nv > maxWindowFrames {
+			return q, nil, fmt.Errorf("core: window width %d exceeds the maximum %d", uint64(nv), maxWindowFrames)
+		}
+		found = append(found, w{v: a.Args[0].Name(), n: uint64(nv)})
+	}
+	if len(found) == 0 {
+		return q, nil, nil
+	}
+	if len(kept) == 0 {
+		return q, nil, fmt.Errorf("core: window(F, N) must be conjoined with other goal literals")
+	}
+	rule := datalog.NewRule(q.Rule.Head, kept...)
+	rule.Pos = q.Rule.Pos
+	if err := rule.Validate(); err != nil {
+		return q, nil, fmt.Errorf("core: goal invalid after stripping window atoms (window variables must be bound elsewhere): %w", err)
+	}
+	stripped := q
+	stripped.Rule = &rule
+	cols := goalColumns(q.Atom)
+	var specs []windowSpec
+	for _, f := range found {
+		col := -1
+		for i, c := range cols {
+			if c == f.v {
+				col = i
+				break
+			}
+		}
+		if col < 0 {
+			return q, nil, fmt.Errorf("core: window variable %s is not a goal variable", f.v)
+		}
+		specs = append(specs, windowSpec{col: col, n: f.n})
+	}
+	return stripped, specs, nil
+}
+
+// onStoreEventSub queues an acknowledged store mutation for every live
+// subscription. Runs under the store's write lock: queue only.
+func (db *DB) onStoreEventSub(ev store.Event) {
+	db.subs.mu.Lock()
+	defer db.subs.mu.Unlock()
+	for _, s := range db.subs.m {
+		s.enqueue(ev)
+	}
+}
+
+func (s *Subscription) enqueue(ev store.Event) {
+	s.pendingMu.Lock()
+	defer s.pendingMu.Unlock()
+	if s.stopped {
+		return
+	}
+	switch ev.Kind {
+	case store.EventAddFact, store.EventDeleteFact:
+		if !s.reset {
+			if s.relevant != nil && !s.relevant[ev.Fact.Name] {
+				return
+			}
+			if len(s.pending) >= maxPendingEvents {
+				s.reset = true
+				s.pending = nil
+			} else {
+				s.pending = append(s.pending, ev)
+			}
+		}
+	case store.EventPutObject:
+		// Object mutations invalidate wholesale (class atoms, attribute
+		// filters), and interval puts additionally advance the windowed
+		// frame clock — retain the oid so the pump can stamp it.
+		s.reset = true
+		s.pending = nil
+		if len(s.windows) > 0 {
+			if len(s.framePuts) >= maxPendingEvents {
+				s.framePuts = s.framePuts[1:]
+				s.frameLost++
+			}
+			s.framePuts = append(s.framePuts, ev.OID)
+		}
+	case store.EventDeleteObject:
+		s.reset = true
+		s.pending = nil
+	default: // EventReset: the ingest history itself is gone
+		s.reset = true
+		s.clockReset = true
+		s.pending = nil
+		s.framePuts = nil
+		s.frameLost = 0
+	}
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+}
+
+// subProgram assembles the subscription's reachable rule slice (database
+// rules + taxonomy + subscription-local rules + the goal rule) and its
+// fingerprint, under the definition lock so pumps never race DefineRule.
+func (db *DB) subProgram(s *Subscription) (datalog.Program, string) {
+	db.defMu.RLock()
+	defer db.defMu.RUnlock()
+	rules := append([]datalog.Rule(nil), db.rules...)
+	rules = append(rules, db.taxonomy.Rules()...)
+	rules = append(rules, s.rules...)
+	if s.goal.Rule != nil {
+		rules = append(rules, *s.goal.Rule)
+	}
+	prog := datalog.NewProgram(rules...).Reachable(s.goal.Atom.Pred)
+	var fp strings.Builder
+	for _, r := range prog.Rules {
+		fp.WriteString(r.String())
+		fp.WriteByte('\n')
+	}
+	fp.WriteString("?- ")
+	fp.WriteString(s.goal.Atom.String())
+	return prog, fp.String()
+}
+
+// pump is the subscription's maintenance goroutine: wait for work,
+// respect the flush rate limit, flush.
+func (s *Subscription) pump() {
+	defer close(s.done)
+	var lastFlush time.Time
+	var minGap time.Duration
+	if s.opts.MaxPerSec > 0 {
+		minGap = time.Duration(float64(time.Second) / s.opts.MaxPerSec)
+	}
+	for {
+		select {
+		case <-s.pumpCtx.Done():
+			return
+		case <-s.wake:
+		}
+		if minGap > 0 && !lastFlush.IsZero() {
+			if wait := minGap - time.Since(lastFlush); wait > 0 {
+				select {
+				case <-s.pumpCtx.Done():
+					return
+				case <-time.After(wait):
+				}
+			}
+		}
+		if !s.flush() {
+			return
+		}
+		lastFlush = time.Now()
+	}
+}
+
+// flush drains the intake queue, refreshes the answer set, and emits the
+// resulting deltas. Returns false when the subscription should stop.
+func (s *Subscription) flush() bool {
+	// Drain.
+	s.pendingMu.Lock()
+	batch := s.pending
+	s.pending = nil
+	needReset := s.reset
+	s.reset = false
+	clockReset := s.clockReset
+	s.clockReset = false
+	puts := s.framePuts
+	s.framePuts = nil
+	lost := s.frameLost
+	s.frameLost = 0
+	s.pendingMu.Unlock()
+
+	// Advance the frame clock: each ingested generalized interval is one
+	// frame. Kind is resolved against the live store at drain time (the
+	// intake path may not touch the store); an object already deleted
+	// again simply never counted as a frame.
+	if clockReset {
+		s.frames = 0
+		s.stamps = make(map[object.OID]uint64)
+	}
+	s.frames += lost
+	for _, oid := range puts {
+		if o := s.db.st.Get(oid); o != nil && o.Kind() == object.GenInterval {
+			s.frames++
+			s.stamps[oid] = s.frames
+		}
+	}
+	s.pruneStamps()
+
+	prog, fp := s.db.subProgram(s)
+	full := !s.valid || needReset || s.tainted || fp != s.fingerprint
+	s.tainted = false
+
+	var ins, del datalog.FactDelta
+	if !full {
+		var nIns, nDel int
+		ins, del, nIns, nDel = foldEvents(batch)
+		if nIns == 0 && nDel == 0 {
+			// Net no-op batch; only window aging can change visibility.
+			return s.emitDiff(false)
+		}
+		if !s.incremental {
+			full = true
+		}
+	}
+	runCtx := s.pumpCtx
+	cancel := func() {}
+	if s.opts.RefreshBudget > 0 {
+		runCtx, cancel = context.WithTimeout(s.pumpCtx, s.opts.RefreshBudget)
+	}
+	defer cancel()
+	engOpts := s.db.engOpts
+	engOpts = append(append([]datalog.Option(nil), engOpts...), datalog.WithContext(runCtx))
+
+	var eng *datalog.Engine
+	if !full {
+		var err error
+		eng, err = datalog.NewEngine(s.db.st, prog, engOpts...)
+		if err != nil {
+			return s.fail(err)
+		}
+		if err = eng.RunIncremental(s.ext, ins, del); err != nil {
+			if datalog.IsCanceled(err) {
+				return s.fail(err)
+			}
+			full = true // unexpected incremental failure: recompute
+		} else {
+			s.incrs.Add(1)
+		}
+	}
+	if full {
+		var err error
+		eng, err = datalog.NewEngine(s.db.st, prog, engOpts...)
+		if err != nil {
+			return s.fail(err)
+		}
+		if err = eng.Run(); err != nil {
+			return s.fail(err)
+		}
+		s.recomps.Add(1)
+	}
+
+	s.ext = eng.Extensions()
+	rows, direct := s.ext[s.goal.Atom.Pred]
+	if !direct || !distinctVarAtom(s.goal.Atom) {
+		res, err := eng.Query(s.goal.Atom)
+		if err != nil {
+			return s.fail(err)
+		}
+		rows = make([][]object.Value, len(res))
+		for i, r := range res {
+			rows[i] = r.Values
+		}
+	}
+	s.fullRows = rows
+	s.fingerprint = fp
+	s.incremental = prog.SupportsIncremental() && isIDBPred(prog, s.goal.Atom.Pred)
+	s.valid = true
+
+	// Publish the relevance filter, and detect racing writers: any event
+	// queued while the engine ran means the store may have moved past
+	// what this flush read, so the maintained extension cannot be
+	// trusted as a prior — the next flush must recompute. The events
+	// themselves are still queued and will trigger that flush.
+	rel := relevantPreds(prog, s.goal.Atom.Pred)
+	s.pendingMu.Lock()
+	s.relevant = rel
+	if len(s.pending) > 0 || s.reset {
+		s.tainted = true
+	}
+	s.pendingMu.Unlock()
+
+	return s.emitDiff(false)
+}
+
+// pruneStamps drops frame stamps that have aged past every window.
+func (s *Subscription) pruneStamps() {
+	if len(s.stamps) == 0 {
+		return
+	}
+	var maxW uint64
+	for _, w := range s.windows {
+		if w.n > maxW {
+			maxW = w.n
+		}
+	}
+	for oid, st := range s.stamps {
+		if st+maxW <= s.frames {
+			delete(s.stamps, oid)
+		}
+	}
+}
+
+// visibleRow applies the window filter: every windowed column must hold
+// a reference to one of the last N ingested frames. Objects never
+// stamped (present before the subscription, or re-loaded) carry stamp 0
+// and stay visible until N live frames have arrived.
+func (s *Subscription) visibleRow(r []object.Value) bool {
+	for _, w := range s.windows {
+		if w.col >= len(r) {
+			return false
+		}
+		oid, ok := r[w.col].AsRef()
+		if !ok {
+			return false
+		}
+		if s.stamps[oid]+w.n <= s.frames {
+			return false
+		}
+	}
+	return true
+}
+
+// emitDiff recomputes the visible answer set, diffs it against the
+// previous one, and pushes the resulting events. snapshotOnly forces a
+// snapshot instead of deltas (initial emission). Returns false when the
+// subscription closed.
+func (s *Subscription) emitDiff(snapshotOnly bool) bool {
+	s.flushes.Add(1)
+	newVis := make(map[string][]object.Value, len(s.fullRows))
+	for _, r := range s.fullRows {
+		if s.visibleRow(r) {
+			newVis[subRowKey(r)] = r
+		}
+	}
+
+	s.qmu.Lock()
+	if s.closed {
+		s.qmu.Unlock()
+		return false
+	}
+	first := s.nextSeq == 0
+	overflowed := false
+	if first || snapshotOnly {
+		s.pushLocked(s.snapshotEvent(newVis))
+	} else {
+		// Deterministic emission order keeps tests and logs stable.
+		var keys []string
+		for k := range newVis {
+			if _, ok := s.cur[k]; !ok {
+				keys = append(keys, k)
+			}
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			if !s.pushDeltaLocked(SubEvent{Kind: SubDelta, Sign: +1, Row: newVis[k]}) {
+				overflowed = true
+				break
+			}
+		}
+		if !overflowed {
+			keys = keys[:0]
+			for k := range s.cur {
+				if _, ok := newVis[k]; !ok {
+					keys = append(keys, k)
+				}
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				if !s.pushDeltaLocked(SubEvent{Kind: SubDelta, Sign: -1, Row: s.cur[k]}) {
+					overflowed = true
+					break
+				}
+			}
+		}
+	}
+	if overflowed && !s.closed {
+		// Drop-resync: the backlog (and the rest of this diff) is
+		// replaced by one fresh snapshot.
+		s.dropQueueLocked()
+		s.pushLocked(s.snapshotEvent(newVis))
+		s.resyncs.Add(1)
+		s.db.subs.resyncs.Add(1)
+	}
+	closed := s.closed
+	s.qmu.Unlock()
+	s.cur = newVis
+	return !closed
+}
+
+func (s *Subscription) snapshotEvent(vis map[string][]object.Value) SubEvent {
+	rows := make([][]object.Value, 0, len(vis))
+	keys := make([]string, 0, len(vis))
+	for k := range vis {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		rows = append(rows, vis[k])
+	}
+	return SubEvent{Kind: SubSnapshot, Rows: rows}
+}
+
+// pushLocked appends unconditionally (snapshots always fit: the queue
+// was just cleared, or this is the first event). Caller holds qmu.
+func (s *Subscription) pushLocked(ev SubEvent) {
+	s.nextSeq++
+	ev.Seq = s.nextSeq
+	s.queue = append(s.queue, ev)
+	s.wakeConsumerLocked()
+}
+
+// pushDeltaLocked appends a delta, applying the slow-consumer policy on
+// overflow. Returns false if the queue is full (drop-resync) — the
+// caller stops diffing and resyncs — or the subscription was closed
+// (disconnect). Caller holds qmu.
+func (s *Subscription) pushDeltaLocked(ev SubEvent) bool {
+	if len(s.queue) >= s.opts.QueueSize {
+		if s.opts.Policy == SubDisconnect {
+			s.dropQueueLocked()
+			s.closeLocked(ErrSlowConsumer)
+			return false
+		}
+		return false
+	}
+	s.nextSeq++
+	ev.Seq = s.nextSeq
+	s.queue = append(s.queue, ev)
+	if ev.Sign >= 0 {
+		s.db.subs.deltasPlus.Add(1)
+	} else {
+		s.db.subs.deltasMinus.Add(1)
+	}
+	s.wakeConsumerLocked()
+	return true
+}
+
+// dropQueueLocked discards the queued backlog, counting every dropped
+// delta. Caller holds qmu.
+func (s *Subscription) dropQueueLocked() {
+	var n uint64
+	for _, ev := range s.queue {
+		if ev.Kind == SubDelta {
+			n++
+		}
+	}
+	if n > 0 {
+		s.dropped.Add(n)
+		s.db.subs.dropped.Add(n)
+	}
+	s.queue = s.queue[:0]
+}
+
+func (s *Subscription) wakeConsumerLocked() {
+	select {
+	case s.consumerWake <- struct{}{}:
+	default:
+	}
+}
+
+// fail closes the subscription with an evaluation error, unless the
+// error is this pump's own shutdown.
+func (s *Subscription) fail(err error) bool {
+	if s.pumpCtx.Err() != nil {
+		return false
+	}
+	s.closeWith(fmt.Errorf("core: subscription maintenance failed: %w", err))
+	return false
+}
+
+// Next blocks until an event is available, the subscription is closed
+// (queued events drain first; then the close error is returned), or ctx
+// is done.
+func (s *Subscription) Next(ctx context.Context) (SubEvent, error) {
+	for {
+		s.qmu.Lock()
+		if len(s.queue) > 0 {
+			ev := s.queue[0]
+			s.queue = s.queue[1:]
+			s.delivered.Add(1)
+			s.qmu.Unlock()
+			return ev, nil
+		}
+		if s.closed {
+			err := s.closeErr
+			s.qmu.Unlock()
+			return SubEvent{}, err
+		}
+		s.qmu.Unlock()
+		select {
+		case <-ctx.Done():
+			return SubEvent{}, ctx.Err()
+		case <-s.consumerWake:
+		}
+	}
+}
+
+// SkipTo drops queued events with Seq <= seq — the Last-Event-ID resume
+// path: a reconnecting consumer discards what it already saw.
+func (s *Subscription) SkipTo(seq uint64) {
+	s.qmu.Lock()
+	defer s.qmu.Unlock()
+	i := 0
+	for i < len(s.queue) && s.queue[i].Seq <= seq {
+		i++
+	}
+	if i > 0 {
+		s.queue = append(s.queue[:0], s.queue[i:]...)
+	}
+}
+
+// SubStats is a point-in-time snapshot of one subscription's counters.
+type SubStats struct {
+	Delivered   uint64 `json:"delivered"`
+	Dropped     uint64 `json:"dropped"`
+	Resyncs     uint64 `json:"resyncs"`
+	Flushes     uint64 `json:"flushes"`
+	Recomputes  uint64 `json:"recomputes"`
+	Incremental uint64 `json:"incremental"`
+	Queued      int    `json:"queued"`
+}
+
+// Stats snapshots the subscription's counters.
+func (s *Subscription) Stats() SubStats {
+	s.qmu.Lock()
+	queued := len(s.queue)
+	s.qmu.Unlock()
+	return SubStats{
+		Delivered:   s.delivered.Load(),
+		Dropped:     s.dropped.Load(),
+		Resyncs:     s.resyncs.Load(),
+		Flushes:     s.flushes.Load(),
+		Recomputes:  s.recomps.Load(),
+		Incremental: s.incrs.Load(),
+		Queued:      queued,
+	}
+}
+
+// Columns returns the goal's output columns (variable names in
+// first-occurrence order), fixed for the subscription's lifetime.
+func (s *Subscription) Columns() []string { return s.columns }
+
+// ID returns the subscription's registry id (unique per DB).
+func (s *Subscription) ID() uint64 { return s.id }
+
+// Goal returns the original goal source, window atoms included.
+func (s *Subscription) Goal() string { return s.goalSrc }
+
+// Err returns the close error, or nil while the subscription is live.
+func (s *Subscription) Err() error {
+	s.qmu.Lock()
+	defer s.qmu.Unlock()
+	if !s.closed {
+		return nil
+	}
+	return s.closeErr
+}
+
+// Close stops maintenance and delivery. Idempotent; queued events remain
+// readable until drained, after which Next returns
+// ErrSubscriptionClosed (or the failure that closed the subscription).
+func (s *Subscription) Close() { s.closeWith(nil) }
+
+func (s *Subscription) closeWith(err error) {
+	s.qmu.Lock()
+	s.closeLocked(err)
+	s.qmu.Unlock()
+	s.pumpCancel()
+}
+
+// closeLocked marks the subscription closed and unregisters it. Caller
+// holds qmu.
+func (s *Subscription) closeLocked(err error) {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	if err == nil {
+		err = ErrSubscriptionClosed
+	}
+	s.closeErr = err
+	s.wakeConsumerLocked()
+	s.pendingMu.Lock()
+	s.stopped = true
+	s.pending, s.framePuts = nil, nil
+	s.pendingMu.Unlock()
+	db := s.db
+	go func() {
+		// Unregister outside qmu: the event fan-out takes subs.mu then
+		// pendingMu, never qmu, so this ordering only avoids surprises.
+		db.subs.mu.Lock()
+		delete(db.subs.m, s.id)
+		db.subs.mu.Unlock()
+		s.pumpCancel()
+	}()
+}
+
+// Done is closed when the pump goroutine has exited.
+func (s *Subscription) Done() <-chan struct{} { return s.done }
+
+// closeSubscriptions closes every live subscription and waits for their
+// pumps — called from DB.Close so no maintenance races teardown.
+func (db *DB) closeSubscriptions() {
+	db.subs.mu.Lock()
+	subs := make([]*Subscription, 0, len(db.subs.m))
+	for _, s := range db.subs.m {
+		subs = append(subs, s)
+	}
+	db.subs.mu.Unlock()
+	for _, s := range subs {
+		s.Close()
+	}
+	for _, s := range subs {
+		<-s.done
+	}
+}
+
+// subRowKey is the canonical identity of one answer tuple.
+func subRowKey(r []object.Value) string {
+	var b strings.Builder
+	for i, v := range r {
+		if i > 0 {
+			b.WriteByte(0x1f)
+		}
+		b.WriteString(v.String())
+	}
+	return b.String()
+}

@@ -1,0 +1,628 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"videodb/internal/datalog"
+	"videodb/internal/interval"
+	"videodb/internal/object"
+)
+
+// subAccum replays a subscription's event stream into an answer set, the
+// way a well-behaved client would: snapshots replace, deltas apply.
+type subAccum struct {
+	rows map[string][]object.Value
+	seq  uint64
+}
+
+func newSubAccum() *subAccum { return &subAccum{rows: make(map[string][]object.Value)} }
+
+func (a *subAccum) apply(t *testing.T, ev SubEvent) {
+	t.Helper()
+	if ev.Seq <= a.seq {
+		t.Fatalf("sequence not monotone: %d after %d", ev.Seq, a.seq)
+	}
+	a.seq = ev.Seq
+	switch ev.Kind {
+	case SubSnapshot:
+		a.rows = make(map[string][]object.Value, len(ev.Rows))
+		for _, r := range ev.Rows {
+			a.rows[subRowKey(r)] = r
+		}
+	case SubDelta:
+		k := subRowKey(ev.Row)
+		if ev.Sign > 0 {
+			if _, dup := a.rows[k]; dup {
+				t.Fatalf("+delta for already-present row %q", k)
+			}
+			a.rows[k] = ev.Row
+		} else {
+			if _, ok := a.rows[k]; !ok {
+				t.Fatalf("-delta for absent row %q", k)
+			}
+			delete(a.rows, k)
+		}
+	default:
+		t.Fatalf("unknown event kind %v", ev.Kind)
+	}
+}
+
+func (a *subAccum) key() []string {
+	out := make([]string, 0, len(a.rows))
+	for k := range a.rows {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sameKeys(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// drainUntil consumes subscription events until the accumulated answer
+// set satisfies ok, failing the test after an overall deadline. It
+// tolerates idle periods (maintenance is asynchronous).
+func drainUntil(t *testing.T, s *Subscription, a *subAccum, ok func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !ok() {
+		if time.Now().After(deadline) {
+			t.Fatalf("subscription never converged; accumulated %v", a.key())
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+		ev, err := s.Next(ctx)
+		cancel()
+		if err != nil {
+			if err == context.DeadlineExceeded {
+				continue
+			}
+			t.Fatalf("Next: %v", err)
+		}
+		a.apply(t, ev)
+	}
+}
+
+// drainToOracle waits until the accumulated answer set equals the
+// one-shot query answer — the differential oracle of the acceptance
+// criteria.
+func drainToOracle(t *testing.T, db *DB, s *Subscription, a *subAccum, goal, label string) {
+	t.Helper()
+	var want []string
+	drainUntil(t, s, a, func() bool {
+		rs, err := db.Query(goal)
+		if err != nil {
+			t.Fatalf("%s: oracle query: %v", label, err)
+		}
+		want = rowsKey(rs.Rows)
+		return sameKeys(a.key(), want)
+	})
+}
+
+func TestSubscribeLifecycle(t *testing.T) {
+	db := closureDB(t)
+	defer db.Close()
+	if err := db.Relate("edge", "a", "b"); err != nil {
+		t.Fatal(err)
+	}
+
+	sub, err := db.SubscribeQuery(nil, "?- reach(X, Y)", SubOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sub.Columns(); len(got) != 2 || got[0] != "X" || got[1] != "Y" {
+		t.Fatalf("Columns() = %v", got)
+	}
+
+	// First event: snapshot of the current answer set.
+	ev, err := sub.Next(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Kind != SubSnapshot || len(ev.Rows) != 1 || ev.Seq != 1 {
+		t.Fatalf("first event = %+v, want snapshot of 1 row at seq 1", ev)
+	}
+
+	a := newSubAccum()
+	a.apply(t, ev)
+
+	// An insert shows up as +deltas (b->c closes to a->c too).
+	if err := db.Relate("edge", "b", "c"); err != nil {
+		t.Fatal(err)
+	}
+	drainToOracle(t, db, sub, a, "?- reach(X, Y)", "after insert")
+
+	// A retraction shows up as -deltas (DRed path).
+	if _, err := db.Unrelate("edge", "b", "c"); err != nil {
+		t.Fatal(err)
+	}
+	drainToOracle(t, db, sub, a, "?- reach(X, Y)", "after delete")
+
+	// Irrelevant facts produce no traffic and must not break the stream.
+	if err := db.Relate("likes", "a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Relate("edge", "c", "d"); err != nil {
+		t.Fatal(err)
+	}
+	drainToOracle(t, db, sub, a, "?- reach(X, Y)", "after mixed batch")
+
+	// Close: Next drains any queued events, then reports the close.
+	sub.Close()
+	for {
+		ev, err := sub.Next(context.Background())
+		if err != nil {
+			if err != ErrSubscriptionClosed {
+				t.Fatalf("Next after close: %v, want ErrSubscriptionClosed", err)
+			}
+			break
+		}
+		a.apply(t, ev)
+	}
+	if len(db.Subscriptions()) != 0 {
+		// Unregistration is asynchronous; give it a moment.
+		time.Sleep(50 * time.Millisecond)
+		if got := db.Subscriptions(); len(got) != 0 {
+			t.Fatalf("subscription still registered after Close: %v", got)
+		}
+	}
+}
+
+func TestSubscribeValidation(t *testing.T) {
+	db := closureDB(t)
+	defer db.Close()
+	cases := []struct {
+		rules []string
+		goal  string
+	}{
+		{nil, "?- reach(X,"},                            // parse error
+		{[]string{"p(X) :-"}, "?- reach(X, Y)"},         // rule parse error
+		{nil, "?- window(F, 3)"},                        // window alone
+		{nil, "?- reach(X, Y), window(X, 0)"},           // width < 1
+		{nil, "?- reach(X, Y), window(X, 2.5)"},         // non-integer width
+		{nil, "?- reach(X, Y), window(X, 99999)"},       // width over cap
+		{nil, "?- window(F, 3), window(G, 3)"},          // windows only
+		{[]string{"p(X) :- q(X), window(X, 3)"}, "?- p(X)"}, // window in a rule
+	}
+	for _, c := range cases {
+		if _, err := db.SubscribeQuery(c.rules, c.goal, SubOptions{}); err == nil {
+			t.Errorf("SubscribeQuery(%v, %q) should fail", c.rules, c.goal)
+		}
+	}
+	if got := db.SubscriptionStats().Active; got != 0 {
+		t.Fatalf("failed subscribes leaked: %d active", got)
+	}
+}
+
+// Subscription-local rules extend the program without touching the DB's
+// rule set.
+func TestSubscribeLocalRules(t *testing.T) {
+	db := New()
+	defer db.Close()
+	if err := db.Relate("edge", "a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	sub, err := db.SubscribeQuery(
+		[]string{"sym(X, Y) :- edge(X, Y)", "sym(X, Y) :- edge(Y, X)"},
+		"?- sym(X, Y)", SubOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	a := newSubAccum()
+	drainUntil(t, sub, a, func() bool { return len(a.rows) == 2 })
+	if err := db.Relate("edge", "b", "c"); err != nil {
+		t.Fatal(err)
+	}
+	drainUntil(t, sub, a, func() bool { return len(a.rows) == 4 })
+	// The local rules are invisible to one-shot queries.
+	if rs, err := db.Query("?- sym(X, Y)"); err != nil || len(rs.Rows) != 0 {
+		t.Fatalf("local rules leaked into DB: rows=%v err=%v", rs, err)
+	}
+}
+
+// Overflowing the outbound queue under the default policy drops the
+// backlog and resyncs with one snapshot; the client state still
+// converges to the oracle.
+func TestSubscribeOverflowResync(t *testing.T) {
+	db := New()
+	defer db.Close()
+	sub, err := db.SubscribeQuery(nil, "?- edge(X, Y)", SubOptions{QueueSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+
+	// Consume the initial (empty) snapshot so the burst below must flow
+	// as deltas, then stop consuming: pile up far more deltas than the
+	// queue holds.
+	a := newSubAccum()
+	drainUntil(t, sub, a, func() bool { return a.seq > 0 })
+	for i := 0; i < 200; i++ {
+		if err := db.Relate("edge", object.OID(fmt.Sprintf("n%d", i)), "x"); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	drainUntil(t, sub, a, func() bool { return len(a.rows) == 200 })
+	// Convergence with a 4-slot queue and 200 inserts is only possible
+	// through at least one resync snapshot.
+	st := sub.Stats()
+	if st.Resyncs == 0 {
+		t.Fatalf("expected at least one resync, stats %+v", st)
+	}
+	if st.Dropped == 0 {
+		t.Fatalf("expected dropped deltas counted, stats %+v", st)
+	}
+	totals := db.SubscriptionStats()
+	if totals.Resyncs == 0 || totals.Dropped == 0 {
+		t.Fatalf("DB totals missed the resync: %+v", totals)
+	}
+}
+
+// Under the disconnect policy a slow consumer is cut off with
+// ErrSlowConsumer instead of resynced.
+func TestSubscribeDisconnectPolicy(t *testing.T) {
+	db := New()
+	defer db.Close()
+	sub, err := db.SubscribeQuery(nil, "?- edge(X, Y)",
+		SubOptions{QueueSize: 2, Policy: SubDisconnect})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	// Consume the initial snapshot, then stall while deltas pile up.
+	if ev, err := sub.Next(context.Background()); err != nil || ev.Kind != SubSnapshot {
+		t.Fatalf("first event: %+v, %v", ev, err)
+	}
+	for i := 0; i < 100; i++ {
+		if err := db.Relate("edge", object.OID(fmt.Sprintf("n%d", i)), "x"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("slow consumer never disconnected")
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+		_, err := sub.Next(ctx)
+		cancel()
+		if err == context.DeadlineExceeded {
+			continue
+		}
+		if err != nil {
+			if err != ErrSlowConsumer {
+				t.Fatalf("Next: %v, want ErrSlowConsumer", err)
+			}
+			break
+		}
+	}
+	if sub.Err() != ErrSlowConsumer {
+		t.Fatalf("Err() = %v, want ErrSlowConsumer", sub.Err())
+	}
+}
+
+// A store Load mid-delivery (EventReset) forces a recompute; the stream
+// converges to the post-Load answer set.
+func TestSubscribeStoreLoadReset(t *testing.T) {
+	db := New()
+	defer db.Close()
+	if err := db.Relate("edge", "a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	snap := filepath.Join(t.TempDir(), "snap.json")
+	if err := db.SaveFile(snap); err != nil {
+		t.Fatal(err)
+	}
+	// Diverge from the snapshot, then subscribe.
+	if err := db.Relate("edge", "b", "c"); err != nil {
+		t.Fatal(err)
+	}
+	sub, err := db.SubscribeQuery(nil, "?- edge(X, Y)", SubOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	a := newSubAccum()
+	drainUntil(t, sub, a, func() bool { return len(a.rows) == 2 })
+
+	// Load replaces the whole store: the subscriber must converge to the
+	// snapshot contents (one edge), not the union.
+	if err := db.LoadFile(snap); err != nil {
+		t.Fatal(err)
+	}
+	drainToOracle(t, db, sub, a, "?- edge(X, Y)", "after Load")
+	if len(a.rows) != 1 {
+		t.Fatalf("post-Load answer set = %v, want the snapshot's single edge", a.key())
+	}
+}
+
+// SkipTo models Last-Event-ID resume: queued events at or below the
+// acknowledged sequence number are discarded.
+func TestSubscribeSkipTo(t *testing.T) {
+	db := New()
+	defer db.Close()
+	sub, err := db.SubscribeQuery(nil, "?- edge(X, Y)", SubOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	ev, err := sub.Next(context.Background())
+	if err != nil || ev.Kind != SubSnapshot {
+		t.Fatalf("first event: %+v, %v", ev, err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := db.Relate("edge", object.OID(fmt.Sprintf("n%d", i)), "x"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a := newSubAccum()
+	a.apply(t, ev)
+	drainUntil(t, sub, a, func() bool { return len(a.rows) == 5 })
+	last := a.seq
+
+	// More deltas queue up; skipping to the latest seq we saw must not
+	// lose the new ones, and skipping past everything empties the queue.
+	if err := db.Relate("edge", "y", "x"); err != nil {
+		t.Fatal(err)
+	}
+	drainUntil(t, sub, a, func() bool { return len(a.rows) == 6 })
+	sub.SkipTo(last) // already consumed; must be a no-op
+	if err := db.Relate("edge", "z", "x"); err != nil {
+		t.Fatal(err)
+	}
+	drainUntil(t, sub, a, func() bool { return len(a.rows) == 7 })
+}
+
+// window(F, N): answers leave the visible set once N newer intervals
+// have been ingested, even though they are still derivable.
+func TestSubscribeWindowAging(t *testing.T) {
+	db := New()
+	defer db.Close()
+	if err := db.DefineRule("shot(G) :- Interval(G), appears(G, X)"); err != nil {
+		t.Fatal(err)
+	}
+	sub, err := db.SubscribeQuery(nil, "?- shot(G), window(G, 2)", SubOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	a := newSubAccum()
+	drainUntil(t, sub, a, func() bool { return a.seq > 0 })
+
+	put := func(i int) {
+		t.Helper()
+		oid := object.OID(fmt.Sprintf("g%d", i))
+		if err := db.PutInterval(oid, interval.FromPairs(float64(i*10), float64(i*10+5)), nil); err != nil {
+			t.Fatal(err)
+		}
+		if err := db.Relate("appears", oid, "obj"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	put(1)
+	drainUntil(t, sub, a, func() bool { return sameKeys(a.key(), []string{"g1"}) })
+	put(2)
+	drainUntil(t, sub, a, func() bool { return sameKeys(a.key(), []string{"g1", "g2"}) })
+	// g3 is the third frame: g1 ages out of window(G, 2).
+	put(3)
+	drainUntil(t, sub, a, func() bool { return sameKeys(a.key(), []string{"g2", "g3"}) })
+	put(4)
+	drainUntil(t, sub, a, func() bool { return sameKeys(a.key(), []string{"g3", "g4"}) })
+
+	// The one-shot query (no window) still sees everything.
+	rs, err := db.Query("?- shot(G)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Rows) != 4 {
+		t.Fatalf("one-shot sees %d shots, want 4", len(rs.Rows))
+	}
+}
+
+// TestSubscribeDifferentialOracle is the acceptance-criteria oracle for
+// subscriptions: random mutation bursts from concurrent writers, with
+// the engine running Parallel(4); at quiescence the accumulated stream
+// equals the one-shot query answer.
+func TestSubscribeDifferentialOracle(t *testing.T) {
+	variants := []struct {
+		name string
+		opts []Option
+	}{
+		{"serial", nil},
+		{"parallel", []Option{WithEngineOptions(datalog.Parallel(4))}},
+	}
+	for _, variant := range variants {
+		variant := variant
+		t.Run(variant.name, func(t *testing.T) {
+			for seed := int64(0); seed < 4; seed++ {
+				db := New(variant.opts...)
+				for _, rule := range []string{
+					"reach(X, Y) :- edge(X, Y)",
+					"reach(X, Z) :- reach(X, Y), edge(Y, Z)",
+				} {
+					if err := db.DefineRule(rule); err != nil {
+						t.Fatal(err)
+					}
+				}
+				sub, err := db.SubscribeQuery(nil, "?- reach(X, Y)", SubOptions{QueueSize: 64})
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				// 4 writers mutate concurrently — with each other, with the
+				// pump, and with the consumer below.
+				var wg sync.WaitGroup
+				for w := 0; w < 4; w++ {
+					w := w
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						r := rand.New(rand.NewSource(seed*31 + int64(w)))
+						for i := 0; i < 40; i++ {
+							a := object.OID(fmt.Sprintf("n%d", r.Intn(6)))
+							b := object.OID(fmt.Sprintf("n%d", r.Intn(6)))
+							if r.Intn(3) == 0 {
+								if _, err := db.Unrelate("edge", a, b); err != nil {
+									t.Error(err)
+									return
+								}
+							} else if err := db.Relate("edge", a, b); err != nil {
+								t.Error(err)
+								return
+							}
+						}
+					}()
+				}
+				acc := newSubAccum()
+				done := make(chan struct{})
+				go func() { wg.Wait(); close(done) }()
+				// Consume while the writers run (events may resync under
+				// pressure; the accumulator handles both shapes).
+				consuming := true
+				for consuming {
+					select {
+					case <-done:
+						consuming = false
+					default:
+						ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+						ev, err := sub.Next(ctx)
+						cancel()
+						if err == nil {
+							acc.apply(t, ev)
+						}
+					}
+				}
+				// Quiescent store: the stream must converge exactly.
+				drainToOracle(t, db, sub, acc,
+					"?- reach(X, Y)", fmt.Sprintf("seed %d", seed))
+				sub.Close()
+				db.Close()
+			}
+		})
+	}
+}
+
+// Rule and taxonomy changes re-fingerprint the standing program: the
+// subscription picks them up without re-subscribing.
+func TestSubscribeRuleAndClassChange(t *testing.T) {
+	db := New()
+	defer db.Close()
+	if err := db.DefineRule("reach(X, Y) :- edge(X, Y)"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Relate("edge", "a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	sub, err := db.SubscribeQuery(nil, "?- reach(X, Y)", SubOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	a := newSubAccum()
+	drainUntil(t, sub, a, func() bool { return len(a.rows) == 1 })
+
+	// A new reachable rule changes the answer set. The fingerprint check
+	// happens on the next flush, which needs a store event to trigger —
+	// exactly how rule changes surface in live ingest.
+	if err := db.DefineRule("reach(X, Z) :- reach(X, Y), edge(Y, Z)"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Relate("edge", "b", "c"); err != nil {
+		t.Fatal(err)
+	}
+	drainToOracle(t, db, sub, a, "?- reach(X, Y)", "after rule change")
+	if len(a.rows) != 3 {
+		t.Fatalf("accumulated %v, want 3 rows", a.key())
+	}
+}
+
+// DB.Close stops all pumps and closes their streams.
+func TestSubscribeDBCloseStopsPumps(t *testing.T) {
+	db := New()
+	sub, err := db.SubscribeQuery(nil, "?- edge(X, Y)", SubOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-sub.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("pump did not stop on DB.Close")
+	}
+	for {
+		_, err := sub.Next(context.Background())
+		if err != nil {
+			if err != ErrSubscriptionClosed {
+				t.Fatalf("Next after DB.Close: %v", err)
+			}
+			break
+		}
+	}
+}
+
+// The flush rate limit coalesces bursts: with MaxPerSec=4 a burst of
+// rapid mutations arrives in far fewer flushes than mutations.
+func TestSubscribeRateLimitCoalesces(t *testing.T) {
+	db := New()
+	defer db.Close()
+	sub, err := db.SubscribeQuery(nil, "?- edge(X, Y)",
+		SubOptions{MaxPerSec: 4, QueueSize: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	a := newSubAccum()
+	drainUntil(t, sub, a, func() bool { return a.seq > 0 })
+	for i := 0; i < 50; i++ {
+		if err := db.Relate("edge", object.OID(fmt.Sprintf("n%d", i)), "x"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	drainUntil(t, sub, a, func() bool { return len(a.rows) == 50 })
+	if got := sub.Stats().Flushes; got > 30 {
+		t.Fatalf("rate-limited burst used %d flushes for 50 mutations, want far fewer", got)
+	}
+}
+
+// Goal source and listing plumbing.
+func TestSubscriptionsListing(t *testing.T) {
+	db := New()
+	defer db.Close()
+	goal := "?- edge(X, Y), window(X, 8)"
+	sub, err := db.SubscribeQuery(nil, goal, SubOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	infos := db.Subscriptions()
+	if len(infos) != 1 {
+		t.Fatalf("Subscriptions() = %v", infos)
+	}
+	if infos[0].ID != sub.ID() || infos[0].Goal != strings.TrimSpace(goal) || !infos[0].Windowed {
+		t.Fatalf("listing = %+v", infos[0])
+	}
+	if os.Getenv("VIDEODB_TEST_BACKEND") == "segment" {
+		t.Log("listing path exercised on segment-config process")
+	}
+}

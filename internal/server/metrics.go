@@ -79,6 +79,20 @@ type metrics struct {
 	viewRecomputed atomic.Uint64
 	viewErrors     atomic.Uint64
 
+	// Subscription delivery: deltas pushed to clients by sign, plus
+	// webhook-path loss/retry accounting. The authoritative per-DB
+	// counters (active, dropped, resyncs) come from subStats — these
+	// count what this server actually wrote to the wire.
+	subDeltasPlus     atomic.Uint64
+	subDeltasMinus    atomic.Uint64
+	subSnapshots      atomic.Uint64
+	subWebhookRetries atomic.Uint64
+	subWebhookDropped atomic.Uint64
+
+	// subStats reads the database's subscription totals; nil-safe like
+	// planCache.
+	subStats func() core.SubTotals
+
 	// planCache reads the database's cross-query plan-cache counters (the
 	// cache lives on core.DB, not here); nil-safe for tests constructing
 	// bare metrics.
@@ -134,6 +148,18 @@ func (m *metrics) recordView(mode core.ViewMode) {
 	}
 }
 
+// recordSubEvent accounts one subscription event delivered to a client.
+func (m *metrics) recordSubEvent(ev core.SubEvent) {
+	switch {
+	case ev.Kind == core.SubSnapshot:
+		m.subSnapshots.Add(1)
+	case ev.Sign >= 0:
+		m.subDeltasPlus.Add(1)
+	default:
+		m.subDeltasMinus.Add(1)
+	}
+}
+
 // isLimit reports whether an evaluation died on a resource guard.
 func isLimit(err error) bool { return errors.Is(err, datalog.ErrLimitExceeded) }
 
@@ -182,6 +208,8 @@ type engineTotals struct {
 	ViewErrors     uint64            `json:"viewErrors"`
 	VetDiagnostics map[string]uint64 `json:"vetDiagnostics,omitempty"`
 
+	Subscriptions core.SubTotals `json:"subscriptions"`
+
 	PlanCache    core.PlanCacheStats `json:"planCache"`
 	InternValues int                 `json:"internValues"` // process-wide value-interner size
 }
@@ -191,9 +219,14 @@ func (m *metrics) totals() engineTotals {
 	if m.planCache != nil {
 		pcs = m.planCache()
 	}
+	var sub core.SubTotals
+	if m.subStats != nil {
+		sub = m.subStats()
+	}
 	return engineTotals{
-		PlanCache:    pcs,
-		InternValues: datalog.InternStats().Values,
+		PlanCache:     pcs,
+		InternValues:  datalog.InternStats().Values,
+		Subscriptions: sub,
 		Queries:        m.queries.Load(),
 		ErrorsCanceled: m.errCanceled.Load(),
 		ErrorsLimit:    m.errLimit.Load(),
@@ -247,6 +280,23 @@ func (m *metrics) writeProm(b *bytes.Buffer, uptime time.Duration) {
 	fmt.Fprintf(b, "videodb_view_maintenance_total{mode=\"recompute\"} %d\n", m.viewRecomputed.Load())
 	counter("videodb_view_errors_total",
 		"Materialized-view builds or reads that failed (cancellation included).", m.viewErrors.Load())
+
+	if m.subStats != nil {
+		sub := m.subStats()
+		gauge("videodb_subscriptions_active", "Standing queries currently registered.", float64(sub.Active))
+		fmt.Fprintf(b, "# HELP videodb_sub_deltas_total Answer deltas queued to subscribers, by sign.\n")
+		fmt.Fprintf(b, "# TYPE videodb_sub_deltas_total counter\n")
+		fmt.Fprintf(b, "videodb_sub_deltas_total{sign=\"+\"} %d\n", sub.DeltasPlus)
+		fmt.Fprintf(b, "videodb_sub_deltas_total{sign=\"-\"} %d\n", sub.DeltasMinus)
+		counter("videodb_sub_dropped_total",
+			"Queued deltas dropped on slow consumers (resynced or disconnected).", sub.Dropped)
+		counter("videodb_sub_resyncs_total",
+			"Snapshot resyncs sent after a dropped backlog.", sub.Resyncs)
+		counter("videodb_sub_webhook_retries_total",
+			"Webhook delivery attempts that failed and were retried.", m.subWebhookRetries.Load())
+		counter("videodb_sub_webhook_dropped_total",
+			"Events abandoned after exhausting webhook retries.", m.subWebhookDropped.Load())
+	}
 
 	fmt.Fprintf(b, "# HELP videodb_vet_diagnostics_total Static-analysis diagnostics reported, by code.\n")
 	fmt.Fprintf(b, "# TYPE videodb_vet_diagnostics_total counter\n")
@@ -356,6 +406,11 @@ type statusWriter struct {
 	status int
 }
 
+// statusWriter must keep forwarding Flush: it wraps every response, and
+// the SSE endpoint flushes per event — a wrapper that silently drops the
+// Flusher interface would buffer deltas until the connection dies.
+var _ http.Flusher = (*statusWriter)(nil)
+
 func (w *statusWriter) WriteHeader(code int) {
 	if w.status == 0 {
 		w.status = code
@@ -369,6 +424,18 @@ func (w *statusWriter) Write(p []byte) (int, error) {
 	}
 	return w.ResponseWriter.Write(p)
 }
+
+// Flush forwards to the underlying writer's Flusher when it has one, so
+// streaming responses pass through the logging middleware unbuffered.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Unwrap exposes the wrapped writer, the convention used by
+// http.ResponseController to find optional interfaces through wrappers.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
 
 // WithAccessLog logs every request (method, path, status, latency) to l;
 // nil means log.Default().

@@ -19,6 +19,10 @@
 //	DELETE /v1/views/{name}
 //	GET  /v1/objects
 //	GET  /v1/objects/{oid}
+//	GET  /v1/subscribe?goal=…        — SSE stream of answer deltas
+//	POST /v1/subscribe               — webhook delivery registration
+//	DELETE /v1/subscribe/{id}
+//	GET  /v1/subscriptions
 //	GET  /v1/stats
 //	GET  /metrics
 package server
@@ -57,6 +61,10 @@ type Server struct {
 	slowLog       *log.Logger   // nil = no slow-query log
 	slowThreshold time.Duration // <= 0 disables the slow-query log
 	pprofOn       bool
+
+	// Live subscription sessions (see subscribe.go).
+	subs     serverSubs
+	subGrace time.Duration // detached-SSE resume window; 0 = default
 }
 
 // Option configures a Server.
@@ -83,6 +91,11 @@ func New(db *core.DB, opts ...Option) *Server {
 		defer s.mu.RUnlock()
 		return s.db.Store().BackendStats()
 	}
+	s.metrics.subStats = func() core.SubTotals {
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+		return s.db.SubscriptionStats()
+	}
 	for _, o := range opts {
 		o(s)
 	}
@@ -95,6 +108,9 @@ func New(db *core.DB, opts ...Option) *Server {
 	s.mux.HandleFunc("/v1/objects/", s.handleObject)
 	s.mux.HandleFunc("/v1/views", s.handleViews)
 	s.mux.HandleFunc("/v1/views/", s.handleView)
+	s.mux.HandleFunc("/v1/subscribe", s.handleSubscribe)
+	s.mux.HandleFunc("/v1/subscribe/", s.handleSubscribeItem)
+	s.mux.HandleFunc("/v1/subscriptions", s.handleSubscriptions)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	if s.pprofOn {
@@ -106,12 +122,21 @@ func New(db *core.DB, opts ...Option) *Server {
 
 // requestCtx derives the evaluation context for one request: the
 // request's own context (cancelled when the client disconnects) plus the
-// configured per-query deadline.
+// configured per-query deadline. Streaming endpoints are exempt from the
+// deadline — a standing subscription is supposed to outlive any single
+// evaluation; its per-delta maintenance passes are bounded separately
+// (SubOptions.RefreshBudget carries the same timeout).
 func (s *Server) requestCtx(r *http.Request) (context.Context, context.CancelFunc) {
-	if s.queryTimeout <= 0 {
+	if s.queryTimeout <= 0 || isStreamingPath(r.URL.Path) {
 		return r.Context(), func() {}
 	}
 	return context.WithTimeout(r.Context(), s.queryTimeout)
+}
+
+// isStreamingPath reports whether the endpoint holds its connection open
+// indefinitely by design.
+func isStreamingPath(p string) bool {
+	return p == "/v1/subscribe" || strings.HasPrefix(p, "/v1/subscribe/")
 }
 
 // statusFor maps evaluation errors to HTTP statuses: cancellations and
@@ -404,12 +429,13 @@ func (s *Server) handleObject(w http.ResponseWriter, r *http.Request) {
 // uptime.
 type StatsResponse struct {
 	store.Stats
-	Engine    engineTotals        `json:"engine"`
-	Memo      memoJSON            `json:"memo"`
-	PlanCache core.PlanCacheStats `json:"planCache"`
-	Intern    internJSON          `json:"intern"`
-	Backend   store.BackendStats  `json:"backend"`
-	Uptime    float64             `json:"uptimeSeconds"`
+	Engine        engineTotals        `json:"engine"`
+	Memo          memoJSON            `json:"memo"`
+	PlanCache     core.PlanCacheStats `json:"planCache"`
+	Intern        internJSON          `json:"intern"`
+	Backend       store.BackendStats  `json:"backend"`
+	Subscriptions core.SubTotals      `json:"subscriptions"`
+	Uptime        float64             `json:"uptimeSeconds"`
 }
 
 type internJSON struct {
@@ -433,6 +459,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	st := s.db.Store().Stats()
 	pcs := s.db.PlanCacheStats()
 	bs := s.db.Store().BackendStats()
+	subs := s.db.SubscriptionStats()
 	s.mu.RUnlock()
 	ms := constraint.MemoSnapshot()
 	writeJSON(w, http.StatusOK, StatsResponse{
@@ -445,10 +472,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Entries: ms.Entries,
 			Flushes: ms.Flushes,
 		},
-		PlanCache: pcs,
-		Intern:    internJSON{Values: datalog.InternStats().Values},
-		Backend:   bs,
-		Uptime:    time.Since(s.start).Seconds(),
+		PlanCache:     pcs,
+		Intern:        internJSON{Values: datalog.InternStats().Values},
+		Backend:       bs,
+		Subscriptions: subs,
+		Uptime:        time.Since(s.start).Seconds(),
 	})
 }
 

@@ -1,6 +1,10 @@
 package store
 
-import "videodb/internal/object"
+import (
+	"sync/atomic"
+
+	"videodb/internal/object"
+)
 
 // Changelog: subscribers observe every acknowledged mutation of the
 // store, in mutation order. This is the feed that incremental view
@@ -64,34 +68,43 @@ type Event struct {
 }
 
 type subscriber struct {
-	id int
-	fn func(Event)
+	id   int
+	fn   func(Event)
+	dead *atomic.Bool
 }
 
 // Subscribe registers fn to receive every subsequent acknowledged
 // mutation (see the changelog contract above) and returns a function
 // that unregisters it. Safe for concurrent use.
+//
+// cancel never takes the store lock, so it is safe to call from inside a
+// subscriber callback (which runs with the write lock held) and safe to
+// defer or race against concurrent mutations. Cancellation is
+// asynchronous: a delivery already in flight when cancel returns may
+// still invoke fn once more; afterwards fn is never called again, and
+// the subscriber slot is reclaimed on the next delivery.
 func (s *Store) Subscribe(fn func(Event)) (cancel func()) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.nextSub++
-	id := s.nextSub
-	s.subs = append(s.subs, subscriber{id: id, fn: fn})
-	return func() {
-		s.mu.Lock()
-		defer s.mu.Unlock()
-		for i, sub := range s.subs {
-			if sub.id == id {
-				s.subs = append(s.subs[:i:i], s.subs[i+1:]...)
-				return
-			}
-		}
-	}
+	dead := &atomic.Bool{}
+	s.subs = append(s.subs, subscriber{id: s.nextSub, fn: fn, dead: dead})
+	return func() { dead.Store(true) }
 }
 
-// notify delivers an event to every subscriber. Caller holds s.mu.
+// notify delivers an event to every live subscriber and compacts out the
+// cancelled ones. Caller holds s.mu, so the compaction cannot race other
+// deliveries; cancel flips only the dead flag and never touches s.subs.
 func (s *Store) notify(ev Event) {
+	kept := s.subs[:0]
 	for _, sub := range s.subs {
+		if sub.dead.Load() {
+			continue
+		}
 		sub.fn(ev)
+		kept = append(kept, sub)
 	}
+	// A callback may have cancelled itself (or a peer) during delivery;
+	// those stay in kept and are dropped on the next notify.
+	s.subs = kept
 }

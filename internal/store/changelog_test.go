@@ -1,0 +1,87 @@
+package store
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"videodb/internal/object"
+)
+
+// TestSubscribeCancelFromCallback is the regression test for the
+// unsubscribe self-deadlock: cancel() used to take the store's write
+// lock, so calling it from inside a subscriber callback — which runs
+// with that lock held — blocked forever.
+func TestSubscribeCancelFromCallback(t *testing.T) {
+	s := New()
+	var got int
+	var cancel func()
+	cancel = s.Subscribe(func(Event) {
+		got++
+		cancel() // must not deadlock
+	})
+	if !s.AddFact(RefFact("edge", "a", "b")) {
+		t.Fatal("add edge(a,b) not applied")
+	}
+	if got != 1 {
+		t.Fatalf("callback ran %d times before cancel, want 1", got)
+	}
+	// The cancelled subscriber must not see later mutations.
+	if !s.AddFact(RefFact("edge", "b", "c")) {
+		t.Fatal("add edge(b,c) not applied")
+	}
+	if got != 1 {
+		t.Fatalf("cancelled subscriber still delivered: %d events", got)
+	}
+}
+
+// TestSubscribeCancelConcurrentWithNotify races cancel() against a
+// stream of mutations: with the old lock-taking cancel this deadlocks or
+// trips the race detector; with the flag-based cancel it must finish,
+// and no subscriber may observe an event after its cancel returned plus
+// one in-flight delivery.
+func TestSubscribeCancelConcurrentWithNotify(t *testing.T) {
+	s := New()
+	const subs = 8
+	cancels := make([]func(), subs)
+	var mu sync.Mutex
+	counts := make([]int, subs)
+	for i := 0; i < subs; i++ {
+		i := i
+		cancels[i] = s.Subscribe(func(Event) {
+			mu.Lock()
+			counts[i]++
+			mu.Unlock()
+		})
+	}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for j := 0; j < 500; j++ {
+			_ = s.AddFact(RefFact("r", object.OID(fmt.Sprintf("n%d", j)), object.OID(fmt.Sprintf("n%d", j+1))))
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for _, c := range cancels {
+			c()
+		}
+	}()
+	wg.Wait()
+
+	// After all cancels returned and mutations stopped, one more
+	// mutation must reach nobody.
+	mu.Lock()
+	snapshot := append([]int(nil), counts...)
+	mu.Unlock()
+	_ = s.AddFact(RefFact("r", "x", "y"))
+	mu.Lock()
+	defer mu.Unlock()
+	for i := range counts {
+		if counts[i] != snapshot[i] {
+			t.Fatalf("subscriber %d delivered after cancel settled: %d -> %d",
+				i, snapshot[i], counts[i])
+		}
+	}
+}

@@ -1,0 +1,44 @@
+package video
+
+import (
+	"fmt"
+	"strings"
+)
+
+// StreamBatches renders the sequence as an ordered series of VideoQL
+// script batches for live replay: batch 0 declares the semantic objects
+// (the prologue an annotator writes before the broadcast starts), and
+// each following batch is one shot — its scene interval plus the
+// appears_with facts it induces — in timeline order. Posting the batches
+// to a running server's /v1/script reproduces the ingest pattern the
+// paper's TV-news scenario implies: annotations arrive shot by shot
+// while standing queries watch.
+//
+// Per-object occurrence intervals are deliberately omitted: they union
+// spans from the whole timeline, so they are only known once the
+// sequence ends (WriteVQL emits them for batch loads).
+func StreamBatches(seq *Sequence) []string {
+	batches := make([]string, 0, len(seq.Shots)+1)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "// streaming replay of %q: %d shots\n", seq.Name, len(seq.Shots))
+	for _, name := range seq.Objects() {
+		fmt.Fprintf(&b, "object %s { name: %q }.\n", name, name)
+	}
+	batches = append(batches, b.String())
+
+	for si := range seq.Shots {
+		b.Reset()
+		objs := seq.ShotObjects(si)
+		span := seq.ShotSpan(si)
+		fmt.Fprintf(&b, "interval shot%04d { duration: %s, entities: {%s}, kind: \"shot\" }.\n",
+			si, vqlInterval(span.String()), strings.Join(objs, ", "))
+		for i := 0; i < len(objs); i++ {
+			for j := i + 1; j < len(objs); j++ {
+				fmt.Fprintf(&b, "appears_with(%s, %s, shot%04d).\n", objs[i], objs[j], si)
+			}
+		}
+		batches = append(batches, b.String())
+	}
+	return batches
+}
