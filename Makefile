@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all tier1 build vet vet-examples test test-segment test-stream race bench bench-json clean
+.PHONY: all tier1 build vet vet-examples lint test test-segment test-stream race bench bench-json clean
 
 all: tier1
 
@@ -25,6 +25,23 @@ vet-examples:
 		exit 1; \
 	fi; \
 	echo "examples vet clean"
+
+# lint runs the project's own static-analysis suite (videolint: lockcheck,
+# ctxcheck, errlatch, metriccheck — see DESIGN.md §5j) over the whole tree,
+# plus staticcheck when it is installed. The vettool binary is built into
+# bin/ and reused; any unsuppressed diagnostic fails the target.
+VIDEOLINT := bin/videolint
+
+$(VIDEOLINT): $(wildcard internal/lint/*.go cmd/videolint/*.go)
+	$(GO) build -o $(VIDEOLINT) ./cmd/videolint
+
+lint: $(VIDEOLINT)
+	./$(VIDEOLINT) ./...
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
 
 test:
 	$(GO) test ./...
@@ -56,7 +73,7 @@ bench:
 
 # bench-json regenerates the machine-readable acceptance benchmark report.
 bench-json:
-	$(GO) run ./cmd/bench -json -out BENCH_PR8.json
+	$(GO) run ./cmd/bench -json -out BENCH_PR9.json
 
 clean:
 	$(GO) clean ./...

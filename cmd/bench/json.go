@@ -122,6 +122,11 @@ type benchReport struct {
 
 	// E17: ingest-to-notification latency of the subscription subsystem.
 	IngestLatency *streamSubReport `json:"ingest_latency"`
+
+	// PR 9: per-pass wall time of the videolint suite over ./... .
+	Lint       []lintEntry `json:"lint"`
+	LintLoadMs float64     `json:"lint_load_ms"`
+	LintNote   string      `json:"lint_note"`
 }
 
 // seedBaseline is the `go test -bench . -benchmem` output of the
@@ -498,6 +503,9 @@ func runJSON(outPath string) {
 	// E17: ingest-to-notification latency of live subscriptions; enforces
 	// exact convergence and zero drops.
 	runStreamSubJSON(&report)
+
+	// Videolint pass timing over the whole tree.
+	runLintJSON(&report)
 
 	// Improvement ratios for the default configuration against the seed.
 	for _, se := range seedBaseline {

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"videodb/internal/lint"
+)
+
+// Lint timing: wall time per videolint pass over the whole tree, so
+// analyzer cost stays visible as the tree grows. Type-checking (the
+// Load) is shared by every pass and reported separately; each pass
+// entry is the marginal cost of that analyzer alone.
+
+type lintEntry struct {
+	Pass       string  `json:"pass"`
+	WallMs     float64 `json:"wall_ms"`
+	Findings   int     `json:"findings"`   // diagnostics before suppression
+	Suppressed int     `json:"suppressed"` // of which //videolint:ignore'd
+}
+
+// runLintJSON loads ./... once and times each analyzer over it. The
+// bench binary runs from the repo root (go run ./cmd/bench), where the
+// module's package patterns resolve.
+func runLintJSON(report *benchReport) {
+	t0 := time.Now()
+	pkgs, err := lint.Load(".", "./...")
+	if err != nil {
+		// Outside the repo root (or with a broken build) there is nothing
+		// to time; record why instead of failing the whole report.
+		report.LintNote = fmt.Sprintf("lint timing skipped: %v", err)
+		fmt.Fprintf(os.Stderr, "bench: %s\n", report.LintNote)
+		return
+	}
+	report.LintLoadMs = float64(time.Since(t0).Microseconds()) / 1000
+
+	for _, a := range lint.Analyzers() {
+		start := time.Now()
+		diags, err := lint.Run(pkgs, []*lint.Analyzer{a})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench: lint %s: %v\n", a.Name, err)
+			os.Exit(1)
+		}
+		suppressed := 0
+		for _, d := range diags {
+			if d.Suppressed {
+				suppressed++
+			}
+		}
+		entry := lintEntry{
+			Pass:       a.Name,
+			WallMs:     float64(time.Since(start).Microseconds()) / 1000,
+			Findings:   len(diags),
+			Suppressed: suppressed,
+		}
+		report.Lint = append(report.Lint, entry)
+		fmt.Printf("%-40s %-24s %11.1f ms      %d findings (%d suppressed)\n",
+			"Lint/"+a.Name, "videolint", entry.WallMs, entry.Findings, entry.Suppressed)
+	}
+	report.LintNote = "wall time per videolint pass over ./... after one shared type-check load " +
+		"(lint_load_ms); findings counts diagnostics before suppression"
+}

@@ -8,7 +8,7 @@
 //	bench [-experiment all|figures|rope|arith|setorder|constructive|pointinterval|seminaive|indexes|
 //	       pruning|parallel|joinindex|streaming|plancache|disk|streamsub]
 //	      [-quick]
-//	bench -json [-out BENCH_PR8.json]
+//	bench -json [-out BENCH_PR9.json]
 //
 // With -json the binary skips the tables and instead re-measures the
 // acceptance benchmarks (E5, E8, E13 workloads) under the default engine
@@ -28,7 +28,7 @@ var quick = flag.Bool("quick", false, "smaller sizes for a fast smoke run")
 func main() {
 	exp := flag.String("experiment", "all", "which experiment to run")
 	jsonMode := flag.Bool("json", false, "write machine-readable acceptance benchmarks and exit")
-	jsonOut := flag.String("out", "BENCH_PR8.json", "output path for -json")
+	jsonOut := flag.String("out", "BENCH_PR9.json", "output path for -json")
 	flag.Parse()
 
 	if *jsonMode {

@@ -215,6 +215,7 @@ func (db *DB) LoadScriptContext(ctx context.Context, src string) ([]*ResultSet, 
 	if err := script.Apply(db.st); err != nil {
 		return nil, err
 	}
+	//videolint:ignore ctxcheck bounded by the parsed script's rule list; in-memory registration, no blocking work
 	for _, r := range script.Rules {
 		db.addRule(r)
 	}
@@ -348,6 +349,7 @@ func (db *DB) runQuery(ctx context.Context, q parser.Query, extra ...datalog.Opt
 	}
 	var cols []string
 	seen := map[string]bool{}
+	//videolint:ignore ctxcheck bounded by the goal atom's arity; pure column-name collection, no blocking work
 	for _, t := range q.Atom.Args {
 		if t.IsVar() && !seen[t.Name()] {
 			seen[t.Name()] = true

@@ -181,6 +181,7 @@ type Subscription struct {
 	frames      uint64
 	stamps      map[object.OID]uint64
 
+	//videolint:ignore ctxcheck pump lifetime context: created and cancelled by the subscription itself (Close), never borrowed from a request
 	pumpCtx    context.Context
 	pumpCancel context.CancelFunc
 	done       chan struct{}
@@ -308,6 +309,7 @@ func (db *DB) SubscribeQuery(rules []string, goal string, opts SubOptions) (*Sub
 	}
 
 	opts = opts.withDefaults()
+	//videolint:ignore ctxcheck the subscription outlives the creating request by design; its pump stops via Close, not the caller's ctx
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Subscription{
 		db:           db,
@@ -650,6 +652,7 @@ func (s *Subscription) flush() bool {
 	// trusted as a prior — the next flush must recompute. The events
 	// themselves are still queued and will trigger that flush.
 	rel := relevantPreds(prog, s.goal.Atom.Pred)
+	//videolint:ignore lockcheck deliberate two-phase flush: events racing the engine run set tainted and force the next flush to recompute
 	s.pendingMu.Lock()
 	s.relevant = rel
 	if len(s.pending) > 0 || s.reset {

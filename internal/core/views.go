@@ -343,6 +343,7 @@ func (db *DB) refreshView(ctx context.Context, v *viewState) (*ViewResult, error
 		var err error
 		eng, err = db.viewEngine(ctx, prog)
 		if err != nil {
+			//videolint:ignore lockcheck requeue is a local closure that only re-queues the batch under pendingMu; it cannot block or re-enter v.mu
 			requeue()
 			return nil, err
 		}
@@ -408,6 +409,7 @@ func (db *DB) refreshView(ctx context.Context, v *viewState) (*ViewResult, error
 
 	// Publish the predicate relevance filter for the event path.
 	rel := relevantPreds(prog, v.goal.Atom.Pred)
+	//videolint:ignore lockcheck deliberate split: publishing the relevance filter; events racing the build stay queued and trigger the next flush
 	v.pendingMu.Lock()
 	v.relevant = rel
 	v.pendingMu.Unlock()

@@ -79,6 +79,7 @@ type pass struct {
 // passes is the registered pass list, in execution order.
 var passes = []pass{
 	{"undefined-predicate", runUndefinedPass},
+	{"window-misuse", runWindowPass},
 	{"arity-consistency", runArityPass},
 	{"dead-rule", runDeadRulePass},
 	{"unreachable-rule", runUnreachablePass},

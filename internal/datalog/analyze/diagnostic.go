@@ -54,6 +54,7 @@ const (
 	CodeCartesian     = "VQL0007" // body literals with no shared variables
 	CodeSingletonVar  = "VQL0008" // variable used exactly once
 	CodeBudget        = "VQL0009" // solver budget exhausted: analysis incomplete
+	CodeWindowMisuse  = "VQL0010" // window(F, N) in a one-shot query: subscription-only
 )
 
 // Diagnostic is one analyzer finding.

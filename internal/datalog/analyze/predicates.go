@@ -81,6 +81,11 @@ func runUndefinedPass(c *context) {
 		if u.defines || u.ctx || known[u.pred] {
 			continue
 		}
+		// The reserved window predicate is never defined by rules or
+		// facts; the window-misuse pass owns its diagnostic (VQL0010).
+		if u.pred == windowPred {
+			continue
+		}
 		d := Diagnostic{
 			Severity: sev,
 			Code:     CodeUndefinedPred,

@@ -1,0 +1,55 @@
+package analyze
+
+import (
+	"fmt"
+
+	"videodb/internal/datalog"
+)
+
+// windowPred is the reserved sliding-window predicate, mirrored from
+// core.WindowPred (analyze cannot import core — core imports analyze).
+// core.SubscribeQuery strips window(F, N) atoms from the goal and turns
+// them into delivery filters; the one-shot query path knows nothing
+// about them, so a windowed goal sent to /v1/query either fails as an
+// undefined predicate or — when someone defines a `window` relation —
+// silently changes meaning.
+const windowPred = "window"
+
+// runWindowPass flags window(F, N) atoms in the script under analysis:
+// in goal atoms and in the script's own rule bodies (which includes the
+// helper rule a conjunctive query synthesizes). The fix is almost always
+// to make the query a standing one.
+func runWindowPass(c *context) {
+	report := func(pos datalog.Pos, rule string) {
+		c.report(Diagnostic{
+			Severity:   SeverityWarn,
+			Code:       CodeWindowMisuse,
+			Pos:        pos,
+			Rule:       rule,
+			Message:    fmt.Sprintf("%s(F, N) is a subscription delivery filter and has no effect in a one-shot query", windowPred),
+			Suggestion: "did you mean a standing query? /v1/subscribe evaluates windowed goals",
+		})
+	}
+	for i, r := range c.prog.Rules {
+		if !c.fromScript(i) {
+			continue
+		}
+		for _, l := range r.Body {
+			switch a := l.(type) {
+			case datalog.RelAtom:
+				if a.Pred == windowPred {
+					report(a.Pos, ruleLabel(r))
+				}
+			case datalog.NotAtom:
+				if a.Atom.Pred == windowPred {
+					report(datalog.PosOf(l), ruleLabel(r))
+				}
+			}
+		}
+	}
+	for _, g := range c.opts.Goals {
+		if g.Pred == windowPred {
+			report(g.Pos, "goal")
+		}
+	}
+}

@@ -47,6 +47,7 @@ type Engine struct {
 	// budget carries both the MaxSolverSteps limit and the cancellation
 	// check into constraint-level evaluation; parallel workers share the
 	// pointer (Budget is internally atomic).
+	//videolint:ignore ctxcheck engine is per-evaluation: built with the caller's ctx and discarded with it, never outliving the request
 	ctx            context.Context
 	ticks          uint64
 	maxSolverSteps int64

@@ -232,6 +232,7 @@ func (r *relation) lookup64(pos int, key uint64) []int {
 	}
 	r.idxMu.RUnlock()
 
+	//videolint:ignore lockcheck double-checked locking: extendIndex re-validates coverage under the write lock before rebuilding
 	r.idxMu.Lock()
 	defer r.idxMu.Unlock()
 	pi := r.extendIndex(pos)
@@ -248,6 +249,7 @@ func (r *relation) lookupStr(pos int, key string) []int {
 	}
 	r.idxMu.RUnlock()
 
+	//videolint:ignore lockcheck double-checked locking: extendIndex re-validates coverage under the write lock before rebuilding
 	r.idxMu.Lock()
 	defer r.idxMu.Unlock()
 	pi := r.extendIndex(pos)

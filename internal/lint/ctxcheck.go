@@ -1,0 +1,197 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxCheck enforces the PR 2 cancellation contract: request-serving
+// code must thread the caller's context, never mint its own root.
+//
+// It flags (1) context.Background()/context.TODO() calls — except in
+// main/init, in single-statement delegation wrappers (the documented
+// `Query → QueryContext(context.Background(), …)` convenience idiom),
+// and in comparisons; (2) context.Context stored in struct fields,
+// which hides a lifetime from every caller; and (3) for/range loops
+// inside functions that take a context but whose loop body calls other
+// code without ever touching a context — an unbounded tuple/round/
+// segment sweep with no cancellation point.
+var CtxCheck = &Analyzer{
+	Name: "ctxcheck",
+	Doc: "flag context.Background()/TODO() on request paths, contexts in struct " +
+		"fields, and loops with no cancellation check in context-taking functions",
+	Scope: []string{"internal/server", "internal/core", "internal/datalog", "internal/store"},
+	Run:   runCtxCheck,
+}
+
+func runCtxCheck(pass *Pass) error {
+	for _, f := range pass.Files {
+		checkCtxFields(pass, f)
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkCtxRoots(pass, fd)
+			checkCtxLoops(pass, fd)
+		}
+	}
+	return nil
+}
+
+// checkCtxFields flags struct fields of type context.Context.
+func checkCtxFields(pass *Pass, f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		stype, ok := n.(*ast.StructType)
+		if !ok {
+			return true
+		}
+		for _, field := range stype.Fields.List {
+			tv, ok := pass.Info.Types[field.Type]
+			if !ok || tv.Type == nil || !isContextType(tv.Type) {
+				continue
+			}
+			pass.Reportf(field.Pos(),
+				"context.Context stored in a struct field: the context's lifetime is "+
+					"hidden from callers — pass it as the first parameter instead")
+		}
+		return true
+	})
+}
+
+// isCtxRootCall reports whether the call is context.Background() or
+// context.TODO(), returning which.
+func isCtxRootCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	switch funcFullName(info, call) {
+	case "context.Background":
+		return "context.Background()", true
+	case "context.TODO":
+		return "context.TODO()", true
+	}
+	return "", false
+}
+
+// isDelegationWrapper reports whether fd is the convenience-wrapper
+// idiom: a single return statement forwarding to a context-taking
+// variant, e.g. `func (db *DB) Query(src string) { return
+// db.QueryContext(context.Background(), src) }`. Those wrappers are the
+// documented non-request entry points; the request paths call the
+// *Context form directly.
+func isDelegationWrapper(fd *ast.FuncDecl) bool {
+	if len(fd.Body.List) != 1 {
+		return false
+	}
+	ret, ok := fd.Body.List[0].(*ast.ReturnStmt)
+	if !ok {
+		return false
+	}
+	for _, res := range ret.Results {
+		if _, ok := ast.Unparen(res).(*ast.CallExpr); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// checkCtxRoots flags fresh context roots inside fd.
+func checkCtxRoots(pass *Pass, fd *ast.FuncDecl) {
+	if fd.Recv == nil && (fd.Name.Name == "main" || fd.Name.Name == "init") {
+		return
+	}
+	if isDelegationWrapper(fd) {
+		return
+	}
+	// Track parents so comparisons (ctx != context.Background()) are
+	// exempt: comparing against the root is a sentinel test, not a use.
+	var stack []ast.Node
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name, ok := isCtxRootCall(pass.Info, call)
+		if !ok {
+			return true
+		}
+		for i := len(stack) - 2; i >= 0; i-- {
+			switch p := stack[i].(type) {
+			case *ast.BinaryExpr:
+				return true
+			case *ast.ParenExpr:
+				continue
+			case ast.Node:
+				_ = p
+			}
+			break
+		}
+		pass.Reportf(call.Pos(),
+			"%s on a request-serving path severs cancellation: thread the caller's "+
+				"context (add a ctx parameter or use the *Context variant)", name)
+		return true
+	})
+}
+
+// checkCtxLoops flags for/range loops that do work with no cancellation
+// point inside functions that were handed a context.
+func checkCtxLoops(pass *Pass, fd *ast.FuncDecl) {
+	hasCtxParam := false
+	for _, p := range fd.Type.Params.List {
+		if tv, ok := pass.Info.Types[p.Type]; ok && tv.Type != nil && isContextType(tv.Type) {
+			hasCtxParam = true
+		}
+	}
+	if !hasCtxParam {
+		return
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		var body *ast.BlockStmt
+		switch loop := n.(type) {
+		case *ast.ForStmt:
+			body = loop.Body
+		case *ast.RangeStmt:
+			body = loop.Body
+		default:
+			return true
+		}
+		if !loopDoesWork(pass, body) || mentionsContext(pass.Info, body) {
+			return true
+		}
+		pass.Reportf(n.Pos(),
+			"loop body calls other code but never consults the function's context: "+
+				"an unbounded sweep with no cancellation point (check ctx.Err() or "+
+				"pass ctx into the calls)")
+		// Still descend: nested loops are judged on their own bodies.
+		return true
+	})
+}
+
+// loopDoesWork reports whether the loop body calls a declared function,
+// method, or function value — a pure index/copy/append loop needs no
+// cancellation point, so builtins and conversions do not count.
+func loopDoesWork(pass *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch obj := calleeObject(pass.Info, call).(type) {
+		case *types.Func:
+			found = true
+		case *types.Var:
+			if _, ok := obj.Type().Underlying().(*types.Signature); ok {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

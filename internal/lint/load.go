@@ -1,0 +1,161 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+)
+
+// Package is one parsed and type-checked package under analysis.
+type Package struct {
+	Path  string // import path
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listedPackage is the subset of `go list -json` output the loader
+// consumes.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Standard   bool
+	Export     string
+	GoFiles    []string
+	Error      *struct{ Err string }
+}
+
+// goList runs `go list` in dir with the given arguments and decodes the
+// JSON package stream.
+func goList(dir string, args ...string) ([]listedPackage, error) {
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go %v: %v\n%s", args, err, stderr.Bytes())
+	}
+	var pkgs []listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %w", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// Load lists the packages matching the patterns (relative to dir),
+// parses their sources with comments, and type-checks them against
+// export data produced by the go toolchain — `go list -export` compiles
+// dependencies through the build cache, so loading works offline and
+// costs roughly one `go build`.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	targets, err := goList(dir, append([]string{"list", "-json=ImportPath,Dir,GoFiles"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	deps, err := goList(dir, append([]string{"list", "-export", "-deps",
+		"-json=ImportPath,Export,Standard"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(deps))
+	for _, d := range deps {
+		if d.Export != "" {
+			exports[d.ImportPath] = d.Export
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := exportDataImporter(fset, func(path string) string { return exports[path] })
+	var out []*Package
+	for _, t := range targets {
+		if t.Error != nil {
+			return nil, fmt.Errorf("%s: %s", t.ImportPath, t.Error.Err)
+		}
+		var names []string
+		for _, f := range t.GoFiles {
+			names = append(names, filepath.Join(t.Dir, f))
+		}
+		pkg, err := checkPackage(fset, t.ImportPath, names, nil, imp)
+		if err != nil {
+			return nil, err
+		}
+		pkg.Dir = t.Dir
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// CheckFiles parses and type-checks one package from an explicit file
+// list, resolving imports through resolve (import path → export-data
+// file). This is the entry point the `go vet -vettool` protocol uses:
+// vet hands the tool exactly this information in its config file.
+func CheckFiles(fset *token.FileSet, path string, files []string, resolve func(string) string) (*Package, error) {
+	imp := exportDataImporter(fset, resolve)
+	return checkPackage(fset, path, files, nil, imp)
+}
+
+// exportDataImporter resolves imports through compiler export data: the
+// resolve function maps an import path to an export-data file (empty =
+// unknown). The standard gc importer does the decoding.
+func exportDataImporter(fset *token.FileSet, resolve func(string) string) types.Importer {
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file := resolve(path)
+		if file == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+}
+
+// checkPackage parses the named files (or uses the given sources, keyed
+// by file name, when non-nil) and type-checks them as one package.
+func checkPackage(fset *token.FileSet, path string, files []string, srcs map[string][]byte, imp types.Importer) (*Package, error) {
+	var parsed []*ast.File
+	for _, name := range files {
+		var src interface{}
+		if srcs != nil {
+			src = srcs[name]
+		}
+		f, err := parser.ParseFile(fset, name, src, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		parsed = append(parsed, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(path, fset, parsed, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", path, err)
+	}
+	return &Package{Path: path, Fset: fset, Files: parsed, Types: tpkg, Info: info}, nil
+}

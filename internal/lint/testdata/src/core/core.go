@@ -1,0 +1,41 @@
+// Package core reproduces the declared engine lock hierarchy
+// (subRegistry.mu → Subscription.qmu → Subscription.pendingMu, nested
+// under store.Store.mu) and a violation of it. The package is named
+// core so the type-level lock identities match the rank table.
+package core
+
+import "sync"
+
+type subRegistry struct {
+	mu   sync.Mutex
+	subs map[uint64]*Subscription
+}
+
+type Subscription struct {
+	qmu       sync.Mutex
+	pendingMu sync.Mutex
+	pending   []uint64
+}
+
+type DB struct {
+	subs subRegistry
+}
+
+// enqueue acquires in the declared order: registry, then the
+// subscription's pending queue. No finding.
+func (db *DB) enqueue(s *Subscription, seq uint64) {
+	db.subs.mu.Lock()
+	defer db.subs.mu.Unlock()
+	s.pendingMu.Lock()
+	s.pending = append(s.pending, seq)
+	s.pendingMu.Unlock()
+}
+
+// badOrder takes the registry lock while holding a subscription lock:
+// the reverse nesting deadlocks against enqueue.
+func (db *DB) badOrder(s *Subscription) {
+	s.qmu.Lock()
+	defer s.qmu.Unlock()
+	db.subs.mu.Lock() // want "violates the declared lock hierarchy"
+	db.subs.mu.Unlock()
+}

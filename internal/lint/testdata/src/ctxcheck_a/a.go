@@ -1,0 +1,65 @@
+// Package ctxcheck_a reproduces the cancellation-contract violations:
+// fresh context roots on request paths, contexts hidden in struct
+// fields, and unbounded loops with no cancellation point.
+package ctxcheck_a
+
+import (
+	"context"
+	"io"
+)
+
+// session hides a context's lifetime in a field.
+type session struct {
+	ctx context.Context // want "context.Context stored in a struct field"
+	w   io.Writer
+}
+
+type DB struct{}
+
+func (db *DB) QueryContext(ctx context.Context, q string) error { return ctx.Err() }
+
+// Query is the sanctioned single-statement delegation wrapper: the
+// documented non-request entry point. No finding.
+func (db *DB) Query(q string) error {
+	return db.QueryContext(context.Background(), q)
+}
+
+// handle mints a root context on a request path.
+func (db *DB) handle(q string) error {
+	ctx := context.Background() // want "context.Background\(\) on a request-serving path"
+	return db.QueryContext(ctx, q)
+}
+
+// todo is the same violation spelled TODO (not a single-statement
+// wrapper, so the delegation exemption does not apply).
+func (db *DB) todo(q string) error {
+	err := db.QueryContext(context.TODO(), q) // want "context.TODO\(\) on a request-serving path"
+	return err
+}
+
+// isRoot compares against the root: a sentinel test, not a use. No
+// finding.
+func isRoot(ctx context.Context) bool {
+	return ctx != context.Background()
+}
+
+// sweep loops over rows doing work with no cancellation point.
+func (db *DB) sweep(ctx context.Context, rows []string) error {
+	for _, r := range rows { // want "no cancellation point"
+		process(r)
+	}
+	return ctx.Err()
+}
+
+// sweepChecked consults ctx every iteration. No finding.
+func (db *DB) sweepChecked(ctx context.Context, rows []string) error {
+	for _, r := range rows {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		process(r)
+	}
+	return nil
+}
+
+func process(string) {}

@@ -1,0 +1,54 @@
+// Package errlatch_a reproduces the PR 5 fail-fast contract
+// violations: mutating acknowledged state without consulting the
+// latched error, and latch assignments that drop or overwrite the
+// first failure.
+package errlatch_a
+
+// Store mirrors the WAL-backed store.
+type Store struct {
+	data map[string]int
+	err  error // err latches the first write failure
+}
+
+// healthy is the gate: consult the latch before any write.
+func (s *Store) healthy() error {
+	if s.err != nil {
+		return s.err
+	}
+	return nil
+}
+
+func (s *Store) appendLog(k string) error { return nil }
+
+// Put mutates before consulting the latch: the bug shape.
+func (s *Store) Put(k string, v int) error {
+	s.data[k] = v // want "mutates receiver state before consulting the latched error"
+	return s.appendLog(k)
+}
+
+// PutGated consults the gate first. No finding.
+func (s *Store) PutGated(k string, v int) error {
+	if err := s.healthy(); err != nil {
+		return err
+	}
+	s.data[k] = v
+	return s.appendLog(k)
+}
+
+// Reset drops the latch: the first failure must never be forgotten.
+func (s *Store) Reset() {
+	s.err = nil // want "clears the latched error" // want "mutates receiver state before consulting"
+}
+
+// Record overwrites the latch unguarded: a second failure would
+// replace the first, which is the one that explains the corruption.
+func (s *Store) Record(err error) {
+	s.err = err // want "may overwrite the first" // want "mutates receiver state before consulting"
+}
+
+// RecordFirst keeps only the first failure. No finding.
+func (s *Store) RecordFirst(err error) {
+	if s.err == nil {
+		s.err = err
+	}
+}

@@ -1,0 +1,13 @@
+// Package ignore_bad asserts malformed suppression directives are
+// themselves diagnostics: an ignore can never silence anything without
+// naming a real analyzer and giving a reason.
+package ignore_bad
+
+//videolint:ignore // want "malformed //videolint:ignore"
+func a() {}
+
+//videolint:ignore nosuch because reasons // want "names unknown analyzer"
+func b() {}
+
+//videolint:ignore lockcheck // want "missing its reason"
+func c() {}

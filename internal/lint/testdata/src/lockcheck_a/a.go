@@ -1,0 +1,142 @@
+// Package lockcheck_a reproduces the engine's known-bad lock shapes:
+// the PR 8 subscriber-callback-under-write-lock bug, the PR 7
+// store.Load split-critical-section race, and the blocking-operation
+// catalogue.
+package lockcheck_a
+
+import (
+	"os"
+	"sync"
+	"time"
+)
+
+type Event struct{ Seq uint64 }
+
+// Store mirrors the engine store: a guarded map plus changelog
+// subscribers.
+type Store struct {
+	mu   sync.RWMutex
+	data map[string]int
+	subs []func(Event)
+	ch   chan Event
+}
+
+// notifyUnderLock is the PR 8 bug shape: invoking subscriber callbacks
+// while holding the store write lock — a callback that re-enters the
+// store self-deadlocks.
+func (s *Store) notifyUnderLock(ev Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, fn := range s.subs {
+		fn(ev) // want "call through function value fn while s.mu is held"
+	}
+}
+
+// notifyLocked is the same bug seen through the assumed-held
+// convention: the *Locked suffix declares the caller holds the lock.
+func (s *Store) notifyLocked(ev Event) {
+	for _, fn := range s.subs {
+		fn(ev) // want "call through function value fn while a caller-held lock is held"
+	}
+}
+
+// loadPreFix is the PR 7 store.Load bug shape: the staleness check and
+// the swap run in two critical sections, so a writer can slip between
+// them and have its update silently overwritten.
+func (s *Store) loadPreFix(fresh map[string]int) {
+	s.mu.RLock()
+	stale := len(s.data) == 0
+	s.mu.RUnlock()
+	if stale {
+		s.mu.Lock() // want "write-locked again after an earlier release"
+		s.data = fresh
+		s.mu.Unlock()
+	}
+}
+
+func (s *Store) sendUnderLock(ev Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ch <- ev // want "blocking channel send while s.mu is held"
+}
+
+func (s *Store) recvUnderLock() Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return <-s.ch // want "blocking channel receive while s.mu is held"
+}
+
+func (s *Store) drainUnderLock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for ev := range s.ch { // want "blocking receive \(range over channel\)"
+		_ = ev
+	}
+}
+
+func (s *Store) sleepUnderLock() {
+	s.mu.Lock()
+	time.Sleep(time.Millisecond) // want "time.Sleep while s.mu is held"
+	s.mu.Unlock()
+}
+
+func (s *Store) ioUnderLock(path string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return os.Remove(path) // want "file I/O \(os.Remove\) while s.mu is held"
+}
+
+func (s *Store) selectUnderLock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select { // want "blocking select \(no default\)"
+	case ev := <-s.ch:
+		_ = ev
+	}
+}
+
+// selectWithDefault is the sanctioned non-blocking wake: no finding.
+func (s *Store) selectWithDefault(ev Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case s.ch <- ev:
+	default:
+	}
+}
+
+// upgrade attempts RLock→Lock on the same RWMutex: self-deadlock.
+func (s *Store) upgrade() {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if len(s.data) == 0 {
+		s.mu.Lock() // want "upgraded to Lock while still read-held"
+		s.data = map[string]int{}
+		s.mu.Unlock()
+	}
+}
+
+// divergent releases on only one branch.
+func (s *Store) divergent(cond bool) {
+	s.mu.Lock()
+	if cond { // want "lock state diverges across branches"
+		s.mu.Unlock()
+	}
+	s.mu.Unlock()
+}
+
+// lockInLoop acquires without releasing across iterations.
+func (s *Store) lockInLoop(keys []string) {
+	for range keys { // want "lock state at end of loop body"
+		s.mu.Lock()
+	}
+}
+
+// balanced is the healthy shape: one critical section, deferred
+// release, channel work outside. No findings.
+func (s *Store) balanced(k string, v int, ev Event) {
+	s.mu.Lock()
+	s.data[k] = v
+	s.mu.Unlock()
+	s.ch <- ev
+}

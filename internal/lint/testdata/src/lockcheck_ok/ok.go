@@ -1,0 +1,21 @@
+// Package lockcheck_ok exercises the suppression facility: the sleep
+// below is a finding, and the //videolint:ignore directive with its
+// written reason silences it. The golden test has no want comments, so
+// it passes only if suppression works.
+package lockcheck_ok
+
+import (
+	"sync"
+	"time"
+)
+
+type Flusher struct {
+	mu sync.Mutex
+}
+
+func (f *Flusher) pace() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	//videolint:ignore lockcheck deliberate throttle held across the flush window; no other path takes f.mu
+	time.Sleep(time.Millisecond)
+}

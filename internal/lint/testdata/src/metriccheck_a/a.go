@@ -1,0 +1,55 @@
+// Package metriccheck_a reproduces the metric-convention violations:
+// names off videodb_*, registration outside the single site, rogue
+// expvar use, and Prometheus/expvar mirror divergence.
+package metriccheck_a
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"sync/atomic"
+)
+
+// metrics mirrors the server counter block.
+type metrics struct {
+	a atomic.Uint64
+	b atomic.Uint64
+	c atomic.Uint64
+}
+
+func (m *metrics) record() {
+	m.a.Add(1)
+	m.b.Add(1)
+	m.c.Add(1) // want "incremented but exposed by neither"
+}
+
+// writeProm is the single exposition site.
+func (m *metrics) writeProm(w io.Writer) {
+	counter := func(name string, v uint64) {
+		fmt.Fprintf(w, "# HELP %s total\n# TYPE %s counter\n%s %d\n", name, name, name, v)
+	}
+	counter("videodb_a_total", m.a.Load())
+	counter("videodb_b_total", m.b.Load()) // want "missing from the expvar mirror"
+	counter("videodb_Bad_total", 0)        // want "violates the videodb_"
+	counter("plain_total", 0)              // want "violates the videodb_"
+}
+
+// totals is the expvar mirror payload: it reads a but not b.
+func (m *metrics) totals() map[string]uint64 {
+	return map[string]uint64{"a": m.a.Load()}
+}
+
+// publish is the single mirror site.
+func publish(m *metrics) {
+	expvar.Publish("videodb", expvar.Func(func() interface{} { return m.totals() }))
+}
+
+// rogue registers expvar state outside the mirror site.
+func rogue() { // want "expvar use in rogue"
+	expvar.NewInt("videodb_rogue")
+}
+
+// rogueExpo writes exposition text outside writeProm.
+func rogueExpo(w io.Writer) { // want "metric exposition in rogueExpo"
+	fmt.Fprintf(w, "# TYPE videodb_dup_total counter\n")
+}

@@ -193,6 +193,7 @@ func (m *metrics) recordQuery(elapsed time.Duration, st *datalog.RunStats, err e
 // engineTotals is the cumulative-evaluation section of /v1/stats and the
 // expvar mirror.
 type engineTotals struct {
+	Requests       uint64            `json:"httpRequests"`
 	Queries        uint64            `json:"queries"`
 	ErrorsCanceled uint64            `json:"errorsCanceled"`
 	ErrorsLimit    uint64            `json:"errorsLimit"`
@@ -209,6 +210,14 @@ type engineTotals struct {
 	VetDiagnostics map[string]uint64 `json:"vetDiagnostics,omitempty"`
 
 	Subscriptions core.SubTotals `json:"subscriptions"`
+
+	// Wire-level subscription delivery: events actually written to
+	// clients (SSE/webhook), as opposed to Subscriptions' queued view.
+	SubWireSnapshots   uint64 `json:"subWireSnapshots"`
+	SubWireDeltasPlus  uint64 `json:"subWireDeltasPlus"`
+	SubWireDeltasMinus uint64 `json:"subWireDeltasMinus"`
+	SubWebhookRetries  uint64 `json:"subWebhookRetries"`
+	SubWebhookDropped  uint64 `json:"subWebhookDropped"`
 
 	PlanCache    core.PlanCacheStats `json:"planCache"`
 	InternValues int                 `json:"internValues"` // process-wide value-interner size
@@ -227,6 +236,14 @@ func (m *metrics) totals() engineTotals {
 		PlanCache:     pcs,
 		InternValues:  datalog.InternStats().Values,
 		Subscriptions: sub,
+
+		SubWireSnapshots:   m.subSnapshots.Load(),
+		SubWireDeltasPlus:  m.subDeltasPlus.Load(),
+		SubWireDeltasMinus: m.subDeltasMinus.Load(),
+		SubWebhookRetries:  m.subWebhookRetries.Load(),
+		SubWebhookDropped:  m.subWebhookDropped.Load(),
+
+		Requests:       m.requests.Load(),
 		Queries:        m.queries.Load(),
 		ErrorsCanceled: m.errCanceled.Load(),
 		ErrorsLimit:    m.errLimit.Load(),
@@ -297,6 +314,12 @@ func (m *metrics) writeProm(b *bytes.Buffer, uptime time.Duration) {
 		counter("videodb_sub_webhook_dropped_total",
 			"Events abandoned after exhausting webhook retries.", m.subWebhookDropped.Load())
 	}
+
+	fmt.Fprintf(b, "# HELP videodb_sub_wire_events_total Subscription events written to clients, by kind.\n")
+	fmt.Fprintf(b, "# TYPE videodb_sub_wire_events_total counter\n")
+	fmt.Fprintf(b, "videodb_sub_wire_events_total{kind=\"snapshot\"} %d\n", m.subSnapshots.Load())
+	fmt.Fprintf(b, "videodb_sub_wire_events_total{kind=\"delta_plus\"} %d\n", m.subDeltasPlus.Load())
+	fmt.Fprintf(b, "videodb_sub_wire_events_total{kind=\"delta_minus\"} %d\n", m.subDeltasMinus.Load())
 
 	fmt.Fprintf(b, "# HELP videodb_vet_diagnostics_total Static-analysis diagnostics reported, by code.\n")
 	fmt.Fprintf(b, "# TYPE videodb_vet_diagnostics_total counter\n")

@@ -65,6 +65,13 @@ type Server struct {
 	// Live subscription sessions (see subscribe.go).
 	subs     serverSubs
 	subGrace time.Duration // detached-SSE resume window; 0 = default
+
+	// lifeCtx is the server's lifecycle: background delivery loops
+	// (webhook pumps) block on it and Close cancels it, so no pump can
+	// outlive the server even if its subscription is slow to close.
+	//videolint:ignore ctxcheck lifecycle root stored once at construction; cancelled by Close — the http.Server.BaseContext pattern, not a request context
+	lifeCtx    context.Context
+	lifeCancel context.CancelFunc
 }
 
 // Option configures a Server.
@@ -81,6 +88,8 @@ func WithQueryTimeout(d time.Duration) Option {
 // New wraps the database in an HTTP handler.
 func New(db *core.DB, opts ...Option) *Server {
 	s := &Server{db: db, mux: http.NewServeMux(), start: time.Now(), metrics: &metrics{}}
+	//videolint:ignore ctxcheck server lifecycle root, not a request path: Close cancels it
+	s.lifeCtx, s.lifeCancel = context.WithCancel(context.Background())
 	s.metrics.planCache = func() core.PlanCacheStats {
 		s.mu.RLock()
 		defer s.mu.RUnlock()

@@ -3,7 +3,6 @@ package server
 import (
 	"bufio"
 	"bytes"
-	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -83,6 +82,9 @@ type serverSubs struct {
 // http.Server.Shutdown: an open event stream otherwise keeps graceful
 // shutdown waiting forever.
 func (s *Server) Close() {
+	if s.lifeCancel != nil {
+		s.lifeCancel() // unblock webhook pumps waiting in Next
+	}
 	s.subs.mu.Lock()
 	s.subs.closed = true
 	sessions := make([]*subSession, 0, len(s.subs.sessions))
@@ -483,7 +485,10 @@ func (s *Server) deliverWebhook(ss *subSession) {
 	client := &http.Client{Timeout: webhookTimeout}
 	consecFails := 0
 	for {
-		ev, err := ss.sub.Next(context.Background())
+		// The server's lifecycle context, not Background: Close must be
+		// able to unblock this pump even if the subscription itself is
+		// slow to notice it was closed.
+		ev, err := ss.sub.Next(s.lifeCtx)
 		if err != nil {
 			s.dropSession(ss.id)
 			return

@@ -101,6 +101,7 @@ func (s *Store) notify(ev Event) {
 		if sub.dead.Load() {
 			continue
 		}
+		//videolint:ignore lockcheck synchronous delivery contract: subscriber callbacks are documented queue-only and must not block or re-enter the store
 		sub.fn(ev)
 		kept = append(kept, sub)
 	}

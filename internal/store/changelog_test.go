@@ -35,6 +35,38 @@ func TestSubscribeCancelFromCallback(t *testing.T) {
 	}
 }
 
+// TestSubscribeCancelPeerFromCallback is the other half of the
+// callback-under-write-lock repro: a subscriber cancelling a *peer*
+// from inside its callback. With a lock-taking cancel this self-
+// deadlocks exactly like the self-cancel case; with the flag-based
+// cancel the peer must simply stop receiving events.
+func TestSubscribeCancelPeerFromCallback(t *testing.T) {
+	s := New()
+	var peerGot int
+	peerCancel := s.Subscribe(func(Event) { peerGot++ })
+	killed := false
+	cancelKiller := s.Subscribe(func(Event) {
+		if !killed {
+			killed = true
+			peerCancel() // must not deadlock: we run under the write lock
+		}
+	})
+	defer cancelKiller()
+
+	if !s.AddFact(RefFact("edge", "a", "b")) {
+		t.Fatal("add edge(a,b) not applied")
+	}
+	// Subscriber order is registration order, so the peer saw the first
+	// event before the killer cancelled it; nothing after may arrive.
+	first := peerGot
+	if !s.AddFact(RefFact("edge", "b", "c")) {
+		t.Fatal("add edge(b,c) not applied")
+	}
+	if peerGot != first {
+		t.Fatalf("peer delivered after cancel-from-callback: %d -> %d", first, peerGot)
+	}
+}
+
 // TestSubscribeCancelConcurrentWithNotify races cancel() against a
 // stream of mutations: with the old lock-taking cancel this deadlocks or
 // trips the race detector; with the flag-based cancel it must finish,

@@ -137,6 +137,7 @@ func (s *Store) Load(r io.Reader) error {
 		return fmt.Errorf("store: snapshot checksum mismatch (corrupted file?)")
 	}
 
+	//videolint:ignore lockcheck PR 7 fix shape: the RLock section is an advisory precheck; durability and staleness are re-validated under this write lock before the swap
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.wal != nil || s.backend != nil {

@@ -38,6 +38,7 @@ func (s *Store) FindByAttrRange(attr string, within interval.Span) []object.OID 
 	if !ok {
 		// Entry slices are immutable once published (writes invalidate by
 		// replacing the whole map), so scanning outside the lock is safe.
+		//videolint:ignore lockcheck double-checked locking: numericIndexLocked re-validates the index state under the write lock before rebuilding
 		s.mu.Lock()
 		entries = s.numericIndexLocked(attr)
 		s.mu.Unlock()

@@ -183,6 +183,7 @@ func (s *Store) Update(oid object.OID, fn func(*object.Object) error) error {
 		return fmt.Errorf("store: no object %q", oid)
 	}
 	c := old.Clone()
+	//videolint:ignore lockcheck Update's read-modify-write contract runs fn under the lock for atomicity; fn is documented not to re-enter the store
 	if err := fn(c); err != nil {
 		return err
 	}
@@ -283,6 +284,7 @@ func (s *Store) ForEach(fn func(*object.Object) bool) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	for _, o := range s.objects {
+		//videolint:ignore lockcheck documented read-only iteration contract: fn must not call back into the store
 		if !fn(o) {
 			return
 		}

@@ -279,6 +279,7 @@ func (s *Store) log(rec walRecord) error {
 	}
 	err := error(nil)
 	if testLogFail != nil {
+		//videolint:ignore lockcheck test-only failure-injection hook, nil outside wal tests
 		err = testLogFail(rec)
 	}
 	if err == nil {
@@ -319,6 +320,7 @@ func (s *Store) Checkpoint() error {
 	if err := s.saveFileLocked(filepath.Join(s.walDir, snapshotFileName)); err != nil {
 		return err
 	}
+	//videolint:ignore lockcheck WAL durability: Checkpoint must flush and truncate under the lock so no acknowledged record is lost
 	if err := s.wal.w.Flush(); err != nil {
 		return err
 	}
