@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all tier1 build vet vet-examples lint test test-segment test-stream race bench bench-json clean
+.PHONY: all tier1 build vet vet-examples lint test test-segment test-stream race bench bench-json loadgen-smoke clean
 
 all: tier1
 
@@ -74,6 +74,15 @@ bench:
 # bench-json regenerates the machine-readable acceptance benchmark report.
 bench-json:
 	$(GO) run ./cmd/bench -json -out BENCH_PR9.json
+
+# loadgen-smoke drives a short open-loop load sweep (experiment E18)
+# against an in-process admission-controlled server and fails if
+# overload is not graceful: any accepted-then-shed 503, or a
+# post-saturation accepted p99 above 2x the pre-saturation baseline,
+# is an error. ~30s. The full sweep is `go run ./cmd/loadgen` (see
+# README "Operating under load").
+loadgen-smoke:
+	$(GO) run ./cmd/loadgen -smoke -o BENCH_PR10.json
 
 clean:
 	$(GO) clean ./...

@@ -6,6 +6,7 @@
 //	videoserver [-addr :8080] [-data DIR | -db snapshot.json]
 //	            [-backend mem|segment] [-block-cache BYTES]
 //	            [-query-timeout 0] [-max-derived N]
+//	            [-max-concurrent 0] [-queue-depth 0] [-per-tenant]
 //	            [-slow-query 0] [-access-log] [-pprof] [script.vql ...]
 //
 // With -data the database is durable in DIR; -backend selects the
@@ -18,6 +19,13 @@
 // evaluation (0 = no bound). On SIGINT/SIGTERM the server drains
 // in-flight requests and closes the database before exiting, so a
 // durable store always gets its final flush.
+//
+// Overload: -max-concurrent N admits at most N evaluations at once
+// (queries, scripts, view builds, subscription snapshots); the next
+// -queue-depth requests wait FIFO for a slot and give up if their
+// connection dies; the rest are refused with 429 + Retry-After.
+// -per-tenant applies the limits per API key (X-API-Key header, falling
+// back to the client address) instead of globally.
 //
 // Observability: GET /metrics serves Prometheus-format counters;
 // -slow-query D logs every evaluation that takes at least D; -access-log
@@ -62,6 +70,9 @@ func run() error {
 	snapshot := flag.String("db", "", "snapshot to load (in-memory mode)")
 	queryTimeout := flag.Duration("query-timeout", 0, "per-request query evaluation bound (0 = unlimited)")
 	maxDerived := flag.Int("max-derived", 0, "max derived tuples per query (0 = engine default)")
+	maxConcurrent := flag.Int("max-concurrent", 0, "max concurrent evaluations per tenant (0 = unlimited)")
+	queueDepth := flag.Int("queue-depth", 0, "requests allowed to wait for a slot beyond -max-concurrent")
+	perTenant := flag.Bool("per-tenant", false, "apply -max-concurrent per API key / client address instead of globally")
 	slowQuery := flag.Duration("slow-query", 0, "log queries slower than this duration (0 = off)")
 	accessLog := flag.Bool("access-log", false, "log every HTTP request")
 	pprofOn := flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
@@ -126,6 +137,13 @@ func run() error {
 	}
 
 	srvOpts := []server.Option{server.WithQueryTimeout(*queryTimeout)}
+	if *maxConcurrent > 0 {
+		srvOpts = append(srvOpts, server.WithAdmission(server.AdmissionConfig{
+			MaxConcurrent: *maxConcurrent,
+			QueueDepth:    *queueDepth,
+			PerTenant:     *perTenant,
+		}))
+	}
 	if *slowQuery > 0 {
 		srvOpts = append(srvOpts, server.WithSlowQueryLog(*slowQuery, nil))
 	}

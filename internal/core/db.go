@@ -55,6 +55,10 @@ type DB struct {
 	subFeed sync.Once
 	defMu   sync.RWMutex
 
+	// gate is the optional admission hook applied by every evaluation
+	// entrypoint (see gate.go); nil admits everything.
+	gate Gate
+
 	// closeOnce releases the DB's pin on the global value-interner epoch
 	// exactly once, however many times Close is called.
 	closeOnce sync.Once
@@ -208,6 +212,11 @@ func (db *DB) LoadScript(src string) ([]*ResultSet, error) {
 // mid-fixpoint with an error matching datalog.ErrCanceled. Mutations the
 // script already applied are not rolled back.
 func (db *DB) LoadScriptContext(ctx context.Context, src string) ([]*ResultSet, error) {
+	release, err := db.enter(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
 	script, err := parser.Parse(src)
 	if err != nil {
 		return nil, err
@@ -278,6 +287,11 @@ func (db *DB) Query(src string) (*ResultSet, error) {
 // stops with an error matching datalog.ErrCanceled (and ctx's own cause)
 // soon after ctx is cancelled or its deadline passes.
 func (db *DB) QueryContext(ctx context.Context, src string) (*ResultSet, error) {
+	release, err := db.enter(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
 	q, err := parser.ParseQuery(src)
 	if err != nil {
 		return nil, err
@@ -291,6 +305,11 @@ func (db *DB) QueryContext(ctx context.Context, src string) (*ResultSet, error) 
 // companion to Explain. Profiling adds bookkeeping to rule evaluation,
 // so it is opt-in per query rather than always-on.
 func (db *DB) QueryProfiledContext(ctx context.Context, src string) (*ResultSet, error) {
+	release, err := db.enter(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
 	q, err := parser.ParseQuery(src)
 	if err != nil {
 		return nil, err
@@ -305,6 +324,11 @@ func (db *DB) QueryAtom(atom datalog.RelAtom) (*ResultSet, error) {
 
 // QueryAtomContext is QueryAtom under a context.
 func (db *DB) QueryAtomContext(ctx context.Context, atom datalog.RelAtom) (*ResultSet, error) {
+	release, err := db.enter(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
 	return db.runQuery(ctx, parser.Query{Atom: atom})
 }
 

@@ -70,6 +70,11 @@ func (db *DB) Explain(query string) (string, error) {
 // run the fixpoint, but the context keeps the API uniform with
 // QueryContext and lets future plan-time work observe cancellation.
 func (db *DB) ExplainContext(ctx context.Context, query string) (string, error) {
+	release, err := db.enter(ctx)
+	if err != nil {
+		return "", err
+	}
+	defer release()
 	eng, _, err := db.engineFor(ctx, query)
 	if err != nil {
 		return "", err

@@ -1,0 +1,132 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+// The admission gate wraps every evaluation entrypoint: each call either
+// acquires and releases exactly once, or is refused before any parsing
+// or engine work happens.
+func TestEvalGate(t *testing.T) {
+	var entered, released atomic.Int64
+	var refuse atomic.Bool
+	errRefused := errors.New("gate: refused")
+	gate := func(ctx context.Context) (func(), error) {
+		if ctx == nil {
+			t.Error("gate received a nil context")
+		}
+		if refuse.Load() {
+			return nil, errRefused
+		}
+		entered.Add(1)
+		return func() { released.Add(1) }, nil
+	}
+
+	db := New(WithGate(gate))
+	defer db.Close()
+	if _, err := db.LoadScript("object o1 { }.\nobject o2 { }.\nr(o1, o2)."); err != nil {
+		t.Fatal(err)
+	}
+	// LoadScript itself is gated; start counting from the entrypoint sweep.
+	entered.Store(0)
+	released.Store(0)
+
+	ctx := context.Background()
+	entrypoints := []struct {
+		name string
+		call func() error
+	}{
+		{"QueryContext", func() error { _, err := db.QueryContext(ctx, "?- r(X, Y)."); return err }},
+		{"QueryProfiledContext", func() error { _, err := db.QueryProfiledContext(ctx, "?- r(X, Y)."); return err }},
+		{"LoadScriptContext", func() error { _, err := db.LoadScriptContext(ctx, "?- r(X, Y)."); return err }},
+		{"ExplainContext", func() error { _, err := db.ExplainContext(ctx, "?- r(X, Y)."); return err }},
+		{"MaterializeContext", func() error { _, err := db.MaterializeContext(ctx, "v", "?- r(X, Y)"); return err }},
+		{"ViewContext", func() error { _, err := db.ViewContext(ctx, "v"); return err }},
+	}
+
+	for i, ep := range entrypoints {
+		if err := ep.call(); err != nil {
+			t.Fatalf("%s: %v", ep.name, err)
+		}
+		if got := entered.Load(); got != int64(i+1) {
+			t.Fatalf("%s: gate entered %d times, want %d", ep.name, got, i+1)
+		}
+		if entered.Load() != released.Load() {
+			t.Fatalf("%s: %d acquisitions vs %d releases", ep.name, entered.Load(), released.Load())
+		}
+	}
+
+	// A parse error still releases the admitted slot.
+	if _, err := db.QueryContext(ctx, "?- broken("); err == nil {
+		t.Fatal("expected a parse error")
+	}
+	if entered.Load() != released.Load() {
+		t.Fatalf("parse error leaked a slot: %d entered, %d released", entered.Load(), released.Load())
+	}
+
+	// A refusing gate surfaces its error verbatim and evaluates nothing.
+	refuse.Store(true)
+	before := entered.Load()
+	for _, ep := range entrypoints {
+		if err := ep.call(); !errors.Is(err, errRefused) {
+			t.Fatalf("%s with refusing gate: err = %v, want %v", ep.name, err, errRefused)
+		}
+	}
+	if entered.Load() != before {
+		t.Fatalf("refused calls still entered the gate: %d -> %d", before, entered.Load())
+	}
+}
+
+// A gate returning a nil release must not crash the entrypoints, and a
+// gateless DB admits everything (the default path).
+func TestEvalGateNilRelease(t *testing.T) {
+	db := New(WithGate(func(ctx context.Context) (func(), error) { return nil, nil }))
+	defer db.Close()
+	if err := db.Relate("e", "a"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		rs, err := db.Query("?- e(X).")
+		if err != nil || len(rs.Rows) != 1 {
+			t.Fatalf("run %d: rows=%v err=%v", i, rs, err)
+		}
+	}
+}
+
+// The gate observes the caller's context, so a deadline-aware admission
+// queue can give up when the request dies while queued.
+func TestEvalGateSeesCallerContext(t *testing.T) {
+	type ctxKey struct{}
+	var sawValue atomic.Bool
+	db := New(WithGate(func(ctx context.Context) (func(), error) {
+		if v, ok := ctx.Value(ctxKey{}).(string); ok && v == "tenant-7" {
+			sawValue.Store(true)
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("gate: caller gone: %w", err)
+		}
+		return func() {}, nil
+	}))
+	defer db.Close()
+	if err := db.Relate("e", "a"); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx := context.WithValue(context.Background(), ctxKey{}, "tenant-7")
+	if _, err := db.QueryContext(ctx, "?- e(X)."); err != nil {
+		t.Fatal(err)
+	}
+	if !sawValue.Load() {
+		t.Fatal("gate did not observe the caller's context values")
+	}
+
+	dead, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := db.QueryContext(dead, "?- e(X)."); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled caller: err = %v, want context.Canceled", err)
+	}
+}

@@ -815,19 +815,16 @@ func (s *Subscription) pushDeltaLocked(ev SubEvent) bool {
 	return true
 }
 
-// dropQueueLocked discards the queued backlog, counting every dropped
-// delta. Caller holds qmu.
+// dropQueueLocked discards the queued backlog. Each call is one
+// slow-consumer drop cycle and bumps the dropped counters exactly once —
+// not once per discarded delta: the resync snapshot that follows makes
+// the consumer exact again regardless of how many deltas were in the
+// backlog, so per-delta counting would just scale the "drops" metric
+// with the queue depth and the write churn, telling operators nothing
+// about how often consumers actually fell behind. Caller holds qmu.
 func (s *Subscription) dropQueueLocked() {
-	var n uint64
-	for _, ev := range s.queue {
-		if ev.Kind == SubDelta {
-			n++
-		}
-	}
-	if n > 0 {
-		s.dropped.Add(n)
-		s.db.subs.dropped.Add(n)
-	}
+	s.dropped.Add(1)
+	s.db.subs.dropped.Add(1)
 	s.queue = s.queue[:0]
 }
 

@@ -192,13 +192,13 @@ func TestSubscribeValidation(t *testing.T) {
 		rules []string
 		goal  string
 	}{
-		{nil, "?- reach(X,"},                            // parse error
-		{[]string{"p(X) :-"}, "?- reach(X, Y)"},         // rule parse error
-		{nil, "?- window(F, 3)"},                        // window alone
-		{nil, "?- reach(X, Y), window(X, 0)"},           // width < 1
-		{nil, "?- reach(X, Y), window(X, 2.5)"},         // non-integer width
-		{nil, "?- reach(X, Y), window(X, 99999)"},       // width over cap
-		{nil, "?- window(F, 3), window(G, 3)"},          // windows only
+		{nil, "?- reach(X,"},                                // parse error
+		{[]string{"p(X) :-"}, "?- reach(X, Y)"},             // rule parse error
+		{nil, "?- window(F, 3)"},                            // window alone
+		{nil, "?- reach(X, Y), window(X, 0)"},               // width < 1
+		{nil, "?- reach(X, Y), window(X, 2.5)"},             // non-integer width
+		{nil, "?- reach(X, Y), window(X, 99999)"},           // width over cap
+		{nil, "?- window(F, 3), window(G, 3)"},              // windows only
 		{[]string{"p(X) :- q(X), window(X, 3)"}, "?- p(X)"}, // window in a rule
 	}
 	for _, c := range cases {
@@ -269,11 +269,73 @@ func TestSubscribeOverflowResync(t *testing.T) {
 		t.Fatalf("expected at least one resync, stats %+v", st)
 	}
 	if st.Dropped == 0 {
-		t.Fatalf("expected dropped deltas counted, stats %+v", st)
+		t.Fatalf("expected drop cycles counted, stats %+v", st)
+	}
+	// Under drop-resync every drop cycle ends in exactly one resync
+	// snapshot (both bumped in the same critical section), so the two
+	// counters must agree — if dropped counted discarded deltas instead
+	// of cycles it would race ahead of resyncs by the backlog size.
+	if st.Dropped != st.Resyncs {
+		t.Fatalf("dropped (%d) must count cycles and equal resyncs (%d); stats %+v",
+			st.Dropped, st.Resyncs, st)
 	}
 	totals := db.SubscriptionStats()
 	if totals.Resyncs == 0 || totals.Dropped == 0 {
 		t.Fatalf("DB totals missed the resync: %+v", totals)
+	}
+	if totals.Dropped != totals.Resyncs {
+		t.Fatalf("DB totals: dropped (%d) != resyncs (%d)", totals.Dropped, totals.Resyncs)
+	}
+}
+
+// The dropped counter counts slow-consumer drop cycles, not discarded
+// deltas: one overflow that throws away a whole backlog is one event to
+// an operator, however deep the queue was. This drives emitDiff directly
+// (white box) so the per-cycle count is deterministic — the end-to-end
+// path coalesces flushes and cannot pin an exact number.
+func TestSubscribeDroppedCountsCyclesNotDeltas(t *testing.T) {
+	db := New()
+	defer db.Close()
+	s := &Subscription{
+		db:           db,
+		opts:         SubOptions{QueueSize: 2}.withDefaults(),
+		consumerWake: make(chan struct{}, 1),
+		cur:          make(map[string][]object.Value),
+	}
+	s.nextSeq = 1 // past the initial snapshot, so diffs flow as deltas
+
+	rows := func(lo, n int) [][]object.Value {
+		out := make([][]object.Value, n)
+		for i := range out {
+			out[i] = []object.Value{object.Str(fmt.Sprintf("row%03d", lo+i))}
+		}
+		return out
+	}
+
+	// Ten new rows against a 2-slot queue: two deltas fit, the third
+	// overflows — one drop cycle, one resync snapshot.
+	s.fullRows = rows(0, 10)
+	if !s.emitDiff(false) {
+		t.Fatal("emitDiff reported the subscription closed")
+	}
+	if got := s.dropped.Load(); got != 1 {
+		t.Fatalf("dropped after first overflow = %d, want 1 (one cycle, not one per delta)", got)
+	}
+	if got := s.resyncs.Load(); got != 1 {
+		t.Fatalf("resyncs after first overflow = %d, want 1", got)
+	}
+
+	// A second overflowing diff is a second cycle: the counter advances
+	// by exactly one again, regardless of backlog contents.
+	s.fullRows = rows(100, 10)
+	if !s.emitDiff(false) {
+		t.Fatal("emitDiff reported the subscription closed")
+	}
+	if got := s.dropped.Load(); got != 2 {
+		t.Fatalf("dropped after second overflow = %d, want 2", got)
+	}
+	if got := db.subs.dropped.Load(); got != 2 {
+		t.Fatalf("DB dropped total = %d, want 2", got)
 	}
 }
 

@@ -132,6 +132,11 @@ func (db *DB) Materialize(name, goal string) (*ViewResult, error) {
 
 // MaterializeContext is Materialize under a context.
 func (db *DB) MaterializeContext(ctx context.Context, name, goal string) (*ViewResult, error) {
+	release, err := db.enter(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
 	if name == "" {
 		return nil, fmt.Errorf("core: view name must be non-empty")
 	}
@@ -167,6 +172,11 @@ func (db *DB) View(name string) (*ViewResult, error) {
 // its previous consistent state; the interrupted batch is re-queued and
 // applied by the next read.
 func (db *DB) ViewContext(ctx context.Context, name string) (*ViewResult, error) {
+	release, err := db.enter(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
 	db.views.mu.Lock()
 	v := db.views.views[name]
 	db.views.mu.Unlock()

@@ -1,0 +1,369 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"videodb/internal/core"
+	"videodb/internal/object"
+)
+
+// admissionTestDB opens a DB on the backend named by VIDEODB_TEST_BACKEND
+// (mem by default, segment for the on-disk matrix leg) and applies opts —
+// admission behavior must not depend on the storage layout.
+func admissionTestDB(t *testing.T, opts ...core.Option) *core.DB {
+	t.Helper()
+	var db *core.DB
+	switch b := os.Getenv("VIDEODB_TEST_BACKEND"); b {
+	case "", "mem":
+		db = core.New()
+	case "segment":
+		var err error
+		db, err = core.OpenSegment(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+	default:
+		t.Fatalf("unknown VIDEODB_TEST_BACKEND %q", b)
+	}
+	for _, o := range opts {
+		o(db)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db
+}
+
+// blockGate returns a core evaluation gate that parks every evaluation
+// until unblock is called (requests park *after* HTTP admission, so one
+// parked query deterministically pins an admission slot), plus the
+// unblock function (idempotent).
+func blockGate() (core.Gate, func()) {
+	ch := make(chan struct{})
+	var once sync.Once
+	gate := func(ctx context.Context) (func(), error) {
+		select {
+		case <-ch:
+			return func() {}, nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	return gate, func() { once.Do(func() { close(ch) }) }
+}
+
+// admStats fetches the admission section of /v1/stats (which stays
+// reachable under load — stats is deliberately outside the limiter).
+func admStats(t *testing.T, url string) AdmissionStats {
+	t.Helper()
+	resp, err := http.Get(url + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Admission AdmissionStats `json:"admission"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out.Admission
+}
+
+// waitAdm polls /v1/stats until cond holds.
+func waitAdm(t *testing.T, url string, what string, cond func(AdmissionStats) bool) AdmissionStats {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		st := admStats(t, url)
+		if cond(st) {
+			return st
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s (last: %+v)", what, admStats(t, url))
+	return AdmissionStats{}
+}
+
+func newAdmissionServer(t *testing.T, cfg AdmissionConfig, copts ...core.Option) (*Server, *httptest.Server) {
+	t.Helper()
+	db := admissionTestDB(t, copts...)
+	for i := 0; i < 5; i++ {
+		if err := db.Relate("e", object.OID(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv := New(db, WithAdmission(cfg))
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+func TestAdmissionQueueFullRejects429(t *testing.T) {
+	gate, unblock := blockGate()
+	defer unblock()
+	_, ts := newAdmissionServer(t,
+		AdmissionConfig{MaxConcurrent: 1, QueueDepth: 1, RetryAfter: 7 * time.Second},
+		core.WithGate(gate))
+
+	results := make(chan int, 2)
+	post := func() {
+		status, _, err := postQuery(ts.URL, "?- e(A).")
+		if err != nil {
+			status = -1
+		}
+		results <- status
+	}
+	go post() // takes the only slot, parks in the gate
+	waitAdm(t, ts.URL, "slot occupied", func(a AdmissionStats) bool { return a.InFlight == 1 })
+	go post() // fills the queue
+	waitAdm(t, ts.URL, "queue occupied", func(a AdmissionStats) bool { return a.Waiting == 1 })
+
+	// Queue full: rejected up front with 429 and the Retry-After hint.
+	body, _ := json.Marshal(map[string]string{"query": "?- e(A)."})
+	resp, err := http.Post(ts.URL+"/v1/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d (%s), want 429", resp.StatusCode, data)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "7" {
+		t.Errorf("Retry-After = %q, want \"7\"", ra)
+	}
+	st := admStats(t, ts.URL)
+	if st.Rejected != 1 || st.Admitted != 1 || st.Queued != 1 {
+		t.Errorf("admission counters = %+v", st)
+	}
+
+	// Capacity freed: both accepted requests complete successfully.
+	unblock()
+	for i := 0; i < 2; i++ {
+		if status := <-results; status != http.StatusOK {
+			t.Fatalf("accepted request %d finished with %d, want 200", i, status)
+		}
+	}
+	waitAdm(t, ts.URL, "drained", func(a AdmissionStats) bool {
+		return a.InFlight == 0 && a.Waiting == 0 && a.Tenants == 0
+	})
+}
+
+func TestAdmissionWaiterAbandonsQueueOnCancel(t *testing.T) {
+	gate, unblock := blockGate()
+	defer unblock()
+	_, ts := newAdmissionServer(t,
+		AdmissionConfig{MaxConcurrent: 1, QueueDepth: 2},
+		core.WithGate(gate))
+
+	first := make(chan int, 1)
+	go func() {
+		status, _, _ := postQuery(ts.URL, "?- e(A).")
+		first <- status
+	}()
+	waitAdm(t, ts.URL, "slot occupied", func(a AdmissionStats) bool { return a.InFlight == 1 })
+
+	// Queue a waiter, then kill its request: it must leave the queue
+	// without ever being admitted.
+	ctx, cancel := context.WithCancel(context.Background())
+	body, _ := json.Marshal(map[string]string{"query": "?- e(A)."})
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/v1/query", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waiterErr := make(chan error, 1)
+	go func() {
+		resp, err := http.DefaultClient.Do(req)
+		if resp != nil {
+			resp.Body.Close()
+		}
+		waiterErr <- err
+	}()
+	waitAdm(t, ts.URL, "waiter queued", func(a AdmissionStats) bool { return a.Waiting == 1 })
+	cancel()
+	if err := <-waiterErr; err == nil {
+		t.Fatal("cancelled waiter should have failed client-side")
+	}
+	st := waitAdm(t, ts.URL, "waiter gone", func(a AdmissionStats) bool { return a.Waiting == 0 })
+	if st.Admitted != 1 {
+		t.Errorf("abandoned waiter must not count as admitted: %+v", st)
+	}
+
+	// The abandoned waiter's departure must not leak the slot: when the
+	// first request finishes, a new one is admitted immediately.
+	unblock()
+	if status := <-first; status != http.StatusOK {
+		t.Fatalf("first request status = %d", status)
+	}
+	if status, _, err := postQuery(ts.URL, "?- e(A)."); err != nil || status != http.StatusOK {
+		t.Fatalf("post-drain query: status %d, err %v", status, err)
+	}
+}
+
+// FIFO order is asserted at the limiter level, where admission order is
+// observable without racing on HTTP response scheduling.
+func TestAdmissionFIFOOrder(t *testing.T) {
+	m := &metrics{}
+	a := &admission{
+		cfg:     AdmissionConfig{MaxConcurrent: 1, QueueDepth: 3, RetryAfter: time.Second},
+		m:       m,
+		tenants: make(map[string]*tenantQueue),
+	}
+	ctx := context.Background()
+	release0, err := a.admit(ctx, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := make(chan int, 3)
+	for i := 1; i <= 3; i++ {
+		i := i
+		go func() {
+			release, err := a.admit(ctx, "")
+			if err != nil {
+				t.Errorf("waiter %d: %v", i, err)
+				order <- -i
+				return
+			}
+			order <- i
+			release()
+		}()
+		// Admission order is arrival order, so each waiter must be in line
+		// before the next arrives.
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			if _, waiting, _ := a.occupancy(); waiting == i {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("waiter %d never queued", i)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	release0()
+	for want := 1; want <= 3; want++ {
+		select {
+		case got := <-order:
+			if got != want {
+				t.Fatalf("admitted waiter %d, want %d (FIFO)", got, want)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("waiter %d never admitted", want)
+		}
+	}
+	if m.admAdmitted.Load() != 4 || m.admQueued.Load() != 3 || m.admRejected.Load() != 0 {
+		t.Errorf("counters: admitted=%d queued=%d rejected=%d",
+			m.admAdmitted.Load(), m.admQueued.Load(), m.admRejected.Load())
+	}
+}
+
+// One tenant saturating its slots must not impede another: per-tenant
+// limits give each key its own slot pool and FIFO line.
+func TestAdmissionPerTenantIsolation(t *testing.T) {
+	gate, unblock := blockGate()
+	defer unblock()
+	_, ts := newAdmissionServer(t,
+		AdmissionConfig{MaxConcurrent: 1, QueueDepth: 0, PerTenant: true},
+		core.WithGate(gate))
+
+	post := func(key, query string) (int, error) {
+		body, _ := json.Marshal(map[string]string{"query": query})
+		req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/query", bytes.NewReader(body))
+		if err != nil {
+			return 0, err
+		}
+		req.Header.Set("X-API-Key", key)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			return 0, err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode, nil
+	}
+
+	aDone := make(chan int, 1)
+	go func() {
+		status, _ := post("tenant-a", "?- e(A).")
+		aDone <- status
+	}()
+	waitAdm(t, ts.URL, "tenant A in flight", func(a AdmissionStats) bool { return a.InFlight == 1 })
+
+	// Tenant A is saturated: its next request bounces with 429 …
+	if status, err := post("tenant-a", "?- e(A)."); err != nil || status != http.StatusTooManyRequests {
+		t.Fatalf("tenant A second request: status %d, err %v; want 429", status, err)
+	}
+	// … while tenant B's slot pool is untouched. Its request is admitted
+	// (InFlight reaches 2) even though it then parks in the shared gate.
+	bDone := make(chan int, 1)
+	go func() {
+		status, _ := post("tenant-b", "?- e(A).")
+		bDone <- status
+	}()
+	st := waitAdm(t, ts.URL, "tenant B admitted", func(a AdmissionStats) bool { return a.InFlight == 2 })
+	if st.Tenants != 2 {
+		t.Errorf("tenant classes = %d, want 2", st.Tenants)
+	}
+
+	unblock()
+	if status := <-aDone; status != http.StatusOK {
+		t.Fatalf("tenant A status = %d", status)
+	}
+	if status := <-bDone; status != http.StatusOK {
+		t.Fatalf("tenant B status = %d", status)
+	}
+}
+
+// Shutdown must drain, not dump: requests already admitted finish and
+// respond 200; waiters whose work never started are rejected with 503.
+func TestAdmissionShutdownDrainsAdmitted(t *testing.T) {
+	gate, unblock := blockGate()
+	defer unblock()
+	srv, ts := newAdmissionServer(t,
+		AdmissionConfig{MaxConcurrent: 1, QueueDepth: 1},
+		core.WithGate(gate))
+
+	admitted := make(chan int, 1)
+	go func() {
+		status, _, _ := postQuery(ts.URL, "?- e(A).")
+		admitted <- status
+	}()
+	waitAdm(t, ts.URL, "slot occupied", func(a AdmissionStats) bool { return a.InFlight == 1 })
+
+	queued := make(chan int, 1)
+	go func() {
+		status, _, _ := postQuery(ts.URL, "?- e(A).")
+		queued <- status
+	}()
+	waitAdm(t, ts.URL, "waiter queued", func(a AdmissionStats) bool { return a.Waiting == 1 })
+
+	srv.Close()
+
+	// The queued waiter is rejected promptly — its work never ran.
+	select {
+	case status := <-queued:
+		if status != http.StatusServiceUnavailable {
+			t.Fatalf("queued waiter after Close: %d, want 503", status)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("queued waiter not rejected on Close")
+	}
+	// The admitted request keeps its slot and completes normally.
+	unblock()
+	if status := <-admitted; status != http.StatusOK {
+		t.Fatalf("admitted request after Close: %d, want 200", status)
+	}
+	// And a brand-new request is turned away while shutting down.
+	if status, _, err := postQuery(ts.URL, "?- e(A)."); err != nil || status != http.StatusServiceUnavailable {
+		t.Fatalf("new request after Close: status %d, err %v; want 503", status, err)
+	}
+}

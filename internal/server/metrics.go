@@ -57,10 +57,25 @@ type metrics struct {
 
 	// Evaluation errors by class. Cancellations and limit trips get their
 	// own counters because they are operational signals (load shedding,
-	// guard tuning), not client mistakes.
-	errCanceled atomic.Uint64 // context cancelled / deadline exceeded (503)
-	errLimit    atomic.Uint64 // resource guard tripped (422, retryable by tuning)
-	errInvalid  atomic.Uint64 // parse/type/evaluation errors (422)
+	// guard tuning), not client mistakes. Client disconnects are split
+	// from server-side cancellation: a bored client is not shed work, and
+	// folding the two together makes the 503 counter useless for alerting.
+	errCanceled   atomic.Uint64 // server deadline / budget expired (503)
+	errClientGone atomic.Uint64 // client disconnected mid-evaluation (499)
+	errLimit      atomic.Uint64 // resource guard tripped (422, retryable by tuning)
+	errInvalid    atomic.Uint64 // parse/type/evaluation errors (422)
+
+	// Admission control (see admission.go): requests admitted to run,
+	// rejected at the door (429), and those that had to wait in the FIFO
+	// queue first; admWait records time from arrival to admission.
+	admAdmitted atomic.Uint64
+	admRejected atomic.Uint64
+	admQueued   atomic.Uint64
+	admWait     histogram
+
+	// admState snapshots the limiter's current occupancy (in-flight,
+	// waiting, tenants); nil when admission control is off.
+	admState func() (int, int, int)
 
 	// Engine totals accumulated from each evaluation's RunStats.
 	rounds      atomic.Uint64
@@ -164,12 +179,16 @@ func (m *metrics) recordSubEvent(ev core.SubEvent) {
 func isLimit(err error) bool { return errors.Is(err, datalog.ErrLimitExceeded) }
 
 // recordQuery accounts one evaluation: its latency always, its engine
-// stats on success, its error class on failure.
-func (m *metrics) recordQuery(elapsed time.Duration, st *datalog.RunStats, err error) {
+// stats on success, its error class on failure. clientGone marks a
+// cancellation whose cause was the client disconnecting (499), which
+// must not count toward the server's shed-work (503) signal.
+func (m *metrics) recordQuery(elapsed time.Duration, st *datalog.RunStats, err error, clientGone bool) {
 	m.queries.Add(1)
 	m.latency.observe(elapsed)
 	if err != nil {
 		switch {
+		case clientGone:
+			m.errClientGone.Add(1)
 		case datalog.IsCanceled(err):
 			m.errCanceled.Add(1)
 		case isLimit(err):
@@ -193,21 +212,22 @@ func (m *metrics) recordQuery(elapsed time.Duration, st *datalog.RunStats, err e
 // engineTotals is the cumulative-evaluation section of /v1/stats and the
 // expvar mirror.
 type engineTotals struct {
-	Requests       uint64            `json:"httpRequests"`
-	Queries        uint64            `json:"queries"`
-	ErrorsCanceled uint64            `json:"errorsCanceled"`
-	ErrorsLimit    uint64            `json:"errorsLimit"`
-	ErrorsInvalid  uint64            `json:"errorsInvalid"`
-	Rounds         uint64            `json:"rounds"`
-	Derived        uint64            `json:"derived"`
-	SolverSteps    uint64            `json:"solverSteps"`
-	MemoHits       uint64            `json:"memoHits"`
-	MemoMisses     uint64            `json:"memoMisses"`
-	ViewsCached    uint64            `json:"viewsCached"`
-	ViewsIncr      uint64            `json:"viewsIncremental"`
-	ViewsRecomp    uint64            `json:"viewsRecomputed"`
-	ViewErrors     uint64            `json:"viewErrors"`
-	VetDiagnostics map[string]uint64 `json:"vetDiagnostics,omitempty"`
+	Requests         uint64            `json:"httpRequests"`
+	Queries          uint64            `json:"queries"`
+	ErrorsCanceled   uint64            `json:"errorsCanceled"`
+	ErrorsClientGone uint64            `json:"errorsClientGone"`
+	ErrorsLimit      uint64            `json:"errorsLimit"`
+	ErrorsInvalid    uint64            `json:"errorsInvalid"`
+	Rounds           uint64            `json:"rounds"`
+	Derived          uint64            `json:"derived"`
+	SolverSteps      uint64            `json:"solverSteps"`
+	MemoHits         uint64            `json:"memoHits"`
+	MemoMisses       uint64            `json:"memoMisses"`
+	ViewsCached      uint64            `json:"viewsCached"`
+	ViewsIncr        uint64            `json:"viewsIncremental"`
+	ViewsRecomp      uint64            `json:"viewsRecomputed"`
+	ViewErrors       uint64            `json:"viewErrors"`
+	VetDiagnostics   map[string]uint64 `json:"vetDiagnostics,omitempty"`
 
 	Subscriptions core.SubTotals `json:"subscriptions"`
 
@@ -218,6 +238,11 @@ type engineTotals struct {
 	SubWireDeltasMinus uint64 `json:"subWireDeltasMinus"`
 	SubWebhookRetries  uint64 `json:"subWebhookRetries"`
 	SubWebhookDropped  uint64 `json:"subWebhookDropped"`
+
+	// Admission control (zero when the limiter is off).
+	AdmissionAdmitted uint64 `json:"admissionAdmitted"`
+	AdmissionRejected uint64 `json:"admissionRejected"`
+	AdmissionQueued   uint64 `json:"admissionQueued"`
 
 	PlanCache    core.PlanCacheStats `json:"planCache"`
 	InternValues int                 `json:"internValues"` // process-wide value-interner size
@@ -243,21 +268,26 @@ func (m *metrics) totals() engineTotals {
 		SubWebhookRetries:  m.subWebhookRetries.Load(),
 		SubWebhookDropped:  m.subWebhookDropped.Load(),
 
-		Requests:       m.requests.Load(),
-		Queries:        m.queries.Load(),
-		ErrorsCanceled: m.errCanceled.Load(),
-		ErrorsLimit:    m.errLimit.Load(),
-		ErrorsInvalid:  m.errInvalid.Load(),
-		Rounds:         m.rounds.Load(),
-		Derived:        m.derived.Load(),
-		SolverSteps:    m.solverSteps.Load(),
-		MemoHits:       m.memoHits.Load(),
-		MemoMisses:     m.memoMisses.Load(),
-		ViewsCached:    m.viewCached.Load(),
-		ViewsIncr:      m.viewIncr.Load(),
-		ViewsRecomp:    m.viewRecomputed.Load(),
-		ViewErrors:     m.viewErrors.Load(),
-		VetDiagnostics: m.vetSnapshot(),
+		AdmissionAdmitted: m.admAdmitted.Load(),
+		AdmissionRejected: m.admRejected.Load(),
+		AdmissionQueued:   m.admQueued.Load(),
+
+		Requests:         m.requests.Load(),
+		Queries:          m.queries.Load(),
+		ErrorsCanceled:   m.errCanceled.Load(),
+		ErrorsClientGone: m.errClientGone.Load(),
+		ErrorsLimit:      m.errLimit.Load(),
+		ErrorsInvalid:    m.errInvalid.Load(),
+		Rounds:           m.rounds.Load(),
+		Derived:          m.derived.Load(),
+		SolverSteps:      m.solverSteps.Load(),
+		MemoHits:         m.memoHits.Load(),
+		MemoMisses:       m.memoMisses.Load(),
+		ViewsCached:      m.viewCached.Load(),
+		ViewsIncr:        m.viewIncr.Load(),
+		ViewsRecomp:      m.viewRecomputed.Load(),
+		ViewErrors:       m.viewErrors.Load(),
+		VetDiagnostics:   m.vetSnapshot(),
 	}
 }
 
@@ -269,6 +299,20 @@ func (m *metrics) writeProm(b *bytes.Buffer, uptime time.Duration) {
 	gauge := func(name, help string, v float64) {
 		fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
 	}
+	// histo renders one fixed-bucket histogram (buckets are stored
+	// per-bucket; Prometheus wants cumulative).
+	histo := func(name, help string, h *histogram) {
+		fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+		var cum uint64
+		for i, le := range latencyBuckets {
+			cum += h.buckets[i].Load()
+			fmt.Fprintf(b, "%s_bucket{le=\"%g\"} %d\n", name, le, cum)
+		}
+		cum += h.buckets[len(latencyBuckets)].Load()
+		fmt.Fprintf(b, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+		fmt.Fprintf(b, "%s_sum %g\n", name, float64(h.sumNs.Load())/1e9)
+		fmt.Fprintf(b, "%s_count %d\n", name, h.count.Load())
+	}
 
 	counter("videodb_http_requests_total", "HTTP requests served.", m.requests.Load())
 	counter("videodb_queries_total", "Query and script evaluations attempted.", m.queries.Load())
@@ -276,13 +320,27 @@ func (m *metrics) writeProm(b *bytes.Buffer, uptime time.Duration) {
 	fmt.Fprintf(b, "# HELP videodb_query_errors_total Failed evaluations by class.\n")
 	fmt.Fprintf(b, "# TYPE videodb_query_errors_total counter\n")
 	fmt.Fprintf(b, "videodb_query_errors_total{class=\"canceled\"} %d\n", m.errCanceled.Load())
+	fmt.Fprintf(b, "videodb_query_errors_total{class=\"client_gone\"} %d\n", m.errClientGone.Load())
 	fmt.Fprintf(b, "videodb_query_errors_total{class=\"limit\"} %d\n", m.errLimit.Load())
 	fmt.Fprintf(b, "videodb_query_errors_total{class=\"invalid\"} %d\n", m.errInvalid.Load())
 
 	counter("videodb_query_cancellations_total",
-		"Evaluations stopped by context cancellation or deadline.", m.errCanceled.Load())
+		"Evaluations shed by the server's deadline or budget (client disconnects excluded).", m.errCanceled.Load())
 	counter("videodb_query_limit_trips_total",
 		"Evaluations stopped by a resource guard (rounds, derived, solver budget).", m.errLimit.Load())
+
+	counter("videodb_admission_admitted_total",
+		"Requests admitted to evaluate (immediately or after queueing).", m.admAdmitted.Load())
+	counter("videodb_admission_rejected_total",
+		"Requests refused with 429 because the wait queue was full.", m.admRejected.Load())
+	counter("videodb_admission_queued_total",
+		"Admitted or abandoned requests that had to wait for a slot.", m.admQueued.Load())
+	if m.admState != nil {
+		inFlight, waiting, tenants := m.admState()
+		gauge("videodb_admission_in_flight", "Evaluations currently holding an admission slot.", float64(inFlight))
+		gauge("videodb_admission_waiting", "Requests currently queued for a slot.", float64(waiting))
+		gauge("videodb_admission_tenants", "Tenant classes with live admission state.", float64(tenants))
+	}
 
 	counter("videodb_engine_rounds_total", "Fixpoint rounds across all evaluations.", m.rounds.Load())
 	counter("videodb_engine_derived_total", "Derived tuples across all evaluations.", m.derived.Load())
@@ -371,17 +429,9 @@ func (m *metrics) writeProm(b *bytes.Buffer, uptime time.Duration) {
 		}
 	}
 
-	fmt.Fprintf(b, "# HELP videodb_query_duration_seconds Evaluation latency.\n")
-	fmt.Fprintf(b, "# TYPE videodb_query_duration_seconds histogram\n")
-	var cum uint64
-	for i, le := range latencyBuckets {
-		cum += m.latency.buckets[i].Load()
-		fmt.Fprintf(b, "videodb_query_duration_seconds_bucket{le=\"%g\"} %d\n", le, cum)
-	}
-	cum += m.latency.buckets[len(latencyBuckets)].Load()
-	fmt.Fprintf(b, "videodb_query_duration_seconds_bucket{le=\"+Inf\"} %d\n", cum)
-	fmt.Fprintf(b, "videodb_query_duration_seconds_sum %g\n", float64(m.latency.sumNs.Load())/1e9)
-	fmt.Fprintf(b, "videodb_query_duration_seconds_count %d\n", m.latency.count.Load())
+	histo("videodb_query_duration_seconds", "Evaluation latency.", &m.latency)
+	histo("videodb_admission_queue_wait_seconds",
+		"Time from request arrival to admission (0 when a slot was free).", &m.admWait)
 
 	gauge("videodb_uptime_seconds", "Seconds since the server was created.", uptime.Seconds())
 }

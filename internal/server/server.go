@@ -62,6 +62,10 @@ type Server struct {
 	slowThreshold time.Duration // <= 0 disables the slow-query log
 	pprofOn       bool
 
+	// Admission control for evaluation endpoints (see admission.go);
+	// nil = unlimited.
+	admission *admission
+
 	// Live subscription sessions (see subscribe.go).
 	subs     serverSubs
 	subGrace time.Duration // detached-SSE resume window; 0 = default
@@ -108,6 +112,9 @@ func New(db *core.DB, opts ...Option) *Server {
 	for _, o := range opts {
 		o(s)
 	}
+	if s.admission != nil {
+		s.metrics.admState = s.admission.occupancy
+	}
 	s.mux.HandleFunc("/v1/query", s.handleQuery)
 	s.mux.HandleFunc("/v1/explain", s.handleExplain)
 	s.mux.HandleFunc("/v1/script", s.handleScript)
@@ -148,11 +155,25 @@ func isStreamingPath(p string) bool {
 	return p == "/v1/subscribe" || strings.HasPrefix(p, "/v1/subscribe/")
 }
 
-// statusFor maps evaluation errors to HTTP statuses: cancellations and
-// deadline expiries are a service-level condition (503 — the query was
-// shed, not wrong), everything else is the client's query (422).
-func statusFor(err error) int {
+// statusClientGone is the status recorded when the client abandoned the
+// request before a response was produced (the nginx 499 convention).
+// Nobody receives it — the connection is gone — but metrics and the
+// access log must not confuse a bored client with a shed query.
+const statusClientGone = 499
+
+// statusFor maps evaluation errors to HTTP statuses. Cancellation
+// splits on who gave up: if the request's own context is dead the
+// *client* walked away (499 — not the server's failure, not counted as
+// shed work), otherwise the server's deadline or budget expired after
+// accepting the work (503 — genuinely shed). Everything else is the
+// client's query (422). Note the check is against r.Context(), not the
+// derived evaluation context: the per-query timeout cancels the derived
+// context while the request's own stays alive.
+func statusFor(r *http.Request, err error) int {
 	if datalog.IsCanceled(err) {
+		if r.Context().Err() != nil {
+			return statusClientGone
+		}
 		return http.StatusServiceUnavailable
 	}
 	return http.StatusUnprocessableEntity
@@ -161,21 +182,39 @@ func statusFor(err error) int {
 // ServeHTTP implements http.Handler. Every request passes through the
 // logging middleware: the response status is captured, the request
 // counter bumped, and — when an access log is configured — one line
-// written per request with its latency.
+// written per request with its latency. A handler that panics is logged
+// as 500 (and answered with one when nothing was written yet), then the
+// panic continues to net/http, which owns stack logging and connection
+// teardown.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	began := time.Now()
 	sw := &statusWriter{ResponseWriter: w}
 	r.Body = http.MaxBytesReader(w, r.Body, MaxRequestBytes)
-	s.mux.ServeHTTP(sw, r)
-	s.metrics.requests.Add(1)
-	if s.accessLog != nil {
-		status := sw.status
-		if status == 0 {
-			status = http.StatusOK
+	defer func() {
+		rec := recover()
+		if rec != nil && rec != http.ErrAbortHandler && sw.status == 0 {
+			writeError(sw, http.StatusInternalServerError, fmt.Errorf("internal error"))
 		}
-		s.accessLog.Printf("%s %s %d %v", r.Method, r.URL.Path, status,
-			time.Since(began).Round(time.Microsecond))
-	}
+		s.metrics.requests.Add(1)
+		if s.accessLog != nil {
+			status := sw.status
+			if status == 0 {
+				// Nothing was written. That is an implicit 200 only when the
+				// client was still there to receive one; a request whose
+				// context died went out as a cut connection.
+				status = http.StatusOK
+				if r.Context().Err() != nil {
+					status = statusClientGone
+				}
+			}
+			s.accessLog.Printf("%s %s %d %v", r.Method, r.URL.Path, status,
+				time.Since(began).Round(time.Microsecond))
+		}
+		if rec != nil {
+			panic(rec)
+		}
+	}()
+	s.mux.ServeHTTP(sw, r)
 }
 
 // --- Wire types -----------------------------------------------------------------
@@ -252,6 +291,14 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("missing query"))
 		return
 	}
+	// Admission comes after the body is consumed: net/http only watches
+	// for client disconnects once the body is read, and a queued waiter
+	// must notice its client leaving.
+	release, ok := s.admit(w, r)
+	if !ok {
+		return
+	}
+	defer release()
 	ctx, cancel := s.requestCtx(r)
 	defer cancel()
 	began := time.Now()
@@ -270,12 +317,13 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	s.mu.RUnlock()
 	elapsed := time.Since(began)
 	if err != nil {
-		s.metrics.recordQuery(elapsed, nil, err)
+		status := statusFor(r, err)
+		s.metrics.recordQuery(elapsed, nil, err, status == statusClientGone)
 		s.logSlow("query", req.Query, elapsed, nil, err)
-		writeError(w, statusFor(err), err)
+		writeError(w, status, err)
 		return
 	}
-	s.metrics.recordQuery(elapsed, &rs.Stats, nil)
+	s.metrics.recordQuery(elapsed, &rs.Stats, nil, false)
 	s.metrics.recordVet(diags)
 	s.logSlow("query", req.Query, elapsed, &rs.Stats, nil)
 	out := resultJSON(rs)
@@ -296,6 +344,11 @@ func (s *Server) handleVet(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("missing script"))
 		return
 	}
+	release, ok := s.admit(w, r)
+	if !ok {
+		return
+	}
+	defer release()
 	s.mu.RLock()
 	diags, err := s.db.Vet(req.Script)
 	s.mu.RUnlock()
@@ -318,13 +371,18 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	if !s.post(w, r, &req) {
 		return
 	}
+	release, ok := s.admit(w, r)
+	if !ok {
+		return
+	}
+	defer release()
 	ctx, cancel := s.requestCtx(r)
 	defer cancel()
 	s.mu.RLock()
 	plan, err := s.db.ExplainContext(ctx, req.Query)
 	s.mu.RUnlock()
 	if err != nil {
-		writeError(w, statusFor(err), err)
+		writeError(w, statusFor(r, err), err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"plan": plan})
@@ -335,6 +393,11 @@ func (s *Server) handleScript(w http.ResponseWriter, r *http.Request) {
 	if !s.post(w, r, &req) {
 		return
 	}
+	release, ok := s.admit(w, r)
+	if !ok {
+		return
+	}
+	defer release()
 	ctx, cancel := s.requestCtx(r)
 	defer cancel()
 	began := time.Now()
@@ -343,9 +406,10 @@ func (s *Server) handleScript(w http.ResponseWriter, r *http.Request) {
 	s.mu.Unlock()
 	elapsed := time.Since(began)
 	if err != nil {
-		s.metrics.recordQuery(elapsed, nil, err)
+		status := statusFor(r, err)
+		s.metrics.recordQuery(elapsed, nil, err, status == statusClientGone)
 		s.logSlow("script", req.Script, elapsed, nil, err)
-		writeError(w, statusFor(err), err)
+		writeError(w, status, err)
 		return
 	}
 	var sum datalog.RunStats
@@ -358,7 +422,7 @@ func (s *Server) handleScript(w http.ResponseWriter, r *http.Request) {
 		sum.MemoHits += rs.Stats.MemoHits
 		sum.MemoMisses += rs.Stats.MemoMisses
 	}
-	s.metrics.recordQuery(elapsed, &sum, nil)
+	s.metrics.recordQuery(elapsed, &sum, nil, false)
 	s.logSlow("script", req.Script, elapsed, &sum, nil)
 	writeJSON(w, http.StatusOK, map[string]interface{}{"results": out})
 }
@@ -444,6 +508,7 @@ type StatsResponse struct {
 	Intern        internJSON          `json:"intern"`
 	Backend       store.BackendStats  `json:"backend"`
 	Subscriptions core.SubTotals      `json:"subscriptions"`
+	Admission     AdmissionStats      `json:"admission"`
 	Uptime        float64             `json:"uptimeSeconds"`
 }
 
@@ -485,6 +550,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Intern:        internJSON{Values: datalog.InternStats().Values},
 		Backend:       bs,
 		Subscriptions: subs,
+		Admission:     s.admissionStats(),
 		Uptime:        time.Since(s.start).Seconds(),
 	})
 }

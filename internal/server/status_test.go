@@ -1,0 +1,170 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"videodb/internal/core"
+)
+
+// syncBuf is a log sink safe to read while handlers are still writing.
+type syncBuf struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuf) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuf) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// engineErrors fetches the error-class counters from /v1/stats.
+func engineErrors(t *testing.T, url string) (canceled, clientGone uint64) {
+	t.Helper()
+	resp, err := http.Get(url + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Engine struct {
+			ErrorsCanceled   uint64 `json:"errorsCanceled"`
+			ErrorsClientGone uint64 `json:"errorsClientGone"`
+		} `json:"engine"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out.Engine.ErrorsCanceled, out.Engine.ErrorsClientGone
+}
+
+// A client that walks away is not shed work: the evaluation's death is
+// recorded as client_gone (499), and the canceled (503) counter — the
+// overload alerting signal — stays untouched.
+func TestClientDisconnectCountsClientGoneNotShed(t *testing.T) {
+	ts := heavyServer(t, 300, 0) // no server deadline: only the client can cancel
+	body, _ := json.Marshal(map[string]string{"query": crossJoinQuery})
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/query", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := &http.Client{Timeout: 50 * time.Millisecond}
+	if _, err := client.Do(req); err == nil {
+		t.Fatal("expected the client-side timeout to fire")
+	}
+	// The handler records the outcome asynchronously after the disconnect.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		canceled, clientGone := engineErrors(t, ts.URL)
+		if clientGone >= 1 {
+			if canceled != 0 {
+				t.Fatalf("client disconnect inflated the shed counter: canceled=%d", canceled)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("client_gone never recorded (canceled=%d clientGone=%d)", canceled, clientGone)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// The server's own deadline is the opposite case: genuinely shed work,
+// counted as canceled, with nothing in client_gone.
+func TestServerDeadlineCountsShedNotClientGone(t *testing.T) {
+	ts := heavyServer(t, 300, 30*time.Millisecond)
+	status, _, err := postQuery(ts.URL, crossJoinQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", status)
+	}
+	canceled, clientGone := engineErrors(t, ts.URL)
+	if canceled != 1 || clientGone != 0 {
+		t.Fatalf("counters: canceled=%d clientGone=%d; want 1, 0", canceled, clientGone)
+	}
+}
+
+// An admission-rejected request must appear in the access log with its
+// real status, not the unwritten-means-200 default.
+func TestAccessLogRecordsAdmissionReject(t *testing.T) {
+	gate, unblock := blockGate()
+	defer unblock()
+	db := core.New()
+	core.WithGate(gate)(db)
+	t.Cleanup(func() { db.Close() })
+	if err := db.Relate("e", "a"); err != nil {
+		t.Fatal(err)
+	}
+	buf := &syncBuf{}
+	srv := New(db,
+		WithAdmission(AdmissionConfig{MaxConcurrent: 1, QueueDepth: 0}),
+		WithAccessLog(log.New(buf, "", 0)))
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+
+	done := make(chan struct{})
+	go func() {
+		postQuery(ts.URL, "?- e(A).")
+		close(done)
+	}()
+	waitAdm(t, ts.URL, "slot occupied", func(a AdmissionStats) bool { return a.InFlight == 1 })
+	status, _, err := postQuery(ts.URL, "?- e(A).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", status)
+	}
+	if !strings.Contains(buf.String(), "POST /v1/query 429 ") {
+		t.Errorf("access log missing the 429 line:\n%s", buf.String())
+	}
+	unblock()
+	<-done
+}
+
+// A panicking handler must not be logged as 200: the middleware records
+// a 500 (answering with one when nothing was written), then hands the
+// panic back to net/http.
+func TestPanicIsLoggedAs500NotOK(t *testing.T) {
+	buf := &syncBuf{}
+	srv := New(core.New(), WithAccessLog(log.New(buf, "", 0)))
+	srv.mux.HandleFunc("/boom", func(http.ResponseWriter, *http.Request) {
+		panic("kaboom")
+	})
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest(http.MethodGet, "/boom", nil)
+	var recovered interface{}
+	func() {
+		defer func() { recovered = recover() }()
+		srv.ServeHTTP(rec, req)
+	}()
+	if recovered == nil {
+		t.Fatal("panic must propagate to net/http after logging")
+	}
+	if rec.Code != http.StatusInternalServerError {
+		t.Errorf("response status = %d, want 500", rec.Code)
+	}
+	logLine := buf.String()
+	if !strings.Contains(logLine, "GET /boom 500 ") {
+		t.Errorf("access log line = %q, want a 500", logLine)
+	}
+	if strings.Contains(logLine, " 200 ") {
+		t.Errorf("panicking handler logged as OK: %q", logLine)
+	}
+}

@@ -82,6 +82,11 @@ type serverSubs struct {
 // http.Server.Shutdown: an open event stream otherwise keeps graceful
 // shutdown waiting forever.
 func (s *Server) Close() {
+	if s.admission != nil {
+		// Queued waiters are rejected with 503; admitted work keeps its
+		// slot and finishes (graceful drain).
+		s.admission.close()
+	}
 	if s.lifeCancel != nil {
 		s.lifeCancel() // unblock webhook pumps waiting in Next
 	}
@@ -326,6 +331,13 @@ func (s *Server) handleSubscribeSSE(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, err)
 			return
 		}
+		// Registration runs the initial snapshot evaluation, so it passes
+		// through admission like any query; the slot is released before
+		// the stream loop — a standing connection must not pin one.
+		release, ok := s.admit(w, r)
+		if !ok {
+			return
+		}
 		// Per-delta evaluation stays under the query-timeout budget even
 		// though the connection itself is exempt (see requestCtx).
 		opts.RefreshBudget = s.queryTimeout
@@ -333,15 +345,18 @@ func (s *Server) handleSubscribeSSE(w http.ResponseWriter, r *http.Request) {
 		sub, err := s.db.SubscribeQuery(q["rule"], goal, opts)
 		s.mu.RUnlock()
 		if err != nil {
+			release()
 			writeError(w, http.StatusUnprocessableEntity, err)
 			return
 		}
 		ss = &subSession{id: sub.ID(), sub: sub, kind: "sse", goal: goal, attached: true}
 		if !s.registerSession(ss) {
+			release()
 			sub.Close()
 			writeError(w, http.StatusServiceUnavailable, fmt.Errorf("server is shutting down"))
 			return
 		}
+		release()
 	}
 
 	h := w.Header()
@@ -460,6 +475,13 @@ func (s *Server) handleSubscribeWebhook(w http.ResponseWriter, r *http.Request) 
 	if req.Rate > 0 {
 		opts.MaxPerSec = req.Rate
 	}
+	// Registration evaluates the initial snapshot; admission applies. The
+	// delivery pump runs below the gate (maintenance, not request work).
+	release, ok := s.admit(w, r)
+	if !ok {
+		return
+	}
+	defer release()
 	opts.RefreshBudget = s.queryTimeout
 	s.mu.RLock()
 	sub, err := s.db.SubscribeQuery(req.Rules, req.Goal, opts)

@@ -81,6 +81,11 @@ func (s *Server) handleViews(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, fmt.Errorf("missing view name or goal"))
 			return
 		}
+		release, ok := s.admit(w, r)
+		if !ok {
+			return
+		}
+		defer release()
 		ctx, cancel := s.requestCtx(r)
 		defer cancel()
 		began := time.Now()
@@ -89,7 +94,7 @@ func (s *Server) handleViews(w http.ResponseWriter, r *http.Request) {
 		s.mu.Unlock()
 		if err != nil {
 			s.metrics.viewErrors.Add(1)
-			status := statusFor(err)
+			status := statusFor(r, err)
 			if strings.Contains(err.Error(), "already exists") {
 				status = http.StatusConflict
 			}
@@ -112,6 +117,11 @@ func (s *Server) handleView(w http.ResponseWriter, r *http.Request) {
 	}
 	switch r.Method {
 	case http.MethodGet:
+		release, ok := s.admit(w, r)
+		if !ok {
+			return
+		}
+		defer release()
 		ctx, cancel := s.requestCtx(r)
 		defer cancel()
 		began := time.Now()
@@ -126,7 +136,7 @@ func (s *Server) handleView(w http.ResponseWriter, r *http.Request) {
 			}
 			s.metrics.viewErrors.Add(1)
 			s.logSlow("view", name, elapsed, nil, err)
-			writeError(w, statusFor(err), err)
+			writeError(w, statusFor(r, err), err)
 			return
 		}
 		s.metrics.recordView(vr.Mode)
